@@ -1,0 +1,122 @@
+"""ABL-2 — ablation: collective-communication algorithms (§1.2.5).
+
+The thesis discusses synchronisation styles (tight, loose with a master,
+loose SPMD) without quantifying them.  This ablation compares the
+master-style "linear" collectives against the SPMD-style "tree"
+collectives: message counts (deterministic) and wall-clock latency.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from benchmarks.conftest import report
+from repro.pcn.composition import par
+from repro.spmd import collectives
+from repro.spmd.comm import GroupComm
+from repro.vp.machine import Machine
+
+
+def run_collective(n, body):
+    machine = Machine(n)
+    comms = [GroupComm(machine, list(range(n)), r, "abl") for r in range(n)]
+    machine.reset_traffic()
+    t0 = time.perf_counter()
+    par(*[lambda c=c: body(c) for c in comms])
+    elapsed = time.perf_counter() - t0
+    return machine.traffic_snapshot()["messages"], elapsed
+
+
+class TestAbl2Collectives:
+    def test_message_counts_by_algorithm(self, benchmark):
+        rows = [("operation", "P", "linear msgs", "tree msgs")]
+        checks = []
+        for p in (4, 8, 16):
+            for name, op in (
+                ("barrier", lambda c, a: collectives.barrier(c, algorithm=a)),
+                (
+                    "bcast",
+                    lambda c, a: collectives.bcast(
+                        c, 1 if c.rank == 0 else None, algorithm=a
+                    ),
+                ),
+                (
+                    "allreduce",
+                    lambda c, a: collectives.allreduce(
+                        c, c.rank, op="sum", algorithm=a
+                    ),
+                ),
+            ):
+                linear, _ = run_collective(p, lambda c: op(c, "linear"))
+                tree, _ = run_collective(p, lambda c: op(c, "tree"))
+                rows.append((name, p, linear, tree))
+                checks.append((name, p, linear, tree))
+        report("ABL-2 collective message counts", rows)
+        benchmark.pedantic(
+            lambda: run_collective(
+                8, lambda c: collectives.allreduce(c, c.rank, op="sum")
+            ),
+            rounds=3,
+            iterations=1,
+        )
+
+        for name, p, linear, tree in checks:
+            if name == "barrier":
+                assert linear == 2 * (p - 1)
+                assert tree == p * math.ceil(math.log2(p))
+            if name == "bcast":
+                assert linear == p - 1
+                assert tree == p - 1  # binomial moves the same count...
+            if name == "allreduce":
+                assert linear == 2 * (p - 1)
+                assert tree == 2 * (p - 1)
+
+    def test_latency_depth_linear_vs_tree(self, benchmark):
+        """...but the tree's O(log P) critical path beats the master's
+        O(P) chain once per-message latency matters.  We inject latency by
+        sleeping 1ms per hop inside a wrapped send."""
+        p = 8
+        hop_delay = 0.002
+
+        def delayed_bcast(algorithm):
+            machine = Machine(p)
+            comms = [
+                GroupComm(machine, list(range(p)), r, "lat") for r in range(p)
+            ]
+            originals = [c.send for c in comms]
+
+            def make_delayed(orig):
+                def send(dest, payload, tag=None):
+                    time.sleep(hop_delay)
+                    orig(dest, payload, tag=tag)
+
+                return send
+
+            for c, orig in zip(comms, originals):
+                c.send = make_delayed(orig)  # type: ignore[method-assign]
+            t0 = time.perf_counter()
+            par(
+                *[
+                    lambda c=c: collectives.bcast(
+                        c, "x" if c.rank == 0 else None, algorithm=algorithm
+                    )
+                    for c in comms
+                ]
+            )
+            return time.perf_counter() - t0
+
+        linear = delayed_bcast("linear")
+        tree = benchmark.pedantic(
+            lambda: delayed_bcast("tree"), rounds=3, iterations=1
+        )
+        report(
+            "ABL-2 bcast latency with 2ms hops (P=8)",
+            [
+                ("algorithm", "seconds", "critical path"),
+                ("linear (master)", f"{linear:.3f}", "O(P) sends from root"),
+                ("tree (binomial)", f"{tree:.3f}", "O(log P) rounds"),
+            ],
+        )
+        # The root's serial send loop costs (P-1) hops; the tree ~log2(P).
+        assert tree < linear

@@ -1,0 +1,94 @@
+"""ABL-1 — ablation: decomposition shape vs halo traffic (§3.2.1.2,
+Fig 3.6).
+
+The thesis exposes grid-shape control (block/block(N)/"*") but does not
+quantify it; this ablation does.  Claim: for a 5-point stencil, the halo
+traffic of a decomposition is its total internal perimeter — square-ish
+grids minimise it for square arrays, and 1-D strip decompositions pay
+proportionally more as P grows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import report
+from repro.calls import Local, Reduce
+from repro.core.runtime import IntegratedRuntime
+from repro.spmd.stencil import halo_traffic_for, heat_steps
+
+N = 64
+
+
+def measure(rt, grid):
+    procs = rt.all_processors()
+    arr = rt.array(
+        "double", (N, N), procs,
+        [("block", grid[0]), ("block", grid[1])], borders=[1, 1, 1, 1],
+    )
+    arr.from_numpy(np.random.default_rng(0).uniform(0, 1, (N, N)))
+    result = rt.call(
+        procs, halo_traffic_for,
+        [grid[0], grid[1], Local(arr.array_id), Reduce("double", 1, "max")],
+    )
+    nbytes = result.reductions[0]
+
+    rt.machine.reset_traffic()
+    rt.call(procs, heat_steps, [grid[0], grid[1], 4, Local(arr.array_id)])
+    measured = rt.machine.traffic_snapshot()
+    arr.free()
+    return nbytes, measured
+
+
+class TestAbl1DecompositionShape:
+    def test_halo_bytes_by_grid_shape(self, benchmark):
+        rt = IntegratedRuntime(16)
+        rows = [("grid", "halo bytes/step (model)", "measured bytes (4 steps)")]
+        results = {}
+        for grid in ((4, 4), (16, 1), (1, 16), (8, 2)):
+            model_bytes, measured = measure(rt, grid)
+            results[grid] = (model_bytes, measured["bytes"])
+            rows.append((grid, int(model_bytes), measured["bytes"]))
+        report("ABL-1 halo traffic by decomposition shape (64x64, P=16)", rows)
+
+        # shape claims:
+        # (1) the square grid strictly beats both strip grids;
+        assert results[(4, 4)][0] < results[(16, 1)][0]
+        assert results[(4, 4)][0] < results[(1, 16)][0]
+        # (2) the two strip orientations cost the same on a square array;
+        assert results[(16, 1)][0] == results[(1, 16)][0]
+        # (3) the 8x2 grid sits between square and strip;
+        assert results[(4, 4)][0] < results[(8, 2)][0] < results[(16, 1)][0]
+        # (4) the analytic model tracks the measured traffic ordering.
+        ordered_model = sorted(results, key=lambda g: results[g][0])
+        ordered_measured = sorted(results, key=lambda g: results[g][1])
+        assert ordered_model == ordered_measured
+
+        rt8 = IntegratedRuntime(16)
+        procs = rt8.all_processors()
+        arr = rt8.array(
+            "double", (N, N), procs, [("block", 4), ("block", 4)],
+            borders=[1, 1, 1, 1],
+        )
+        benchmark(
+            lambda: rt8.call(
+                procs, heat_steps, [4, 4, 1, Local(arr.array_id)]
+            )
+        )
+        arr.free()
+
+    def test_model_formula(self, benchmark):
+        """The analytic perimeter model: internal edges x strip length x 2
+        directions x 8 bytes."""
+
+        def internal_halo_bytes(n, gr, gc):
+            rows, cols = n // gr, n // gc
+            horizontal_cuts = (gr - 1) * gc * cols  # cells per cut row
+            vertical_cuts = (gc - 1) * gr * rows
+            return (horizontal_cuts + vertical_cuts) * 2 * 8
+
+        rt = IntegratedRuntime(16)
+        for grid in ((4, 4), (16, 1), (8, 2)):
+            model, _ = measure(rt, grid)
+            assert model == internal_halo_bytes(N, *grid)
+        benchmark(lambda: internal_halo_bytes(N, 4, 4))

@@ -1,0 +1,54 @@
+"""EX-6.1 — the inner-product example (§6.1).
+
+Claims reproduced: the distributed call computes exactly the closed-form
+inner product for any machine size, returning it through a reduction
+variable; cost scales with vector length and call overhead dominates at
+small sizes (the expected shape for a fine-grained distributed call).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import report
+from repro.apps import innerproduct
+from repro.core.runtime import IntegratedRuntime
+
+
+class TestEx61InnerProduct:
+    def test_correct_across_machine_sizes(self, benchmark):
+        rows = [("processors", "local m", "result", "expected")]
+        for nodes in (1, 2, 4, 8):
+            rt = IntegratedRuntime(nodes)
+            local_m = 4
+            result = innerproduct.run(rt, local_m=local_m)
+            expected = innerproduct.expected_inner_product(nodes * local_m)
+            rows.append((nodes, local_m, f"{result:.0f}", f"{expected:.0f}"))
+            assert result == expected
+        report("EX-6.1 inner product across machine sizes", rows)
+
+        rt = IntegratedRuntime(8)
+        benchmark(lambda: innerproduct.run(rt, local_m=4))
+
+    def test_scaling_with_vector_length(self, benchmark):
+        rt = IntegratedRuntime(8)
+        rows = [("vector length", "seconds", "vs numpy")]
+        for local_m in (64, 1024, 16384):
+            m = 8 * local_m
+            t0 = time.perf_counter()
+            result = innerproduct.run(rt, local_m=local_m)
+            elapsed = time.perf_counter() - t0
+            v = np.arange(m, dtype=float) + 1.0
+            t0 = time.perf_counter()
+            direct = float(v @ v)
+            numpy_time = time.perf_counter() - t0
+            rows.append(
+                (m, f"{elapsed:.4f}", f"{elapsed / max(numpy_time, 1e-9):.0f}x")
+            )
+            assert result == direct
+        report("EX-6.1 inner-product scaling", rows)
+        benchmark.pedantic(
+            lambda: innerproduct.run(rt, local_m=1024), rounds=3, iterations=1
+        )

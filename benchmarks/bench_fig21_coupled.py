@@ -1,0 +1,76 @@
+"""FIG-2.1 — the coupled climate simulation (§2.3.1, Fig 2.1).
+
+Claims reproduced: (1) the two data-parallel components stepped
+concurrently produce results identical to sequential stepping (the
+distributed call is semantically a sequential call), (2) the interface
+coupling converges, and (3) the TP-level exchange cost is a measurable
+fraction of each step — the §7.2.1 bottleneck motivation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import report
+from repro.apps.climate import ClimateSimulation
+from repro.core.runtime import IntegratedRuntime
+
+
+class TestFig21Coupled:
+    def test_coupled_step_benchmark(self, benchmark, rt8):
+        sim = ClimateSimulation(rt8, shape=(8, 16))
+
+        def one_step():
+            return sim.run(1)
+
+        run = benchmark(one_step)
+        assert run.coupled_result.steps == 1
+        benchmark.extra_info["exchange_fraction"] = (
+            run.coupled_result.exchange_fraction()
+        )
+        sim.free()
+
+    def test_convergence_series(self, benchmark):
+        rt = IntegratedRuntime(8)
+        sim = ClimateSimulation(
+            rt, shape=(8, 16), ocean_temp=10.0, atmos_temp=-10.0
+        )
+        gaps = []
+        rows = [("step", "interface gap")]
+        for k in range(8):
+            run = sim.run(1)
+            gaps.append(run.interface_gap())
+            rows.append((k, f"{gaps[-1]:.3f}"))
+        report("FIG-2.1 interface-gap convergence", rows)
+        sim.free()
+        assert gaps[-1] < gaps[0] / 3  # the coupling closes the gap
+        assert all(b <= a + 1e-9 for a, b in zip(gaps, gaps[1:]))
+        benchmark.pedantic(lambda: None, rounds=1)  # series-only experiment
+
+    def test_concurrent_equals_sequential(self, benchmark):
+        """The headline semantic claim, run as the benchmarked body."""
+
+        def both():
+            rt_a = IntegratedRuntime(8)
+            sim_a = ClimateSimulation(rt_a, shape=(8, 16))
+            run_a = sim_a.run(4)
+            sim_a.free()
+            rt_b = IntegratedRuntime(8)
+            sim_b = ClimateSimulation(rt_b, shape=(8, 16))
+            run_b = sim_b.run_reference(4)
+            sim_b.free()
+            return run_a, run_b
+
+        run_a, run_b = benchmark.pedantic(both, rounds=2, iterations=1)
+        assert np.array_equal(run_a.ocean, run_b.ocean)
+        assert np.array_equal(run_a.atmosphere, run_b.atmosphere)
+        report(
+            "FIG-2.1 concurrent vs sequential",
+            [
+                ("mode", "ocean checksum", "atmos checksum"),
+                ("concurrent", f"{run_a.ocean.sum():.6f}",
+                 f"{run_a.atmosphere.sum():.6f}"),
+                ("sequential", f"{run_b.ocean.sum():.6f}",
+                 f"{run_b.atmosphere.sum():.6f}"),
+            ],
+        )

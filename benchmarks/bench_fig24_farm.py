@@ -1,0 +1,66 @@
+"""FIG-2.4 — animation-frame generation (§2.3.4, Fig 2.4).
+
+Claim reproduced: independent data-parallel frame generations scale with
+the number of concurrent groups.  Frame rendering is NumPy-heavy (releases
+the GIL), so wall-clock improves with more groups; the jobs-per-group
+distribution shows the farm spreading work.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import report
+from repro.apps import animation
+from repro.core.runtime import IntegratedRuntime
+
+
+FRAMES = 8
+SHAPE = (48, 48)
+ITER = 60
+
+
+class TestFig24Farm:
+    def test_scaling_with_groups(self, benchmark):
+        rt = IntegratedRuntime(8)
+        times = {}
+        rows = [("groups", "wall seconds", "jobs per group")]
+        for groups in (1, 2, 4):
+            result = animation.render_animation(
+                rt, frames=FRAMES, groups=groups, shape=SHAPE, max_iter=ITER
+            )
+            times[groups] = result.farm_result.wall_time
+            rows.append(
+                (groups, f"{times[groups]:.3f}",
+                 result.farm_result.jobs_per_group)
+            )
+        report("FIG-2.4 frame-farm scaling", rows)
+        # shape: more groups should not be slower (and usually faster);
+        # allow generous noise since frames are small.
+        assert times[4] < times[1] * 1.2
+
+        result = benchmark.pedantic(
+            lambda: animation.render_animation(
+                rt, frames=FRAMES, groups=4, shape=SHAPE, max_iter=ITER
+            ),
+            rounds=3,
+            iterations=1,
+        )
+        benchmark.extra_info["frames_per_second"] = (
+            FRAMES / result.farm_result.wall_time
+        )
+
+    def test_outputs_independent_of_group_count(self, benchmark):
+        """Inherent parallelism: the rendered frames are identical no
+        matter how the farm schedules them."""
+        import numpy as np
+
+        rt = IntegratedRuntime(8)
+
+        def render(groups):
+            return animation.render_animation(
+                rt, frames=4, groups=groups, shape=(16, 16), max_iter=20
+            ).frames
+
+        one = render(1)
+        four = benchmark.pedantic(lambda: render(4), rounds=1)
+        for a, b in zip(one, four):
+            assert np.array_equal(a, b)

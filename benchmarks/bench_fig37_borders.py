@@ -1,0 +1,78 @@
+"""FIG-3.7 — local-section borders and verify_array (§3.2.1.3, §4.2.7).
+
+Claims reproduced: (1) matching borders verify for free (no reallocation);
+(2) changing borders is "an expensive operation" — reallocate-and-copy of
+every local section, with cost scaling with the array size; (3) interior
+data survives the migration bit-exactly.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import report
+from repro.core.runtime import IntegratedRuntime
+
+
+def make_array(rt, n):
+    arr = rt.array(
+        "double", (n, n), distrib=(("block", 4), ("block", 2)),
+        borders=[1, 1, 1, 1],
+    )
+    arr.from_numpy(np.arange(n * n, dtype=float).reshape(n, n))
+    return arr
+
+
+class TestFig37Borders:
+    def test_matching_verify_is_cheap(self, benchmark, rt8):
+        arr = make_array(rt8, 32)
+        copies_before = rt8.array_manager.request_counts.get("copy_local", 0)
+        benchmark(lambda: arr.verify_borders([1, 1, 1, 1]))
+        assert rt8.array_manager.request_counts.get("copy_local", 0) == (
+            copies_before
+        )
+        arr.free()
+
+    def test_mismatch_verify_reallocates_and_scales(self, benchmark):
+        rt = IntegratedRuntime(8)
+        rows = [("array", "seconds per border migration")]
+        times = {}
+        for n in (64, 512, 2048):
+            arr = make_array(rt, n)
+            borders = ([1, 1, 1, 1], [2, 2, 2, 2])
+            start = time.perf_counter()
+            flips = 4
+            for k in range(flips):
+                arr.verify_borders(borders[(k + 1) % 2])
+            times[n] = (time.perf_counter() - start) / flips
+            rows.append((f"{n}x{n}", f"{times[n]:.5f}"))
+            arr.free()
+        report("FIG-3.7 border-migration cost vs array size", rows)
+        # cost grows with the data volume once the copies dominate the
+        # fixed per-request overhead (2048^2 doubles = 32 MiB to move)
+        assert times[2048] > times[64]
+
+        arr = make_array(rt, 64)
+        state = {"k": 0}
+
+        def flip():
+            state["k"] += 1
+            arr.verify_borders([1, 1, 1, 1] if state["k"] % 2 else [2, 2, 2, 2])
+
+        benchmark(flip)
+        arr.free()
+
+    def test_interior_survives_migrations(self, benchmark, rt8):
+        arr = make_array(rt8, 16)
+        original = arr.to_numpy()
+
+        def migrate_roundtrip():
+            arr.verify_borders([3, 3, 2, 2])
+            arr.verify_borders([1, 1, 1, 1])
+            return arr.to_numpy()
+
+        final = benchmark.pedantic(migrate_roundtrip, rounds=3, iterations=1)
+        assert np.array_equal(final, original)
+        arr.free()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""The §2.3.3 / Fig 2.3 reactor discrete-event simulation.
+
+Pump, valve, and reactor components form an asynchronous event graph; the
+computationally heavy component models run as distributed calls (the pump
+solves a linear system by distributed Jacobi iteration; the reactor
+relaxes a 2-D temperature field with a bordered stencil).  The event
+cascade is data-dependent: demand rises while the core is hot, and the
+simulation quiesces once the core temperature falls below the safe
+threshold.
+
+Run:  python examples/reactor_simulation.py [max_ticks]
+"""
+
+import sys
+
+from repro import IntegratedRuntime
+from repro.apps.reactor import ReactorSimulation
+
+
+def main() -> None:
+    max_ticks = int(sys.argv[1]) if len(sys.argv) > 1 else 15
+    rt = IntegratedRuntime(8)
+
+    print("reactor discrete-event simulation (Fig 2.3)")
+    print("  components: driver -> pump -> valve -> reactor -> driver\n")
+
+    sim = ReactorSimulation(
+        rt,
+        field_shape=(8, 8),
+        initial_temperature=900.0,
+        safe_temperature=400.0,
+    )
+    trace = sim.run(max_ticks=max_ticks)
+
+    print("  tick   coolant flow   core temperature")
+    for k, (flow, temp) in enumerate(zip(trace.flows, trace.temperatures)):
+        print(f"  {k:4d}   {flow:12.2f}   {temp:16.2f}")
+
+    print(f"\n  events handled: {trace.result.events_handled} "
+          f"{trace.result.per_node_counts}")
+    if trace.cooled_down(400.0):
+        print(f"  core reached safe temperature after {trace.demands} ticks")
+    else:
+        print(f"  tick cap ({max_ticks}) reached before safe temperature")
+    sim.free()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""repro — a reproduction of *Integrating Task and Data Parallelism*
+(Berna Massingill, Caltech CS-TR-93-01, 1993).
+
+The package implements the thesis' programming model: a task-parallel
+program (PCN-style composition, single-assignment variables, streams) that
+can create **distributed arrays** and make **distributed calls** to SPMD
+data-parallel programs, with the call semantically equivalent to a
+sequential subprogram call.
+
+Quickstart::
+
+    from repro import IntegratedRuntime
+    from repro.apps import innerproduct
+
+    rt = IntegratedRuntime(8)
+    print(innerproduct.run(rt))          # the thesis' §6.1 example
+
+Layers (bottom-up):
+
+* :mod:`repro.pcn` — the task-parallel notation's semantics;
+* :mod:`repro.vp` — the simulated multicomputer (virtual processors,
+  typed messages, the server mechanism);
+* :mod:`repro.arrays` — distributed arrays and the array manager;
+* :mod:`repro.calls` — distributed calls (do_all, wrapper, combine);
+* :mod:`repro.spmd` — the data-parallel substrate (communicators,
+  collectives, linear algebra, FFT, stencils);
+* :mod:`repro.core` — the pythonic public API and the §2.3 problem-class
+  helpers;
+* :mod:`repro.apps` — the thesis' example applications.
+"""
+
+from repro.core.runtime import IntegratedRuntime
+from repro.core.darray import DistributedArray
+from repro.status import (
+    Status,
+    ReproError,
+    InvalidParameterError,
+    ArrayNotFoundError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "IntegratedRuntime",
+    "DistributedArray",
+    "Status",
+    "ReproError",
+    "InvalidParameterError",
+    "ArrayNotFoundError",
+    "__version__",
+]

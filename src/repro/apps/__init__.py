@@ -1,0 +1,32 @@
+"""The thesis' motivating applications, built on the public API.
+
+* :mod:`~repro.apps.innerproduct` — the §6.1 inner-product example;
+* :mod:`~repro.apps.polymul` — §6.2 polynomial multiplication via an
+  FFT pipeline (Fig 6.1);
+* :mod:`~repro.apps.climate` — the §2.3.1 / Fig 2.1 coupled
+  ocean-atmosphere simulation;
+* :mod:`~repro.apps.reactor` — the §2.3.3 / Fig 2.3 reactor
+  discrete-event simulation;
+* :mod:`~repro.apps.animation` — the §2.3.4 / Fig 2.4 animation-frame
+  generation.
+"""
+
+from repro.apps import (
+    aeroelastic,
+    animation,
+    climate,
+    innerproduct,
+    polymul,
+    reactor,
+    signalproc,
+)
+
+__all__ = [
+    "aeroelastic",
+    "animation",
+    "climate",
+    "innerproduct",
+    "polymul",
+    "reactor",
+    "signalproc",
+]

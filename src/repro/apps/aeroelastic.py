@@ -1,0 +1,363 @@
+"""Aeroelasticity simulation (§2.3.1's second example, multidisciplinary
+design and optimization).
+
+"An example is an aeroelasticity simulation of a flexible wing in steady
+flight.  Airflow over the wing imposes pressures that affect the shape of
+the wing; at the same time, changes in the wing's shape affect the
+aerodynamic pressures.  Thus, the problem consists of two interdependent
+subproblems, one aerodynamic and one structural ... each subproblem can be
+solved by a data-parallel program, with the interaction between them
+performed by a task-parallel top-level program."
+
+The model (deliberately simple, but genuinely two-way coupled):
+
+* **aerodynamics** (group A): the pressure along the span responds to the
+  local deflection — p = q * (alpha - deflection'), smoothed by a Jacobi
+  relaxation on the distributed pressure vector (a stand-in for a panel
+  solve);
+* **structures** (group B): an elastic foundation model — deflection w
+  solves (K + k I) w = p where K is a diagonally dominant stiffness
+  matrix, solved by distributed conjugate gradient;
+* **task-parallel coupling**: each iteration the TP level feeds the
+  aerodynamic pressures into the structural load and the structural
+  deflections back into the aerodynamic boundary condition, with
+  under-relaxation, until the fixed point converges.
+
+Both component solves are distributed calls on disjoint processor groups;
+the fixed-point loop is the task-parallel top level of Fig 2.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.calls.params import Local, Reduce
+from repro.core.runtime import IntegratedRuntime
+from repro.pcn.composition import par
+from repro.spmd import collectives
+from repro.spmd.linalg import (
+    conjugate_gradient,
+    interior,
+    mat_diagonally_dominant,
+    vec_fill,
+)
+from repro.status import check_status
+
+
+def _aero_pressure(ctx, q_dyn, alpha, deflection_in, pressure) -> None:
+    """DP aerodynamic model: pressure from incidence minus local twist,
+    then one smoothing sweep with halo exchange over the group."""
+    w = interior(deflection_in)
+    p = interior(pressure)
+    # local "twist": finite difference of deflection along the span; the
+    # first cell of each section differences against the left neighbour's
+    # last cell, fetched point-to-point (root section keeps twist[0] = 0).
+    twist = np.zeros_like(w)
+    twist[1:] = w[1:] - w[:-1]
+    if ctx.index + 1 < ctx.num_procs:
+        ctx.comm.send(ctx.index + 1, float(w[-1]), tag="last")
+    if ctx.index > 0:
+        left_last = ctx.comm.recv(source_rank=ctx.index - 1, tag="last")
+        twist[0] = w[0] - left_last
+    p[:] = float(q_dyn) * (float(alpha) - twist)
+    # one smoothing pass (neighbour average) to mimic panel influence
+    smoothed = p.copy()
+    if p.size >= 3:
+        smoothed[1:-1] = 0.25 * p[:-2] + 0.5 * p[1:-1] + 0.25 * p[2:]
+    p[:] = smoothed
+
+
+def _structural_solve(ctx, n, stiffness, load, deflection, res_out) -> None:
+    """DP structural model: CG solve of (K) w = load."""
+    conjugate_gradient(
+        ctx, int(n), 100, 1e-12, stiffness, load, deflection, res_out
+    )
+
+
+@dataclass
+class AeroelasticResult:
+    iterations: int
+    converged: bool
+    coupling_history: list
+    pressures: np.ndarray
+    deflections: np.ndarray
+
+    def final_change(self) -> float:
+        return self.coupling_history[-1] if self.coupling_history else 0.0
+
+
+class AeroelasticSimulation:
+    """The two-discipline fixed-point coupling of §2.3.1."""
+
+    def __init__(
+        self,
+        rt: IntegratedRuntime,
+        span_points: int = 16,
+        q_dyn: float = 2.0,
+        alpha: float = 0.1,
+        relaxation: float = 0.7,
+        seed: int = 0,
+    ) -> None:
+        if rt.num_nodes % 2 != 0:
+            raise ValueError("aeroelastic simulation needs an even node count")
+        if span_points % (rt.num_nodes // 2) != 0:
+            raise ValueError("span_points must divide by the group size")
+        self.rt = rt
+        self.n = span_points
+        self.q_dyn = q_dyn
+        self.alpha = alpha
+        self.relaxation = relaxation
+        g_aero, g_struct = rt.split_processors(2)
+        self.g_aero = g_aero
+        self.g_struct = g_struct
+
+        # Aerodynamic state (group A): pressures + the deflection copy the
+        # aero solver reads.
+        self.pressure = rt.array("double", (span_points,), g_aero, ["block"])
+        self.aero_deflection = rt.array(
+            "double", (span_points,), g_aero, ["block"]
+        )
+        # Structural state (group B): stiffness, load, deflection.
+        p = len(g_struct)
+        self.stiffness = rt.array(
+            "double", (span_points, span_points), g_struct,
+            [("block", p), "*"],
+        )
+        self.load = rt.array("double", (span_points,), g_struct, ["block"])
+        self.deflection = rt.array(
+            "double", (span_points,), g_struct, ["block"]
+        )
+        check_status(
+            rt.call(
+                g_struct,
+                mat_diagonally_dominant,
+                [seed, span_points, Local(self.stiffness.array_id)],
+            ).status
+        )
+
+    # -- one coupled iteration -------------------------------------------------
+
+    def _solve_components(self) -> float:
+        """Run both discipline solves concurrently; return the structural
+        residual (they read only their own arrays, so the concurrency is
+        safe — Fig 3.4)."""
+
+        def aero():
+            return self.rt.call(
+                self.g_aero,
+                _aero_pressure,
+                [
+                    self.q_dyn,
+                    self.alpha,
+                    Local(self.aero_deflection.array_id),
+                    Local(self.pressure.array_id),
+                ],
+            )
+
+        def structural():
+            return self.rt.call(
+                self.g_struct,
+                _structural_solve,
+                [
+                    self.n,
+                    Local(self.stiffness.array_id),
+                    Local(self.load.array_id),
+                    Local(self.deflection.array_id),
+                    Reduce("double", 1, "max"),
+                ],
+            )
+
+        aero_result, struct_result = par(aero, structural)
+        check_status(aero_result.status, "aerodynamic solve failed")
+        check_status(struct_result.status, "structural solve failed")
+        return float(struct_result.reductions[0])
+
+    def _exchange(self) -> float:
+        """TP-level coupling: pressures -> structural load, deflections ->
+        aero boundary condition (under-relaxed).  Returns the max change
+        applied to the load — the fixed-point progress measure."""
+        pressures = self.pressure.to_numpy()
+        old_load = self.load.to_numpy()
+        new_load = (
+            (1 - self.relaxation) * old_load + self.relaxation * pressures
+        )
+        self.load.from_numpy(new_load)
+        self.aero_deflection.from_numpy(self.deflection.to_numpy())
+        return float(np.max(np.abs(new_load - old_load)))
+
+    def run(
+        self, max_iterations: int = 20, tolerance: float = 1e-8
+    ) -> AeroelasticResult:
+        history = []
+        converged = False
+        for _ in range(max_iterations):
+            self._solve_components()
+            change = self._exchange()
+            history.append(change)
+            if change < tolerance:
+                converged = True
+                break
+        return AeroelasticResult(
+            iterations=len(history),
+            converged=converged,
+            coupling_history=history,
+            pressures=self.pressure.to_numpy(),
+            deflections=self.deflection.to_numpy(),
+        )
+
+    def run_reference(
+        self, max_iterations: int = 20, tolerance: float = 1e-8
+    ) -> AeroelasticResult:
+        """Sequential component stepping — the semantic-equivalence
+        baseline (the components' reads/writes are disjoint, so the result
+        must be identical)."""
+        history = []
+        converged = False
+        for _ in range(max_iterations):
+            check_status(
+                self.rt.call(
+                    self.g_aero,
+                    _aero_pressure,
+                    [
+                        self.q_dyn,
+                        self.alpha,
+                        Local(self.aero_deflection.array_id),
+                        Local(self.pressure.array_id),
+                    ],
+                ).status
+            )
+            check_status(
+                self.rt.call(
+                    self.g_struct,
+                    _structural_solve,
+                    [
+                        self.n,
+                        Local(self.stiffness.array_id),
+                        Local(self.load.array_id),
+                        Local(self.deflection.array_id),
+                        Reduce("double", 1, "max"),
+                    ],
+                ).status
+            )
+            change = self._exchange()
+            history.append(change)
+            if change < tolerance:
+                converged = True
+                break
+        return AeroelasticResult(
+            iterations=len(history),
+            converged=converged,
+            coupling_history=history,
+            pressures=self.pressure.to_numpy(),
+            deflections=self.deflection.to_numpy(),
+        )
+
+    def free(self) -> None:
+        for arr in (
+            self.pressure,
+            self.aero_deflection,
+            self.stiffness,
+            self.load,
+            self.deflection,
+        ):
+            arr.free()
+
+
+# ---------------------------------------------------------------------------
+# the "optimization" in "multidisciplinary design and optimization"
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DesignResult:
+    """Outcome of the outer design-optimization loop."""
+
+    alpha: float
+    lift: float
+    target_lift: float
+    evaluations: int
+    converged: bool
+
+    def lift_error(self) -> float:
+        return abs(self.lift - self.target_lift)
+
+
+def total_lift(sim: "AeroelasticSimulation") -> float:
+    """Integrated pressure over the span — the design objective."""
+    return float(np.sum(sim.pressure.to_numpy()))
+
+
+def design_for_lift(
+    rt: IntegratedRuntime,
+    target_lift: float,
+    span_points: int = 16,
+    alpha_bounds: tuple = (0.0, 1.0),
+    tolerance: float = 1e-6,
+    max_evaluations: int = 30,
+    seed: int = 0,
+) -> DesignResult:
+    """Find the angle of attack producing ``target_lift`` (§2.3.1 MDO).
+
+    The outer loop is plain task-parallel control logic (bisection on the
+    design variable); every objective evaluation is a full coupled
+    aeroelastic solve — concurrent distributed calls under a sequential
+    optimizer, the MDO structure the thesis motivates.
+
+    Precondition: lift is monotone in alpha over ``alpha_bounds`` (true
+    for this model) and the target lies within the bounds' lift range.
+    """
+
+    def evaluate(alpha: float) -> float:
+        sim = AeroelasticSimulation(
+            rt, span_points=span_points, alpha=alpha, seed=seed
+        )
+        sim.run(max_iterations=40, tolerance=1e-9)
+        lift = total_lift(sim)
+        sim.free()
+        return lift
+
+    lo, hi = alpha_bounds
+    lift_lo = evaluate(lo)
+    lift_hi = evaluate(hi)
+    evaluations = 2
+    if not (min(lift_lo, lift_hi) - tolerance <= target_lift
+            <= max(lift_lo, lift_hi) + tolerance):
+        return DesignResult(
+            alpha=lo if abs(lift_lo - target_lift) < abs(
+                lift_hi - target_lift
+            ) else hi,
+            lift=lift_lo if abs(lift_lo - target_lift) < abs(
+                lift_hi - target_lift
+            ) else lift_hi,
+            target_lift=target_lift,
+            evaluations=evaluations,
+            converged=False,
+        )
+    increasing = lift_hi >= lift_lo
+    alpha, lift = lo, lift_lo
+    while evaluations < max_evaluations:
+        alpha = 0.5 * (lo + hi)
+        lift = evaluate(alpha)
+        evaluations += 1
+        if abs(lift - target_lift) <= tolerance:
+            return DesignResult(
+                alpha=alpha,
+                lift=lift,
+                target_lift=target_lift,
+                evaluations=evaluations,
+                converged=True,
+            )
+        if (lift < target_lift) == increasing:
+            lo = alpha
+        else:
+            hi = alpha
+    return DesignResult(
+        alpha=alpha,
+        lift=lift,
+        target_lift=target_lift,
+        evaluations=evaluations,
+        converged=abs(lift - target_lift) <= tolerance,
+    )

@@ -1,0 +1,212 @@
+"""Coupled climate simulation (§2.3.1, Fig 2.1).
+
+"The simulation consists of an ocean simulation and an atmosphere
+simulation.  Each simulation is a data-parallel program that performs a
+time-stepped simulation; at each time step, the two simulations exchange
+boundary data.  This exchange of boundary data is performed by a
+task-parallel top layer."
+
+Here each domain is a bordered distributed array relaxed by the Jacobi heat
+kernel (:mod:`repro.spmd.stencil`); the two domains share an interface: the
+atmosphere's bottom row sits above the ocean's top row.  Each step the
+task-parallel level reads both interface rows and writes each into the
+other domain's interface (a flux-matching Dirichlet exchange) — moving data
+between the two distributed arrays strictly through the TP level, as the
+model requires (Fig 3.4).
+
+The equivalence claim of FIG-2.1 is verified by :func:`run_reference`:
+stepping the components sequentially on one thread of control produces
+bit-identical fields, demonstrating the "distributed call ≡ sequential
+call" semantics under concurrency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.calls.params import Local
+from repro.core.coupled import Component, CoupledResult, CoupledSimulation
+from repro.core.darray import DistributedArray
+from repro.core.runtime import IntegratedRuntime
+from repro.spmd.stencil import heat_steps
+from repro.status import check_status
+
+
+@dataclass
+class ClimateDomain:
+    """One domain (ocean or atmosphere): a bordered array + its group."""
+
+    name: str
+    array: DistributedArray
+    processors: Sequence[int]
+    grid_rows: int
+    grid_cols: int
+
+
+def _make_domain(
+    rt: IntegratedRuntime,
+    name: str,
+    shape: tuple[int, int],
+    processors: Sequence[int],
+    initial: float,
+    boundary: float,
+    grid: Optional[tuple[int, int]] = None,
+) -> ClimateDomain:
+    """Create a domain array with 1-deep borders, interior ``initial``,
+    physical-edge interior cells pinned near ``boundary`` by the halo.
+
+    ``grid`` selects the processor-grid shape; the default decomposes by
+    rows only (``(block, "*")``), keeping full-width strips per copy.  A
+    2-D grid such as ``(2, 2)`` exercises four-way halo exchange instead
+    (the ABL-1 trade-off applied to this application).
+    """
+    p = len(processors)
+    if grid is None:
+        grid = (p, 1)
+    if grid[0] * grid[1] != p:
+        raise ValueError(f"grid {grid} does not use {p} processors")
+    array = DistributedArray.create(
+        rt.machine,
+        "double",
+        shape,
+        processors,
+        [("block", grid[0]), ("block", grid[1])],
+        borders=[1, 1, 1, 1],
+    )
+    field = np.full(shape, initial, dtype=np.float64)
+    array.from_numpy(field)
+    return ClimateDomain(
+        name=name,
+        array=array,
+        processors=processors,
+        grid_rows=grid[0],
+        grid_cols=grid[1],
+    )
+
+
+def _domain_step(rt: IntegratedRuntime, domain: ClimateDomain, sweeps: int) -> None:
+    result = rt.call(
+        domain.processors,
+        heat_steps,
+        [domain.grid_rows, domain.grid_cols, sweeps, Local(domain.array.array_id)],
+    )
+    check_status(result.status, f"{domain.name} step failed")
+
+
+def _exchange_interface(
+    rt: IntegratedRuntime,
+    ocean: ClimateDomain,
+    atmosphere: ClimateDomain,
+    coupling: float,
+) -> None:
+    """TP-level boundary exchange: relax both interface rows toward their
+    average (flux matching), writing through global element indices."""
+    o_dims = ocean.array.dims
+    a_dims = atmosphere.array.dims
+    assert o_dims[1] == a_dims[1], "interface widths must match"
+    width = o_dims[1]
+    ocean_top = np.array([ocean.array[0, j] for j in range(width)])
+    atmos_bottom = np.array(
+        [atmosphere.array[a_dims[0] - 1, j] for j in range(width)]
+    )
+    mean = 0.5 * (ocean_top + atmos_bottom)
+    new_ocean = (1 - coupling) * ocean_top + coupling * mean
+    new_atmos = (1 - coupling) * atmos_bottom + coupling * mean
+    for j in range(width):
+        ocean.array[0, j] = float(new_ocean[j])
+        atmosphere.array[a_dims[0] - 1, j] = float(new_atmos[j])
+
+
+@dataclass
+class ClimateRun:
+    ocean: np.ndarray
+    atmosphere: np.ndarray
+    coupled_result: Optional[CoupledResult]
+
+    def interface_gap(self) -> float:
+        """|ocean top - atmosphere bottom| after the run; coupling should
+        shrink this toward 0."""
+        return float(
+            np.max(np.abs(self.ocean[0, :] - self.atmosphere[-1, :]))
+        )
+
+
+class ClimateSimulation:
+    """The Fig 2.1 system: two domains + TP exchange."""
+
+    def __init__(
+        self,
+        rt: IntegratedRuntime,
+        shape: tuple[int, int] = (8, 16),
+        ocean_temp: float = 10.0,
+        atmos_temp: float = -10.0,
+        coupling: float = 0.5,
+        sweeps_per_step: int = 2,
+        domain_grid: Optional[tuple[int, int]] = None,
+    ) -> None:
+        if rt.num_nodes % 2 != 0:
+            raise ValueError("climate simulation needs an even node count")
+        self.rt = rt
+        self.coupling = coupling
+        self.sweeps = sweeps_per_step
+        g_ocean, g_atmos = rt.split_processors(2)
+        self.ocean = _make_domain(
+            rt, "ocean", shape, g_ocean, ocean_temp, ocean_temp,
+            grid=domain_grid,
+        )
+        self.atmosphere = _make_domain(
+            rt, "atmosphere", shape, g_atmos, atmos_temp, atmos_temp,
+            grid=domain_grid,
+        )
+
+    def _exchange(self, _components, _k) -> None:
+        _exchange_interface(
+            self.rt, self.ocean, self.atmosphere, self.coupling
+        )
+
+    def run(self, steps: int) -> ClimateRun:
+        """Concurrent components, TP exchange each step (the paper's
+        structure)."""
+        sim = CoupledSimulation(
+            [
+                Component(
+                    "ocean",
+                    lambda c, k: _domain_step(self.rt, self.ocean, self.sweeps),
+                    self.ocean.processors,
+                ),
+                Component(
+                    "atmosphere",
+                    lambda c, k: _domain_step(
+                        self.rt, self.atmosphere, self.sweeps
+                    ),
+                    self.atmosphere.processors,
+                ),
+            ],
+            exchange=self._exchange,
+        )
+        result = sim.run(steps)
+        return ClimateRun(
+            ocean=self.ocean.array.to_numpy(),
+            atmosphere=self.atmosphere.array.to_numpy(),
+            coupled_result=result,
+        )
+
+    def run_reference(self, steps: int) -> ClimateRun:
+        """Same computation with components stepped *sequentially* —
+        the semantic-equivalence baseline for FIG-2.1."""
+        for k in range(steps):
+            _domain_step(self.rt, self.ocean, self.sweeps)
+            _domain_step(self.rt, self.atmosphere, self.sweeps)
+            self._exchange(None, k)
+        return ClimateRun(
+            ocean=self.ocean.array.to_numpy(),
+            atmosphere=self.atmosphere.array.to_numpy(),
+            coupled_result=None,
+        )
+
+    def free(self) -> None:
+        self.ocean.array.free()
+        self.atmosphere.array.free()

@@ -1,0 +1,276 @@
+"""Polynomial multiplication using a pipeline and FFT (§6.2, Fig 6.1).
+
+The computational task: multiply pairs of polynomials of degree n-1 (n a
+power of two).  For each pair (F, G):
+
+1. zero-pad both to length 2n and evaluate at the 2n-th roots of unity —
+   an **inverse** FFT with bit-reversed input (phase 1; the two inputs'
+   transforms run *concurrently on two disjoint processor groups*);
+2. multiply the value tables elementwise (combine stage);
+3. interpolate: a **forward** FFT with natural input, bit-reversed output,
+   including the 1/2n scaling (phase 2).
+
+The three steps run as a 3-stage pipeline over a stream of polynomial
+pairs, the Fig 6.1 structure: four processor groups (1a, 1b, C, 2), with
+groups 1a/1b transforming the two inputs of one pair simultaneously.
+
+``use_element_io=True`` selects the thesis' literal data movement (element
+-at-a-time ``write_element``/``read_element`` in bit-reversed order via
+``get_input``/``put_output``, §6.2.2); the default moves whole sections,
+which is numerically identical and far faster.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.calls.params import Index, Local
+from repro.core.darray import DistributedArray
+from repro.core.pipeline import Pipeline, PipelineResult, Stage
+from repro.core.runtime import IntegratedRuntime
+from repro.pcn.composition import par
+from repro.spmd.context import SPMDContext
+from repro.spmd.fft import (
+    FORWARD,
+    INVERSE,
+    bit_reverse_permutation,
+    compute_roots,
+    fft_natural,
+    fft_reverse,
+)
+from repro.spmd.linalg import interior
+from repro.status import check_status
+
+
+def combine_multiply(ctx: SPMDContext, local_a, local_b) -> None:
+    """The combine stage's data-parallel program: B *= A elementwise over
+    pairs-of-doubles complex values (§6.2.2 ``combine``)."""
+    a = interior(local_a).view(np.complex128)
+    b = interior(local_b).view(np.complex128)
+    b *= a
+
+
+class _FFTGroup:
+    """One processor group's FFT workspace: a data array and a roots
+    table, created once and reused across pipeline items (the §6.2.2
+    driver's A1a/Eps1a etc.).
+
+    ``element_io=True`` moves data element-at-a-time through
+    ``write_element``/``read_element`` with explicit ``bit_reverse`` index
+    computation — the literal ``get_input``/``pad_input``/``put_output``
+    procedures of §6.2.2.  The default moves whole sections; both paths
+    are numerically identical (tests assert it), the bulk path is just
+    O(P) requests instead of O(N).
+    """
+
+    def __init__(
+        self, rt: IntegratedRuntime, procs, nn: int, element_io: bool = False
+    ) -> None:
+        self.rt = rt
+        self.procs = procs
+        self.nn = nn
+        self.element_io = element_io
+        p = len(procs)
+        self.data = rt.array("double", (2 * nn,), procs, ["block"])
+        self.eps = rt.array("double", (p, 2 * nn), procs, ["block", "*"])
+        result = rt.call(
+            procs,
+            lambda ctx, n, sec: compute_roots(ctx, n, sec),
+            [nn, self.eps],
+        )
+        check_status(result.status, "compute_roots failed")
+        self.perm = bit_reverse_permutation(nn)
+
+    def load_bit_reversed(self, values: np.ndarray) -> None:
+        """§6.2.2 ``get_input``+``pad_input``: store ``values`` (length
+        <= nn complex) into the array in bit-reversed order, zero-padded."""
+        if self.element_io:
+            self._load_bit_reversed_elementwise(values)
+            return
+        padded = np.zeros(self.nn, dtype=np.complex128)
+        padded[: values.size] = values
+        reordered = padded[np.argsort(self.perm)]  # slot rho(j) gets x[j]
+        flat = np.empty(2 * self.nn)
+        flat[0::2] = reordered.real
+        flat[1::2] = reordered.imag
+        self.data.from_numpy(flat)
+
+    def _load_bit_reversed_elementwise(self, values: np.ndarray) -> None:
+        """The literal §6.2.2 loop: for each input element, bit_reverse
+        its index and write_element the real/imaginary pair; pad_input
+        zeroes the remaining slots the same way."""
+        values = np.asarray(values, dtype=np.complex128)
+        for j in range(self.nn):
+            p_index = int(self.perm[j])
+            value = values[j] if j < values.size else 0.0 + 0.0j
+            self.data[2 * p_index] = float(np.real(value))
+            self.data[2 * p_index + 1] = float(np.imag(value))
+
+    def load_natural(self, values: np.ndarray) -> None:
+        flat = np.empty(2 * self.nn)
+        flat[0::2] = values.real
+        flat[1::2] = values.imag
+        self.data.from_numpy(flat)
+
+    def read_complex(self) -> np.ndarray:
+        if self.element_io:
+            out = np.empty(self.nn, dtype=np.complex128)
+            for j in range(self.nn):
+                out[j] = self.data[2 * j] + 1j * self.data[2 * j + 1]
+            return out
+        flat = self.data.to_numpy()
+        return flat[0::2] + 1j * flat[1::2]
+
+    def read_bit_reversed(self) -> np.ndarray:
+        """§6.2.2 ``put_output``: read in natural order from bit-reversed
+        storage (element_io reads element pairs through read_element with
+        explicit bit_reverse indexing, exactly as put_output_sub1 does)."""
+        if self.element_io:
+            out = np.empty(self.nn, dtype=np.complex128)
+            for j in range(self.nn):
+                p_index = int(self.perm[j])
+                out[j] = (
+                    self.data[2 * p_index] + 1j * self.data[2 * p_index + 1]
+                )
+            return out
+        return self.read_complex()[self.perm]
+
+    def inverse_fft(self) -> None:
+        p = len(self.procs)
+        result = self.rt.call(
+            self.procs,
+            fft_reverse,
+            [self.procs, p, Index(), self.nn, INVERSE, self.eps, self.data],
+        )
+        check_status(result.status, "fft_reverse failed")
+
+    def forward_fft(self) -> None:
+        p = len(self.procs)
+        result = self.rt.call(
+            self.procs,
+            fft_natural,
+            [self.procs, p, Index(), self.nn, FORWARD, self.eps, self.data],
+        )
+        check_status(result.status, "fft_natural failed")
+
+    def free(self) -> None:
+        self.data.free()
+        self.eps.free()
+
+
+class PolynomialMultiplier:
+    """The Fig 6.1 pipeline over a stream of polynomial pairs.
+
+    Requires ``rt.num_nodes`` divisible by 4 (the four groups of §6.2.2:
+    Procs1a, Procs1b, ProcsC, Procs2) and n a power of two.
+    """
+
+    def __init__(
+        self, rt: IntegratedRuntime, n: int, use_element_io: bool = False
+    ) -> None:
+        if rt.num_nodes % 4 != 0:
+            raise ValueError(
+                f"the §6.2 program uses 4 processor groups; "
+                f"{rt.num_nodes} nodes do not split by 4"
+            )
+        self.rt = rt
+        self.n = n
+        self.nn = 2 * n  # the "real" problem size 2n (padded length)
+        g1a, g1b, gc, g2 = rt.split_processors(4)
+        self.grp_1a = _FFTGroup(rt, g1a, self.nn, element_io=use_element_io)
+        self.grp_1b = _FFTGroup(rt, g1b, self.nn, element_io=use_element_io)
+        self.grp_2 = _FFTGroup(rt, g2, self.nn, element_io=use_element_io)
+        self.procs_c = gc
+        # Combine-stage workspace arrays on ProcsC.
+        self.comb_a = rt.array("double", (2 * self.nn,), gc, ["block"])
+        self.comb_b = rt.array("double", (2 * self.nn,), gc, ["block"])
+
+    # -- pipeline stages ---------------------------------------------------------
+
+    def _phase1(self, pair: tuple[np.ndarray, np.ndarray]) -> tuple:
+        """Evaluate both inputs at the roots of unity — the two inverse
+        FFTs run concurrently on groups 1a and 1b (Fig 6.1)."""
+        f, g = pair
+        self.grp_1a.load_bit_reversed(np.asarray(f, dtype=np.complex128))
+        self.grp_1b.load_bit_reversed(np.asarray(g, dtype=np.complex128))
+        par(self.grp_1a.inverse_fft, self.grp_1b.inverse_fft)
+        return self.grp_1a.read_complex(), self.grp_1b.read_complex()
+
+    def _combine(self, values: tuple) -> np.ndarray:
+        """Elementwise product of the value tables, on group C."""
+        fa, fb = values
+        flat = np.empty(2 * self.nn)
+        flat[0::2] = fa.real
+        flat[1::2] = fa.imag
+        self.comb_a.from_numpy(flat)
+        flat[0::2] = fb.real
+        flat[1::2] = fb.imag
+        self.comb_b.from_numpy(flat)
+        result = self.rt.call(
+            self.procs_c,
+            combine_multiply,
+            [Local(self.comb_a.array_id), Local(self.comb_b.array_id)],
+        )
+        check_status(result.status, "combine failed")
+        flat = self.comb_b.to_numpy()
+        return flat[0::2] + 1j * flat[1::2]
+
+    def _phase2(self, values: np.ndarray) -> np.ndarray:
+        """Interpolate: forward FFT on group 2, coefficients out."""
+        self.grp_2.load_natural(values)
+        self.grp_2.forward_fft()
+        coeffs = self.grp_2.read_bit_reversed()
+        return coeffs.real  # real inputs -> real product coefficients
+
+    # -- drivers ------------------------------------------------------------------
+
+    def pipeline(self) -> Pipeline:
+        return Pipeline(
+            [
+                Stage("phase1-inverse-fft", self._phase1),
+                Stage("combine", self._combine),
+                Stage("phase2-forward-fft", self._phase2),
+            ]
+        )
+
+    def multiply_stream(
+        self, pairs: Iterable[tuple[np.ndarray, np.ndarray]]
+    ) -> PipelineResult:
+        """Multiply a stream of pairs through the concurrent pipeline."""
+        return self.pipeline().run(pairs)
+
+    def multiply_stream_sequential(
+        self, pairs: Iterable[tuple[np.ndarray, np.ndarray]]
+    ) -> PipelineResult:
+        """Baseline: the same stages applied item-at-a-time."""
+        return self.pipeline().run_sequential(pairs)
+
+    def multiply_one(self, f: np.ndarray, g: np.ndarray) -> np.ndarray:
+        return self._phase2(self._combine(self._phase1((f, g))))
+
+    def free(self) -> None:
+        self.grp_1a.free()
+        self.grp_1b.free()
+        self.grp_2.free()
+        self.comb_a.free()
+        self.comb_b.free()
+
+
+def polymul_reference(f: np.ndarray, g: np.ndarray) -> np.ndarray:
+    """NumPy ground truth, in the same ascending-coefficient order
+    (degree-(2n-2) product padded to length 2n)."""
+    full = np.convolve(np.asarray(f, float), np.asarray(g, float))
+    out = np.zeros(2 * len(f))
+    out[: full.size] = full
+    return out
+
+
+def random_pairs(
+    n: int, count: int, seed: int = 0
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    rng = np.random.default_rng(seed)
+    return [
+        (rng.uniform(-1, 1, n), rng.uniform(-1, 1, n)) for _ in range(count)
+    ]

@@ -1,0 +1,206 @@
+"""Reactor discrete-event simulation (§2.3.3, Fig 2.3).
+
+"Components of the system include pumps, valves, and the reactor itself.
+Depending on the degree of realism desired, the behavior of each component
+may require a fairly complicated mathematical model best expressed by a
+data-parallel program.  The data-parallel programs representing the
+individual components execute concurrently, with communication among them
+performed by a task-parallel top-level program."
+
+The graph: a driver emits coolant-demand ticks; the **pump** computes a
+flow (its "model" solves a small diagonally-dominant linear system by
+distributed Jacobi iteration on its processor group); the **valve**
+throttles the flow against a setpoint; the **reactor** advances its 2-D
+temperature field one relaxation step (a bordered-stencil distributed
+call) with the delivered flow as cooling, and reports the core temperature
+back to the driver, which may raise demand — an irregular, data-dependent
+event cascade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.calls.params import Local, Reduce
+from repro.core.darray import DistributedArray
+from repro.core.reactive import Event, ReactiveGraph, ReactiveResult
+from repro.core.runtime import IntegratedRuntime
+from repro.spmd import collectives
+from repro.spmd.linalg import jacobi_iterate, mat_diagonally_dominant, vec_fill
+from repro.spmd.stencil import heat_steps
+from repro.spmd.linalg import interior
+from repro.status import check_status
+
+
+def _reactor_cool_and_report(ctx, flow, section, tmax_out) -> None:
+    """DP model for one reactor event: apply cooling proportional to the
+    delivered flow, relax once, report the max core temperature."""
+    field = interior(section)
+    field *= 1.0 / (1.0 + 0.002 * float(flow))
+    t_local = float(field.max())
+    t_global = collectives.allreduce(ctx.comm, t_local, op="max")
+    tmax_out[0] = t_global
+
+
+@dataclass
+class ReactorTrace:
+    result: ReactiveResult
+    temperatures: list[float]
+    flows: list[float]
+    demands: int
+
+    def cooled_down(self, threshold: float) -> bool:
+        return bool(self.temperatures) and self.temperatures[-1] < threshold
+
+
+class ReactorSimulation:
+    """The Fig 2.3 component graph wired over an :class:`ReactiveGraph`."""
+
+    def __init__(
+        self,
+        rt: IntegratedRuntime,
+        field_shape: tuple[int, int] = (8, 8),
+        pump_system_size: int = 8,
+        initial_temperature: float = 900.0,
+        safe_temperature: float = 400.0,
+        seed: int = 0,
+    ) -> None:
+        if rt.num_nodes % 2 != 0:
+            raise ValueError("reactor simulation needs an even node count")
+        self.rt = rt
+        self.safe_temperature = safe_temperature
+        g_pump, g_reactor = rt.split_processors(2)
+        self.g_pump = g_pump
+        self.g_reactor = g_reactor
+
+        # Reactor temperature field with stencil borders.
+        p = len(g_reactor)
+        self.field = DistributedArray.create(
+            rt.machine, "double", field_shape, g_reactor,
+            [("block", p), "*"], borders=[1, 1, 1, 1],
+        )
+        self.field.from_numpy(
+            np.full(field_shape, initial_temperature, dtype=np.float64)
+        )
+
+        # Pump model: A x = b, diagonally dominant; flow = sum(x) scaled.
+        n = pump_system_size
+        self.pump_n = n
+        pp = len(g_pump)
+        self.pump_a = rt.array("double", (n, n), g_pump, [("block", pp), "*"])
+        self.pump_b = rt.array("double", (n,), g_pump, ["block"])
+        self.pump_x = rt.array("double", (n,), g_pump, ["block"])
+        check_status(
+            rt.call(
+                g_pump,
+                mat_diagonally_dominant,
+                [seed, n, Local(self.pump_a.array_id)],
+            ).status
+        )
+
+    # -- DP component models -------------------------------------------------------
+
+    def _pump_flow(self, demand: float) -> float:
+        """Pump model: solve A x = demand * 1 by Jacobi, flow = mean(x)."""
+        n = self.pump_n
+
+        def setup_and_solve(ctx, demand_value, a, b, x, res_out):
+            vec_fill(ctx, float(demand_value), b)
+            vec_fill(ctx, 0.0, x)
+            jacobi_iterate(ctx, n, 25, a, b, x, None)
+            local_sum = float(interior(x).sum())
+            total = collectives.allreduce(ctx.comm, local_sum, op="sum")
+            res_out[0] = total / n
+
+        result = self.rt.call(
+            self.g_pump,
+            setup_and_solve,
+            [
+                demand,
+                Local(self.pump_a.array_id),
+                Local(self.pump_b.array_id),
+                Local(self.pump_x.array_id),
+                Reduce("double", 1, "max"),
+            ],
+        )
+        check_status(result.status, "pump model failed")
+        return float(result.reductions[0]) * self.pump_n * 50.0
+
+    def _reactor_step(self, flow: float) -> float:
+        result = self.rt.call(
+            self.g_reactor,
+            _reactor_cool_and_report,
+            [flow, Local(self.field.array_id), Reduce("double", 1, "max")],
+        )
+        check_status(result.status, "reactor model failed")
+        return float(result.reductions[0])
+
+    # -- the event graph ----------------------------------------------------------------
+
+    def run(self, max_ticks: int = 12, timeout: float = 60.0) -> ReactorTrace:
+        temperatures: list[float] = []
+        flows: list[float] = []
+        graph = ReactiveGraph()
+        sim = self
+
+        def driver(node, ev: Event):
+            if ev.kind == "tick":
+                node.state["ticks"] = node.state.get("ticks", 0) + 1
+                return [("pump", ev.at(0.1, "demand", node.state["demand"]))]
+            if ev.kind == "temperature":
+                temp = float(ev.payload)
+                temperatures.append(temp)
+                ticks = node.state.get("ticks", 0)
+                if temp < sim.safe_temperature or ticks >= max_ticks:
+                    return []  # quiesce
+                # Data-dependent control: hotter core -> higher demand.
+                node.state["demand"] = min(
+                    4.0, node.state["demand"] * (1.2 if temp > 600 else 1.05)
+                )
+                return [("driver", ev.at(1.0, "tick"))]
+            return []
+
+        def pump(node, ev: Event):
+            flow = sim._pump_flow(float(ev.payload))
+            flows.append(flow)
+            return [("valve", ev.at(0.1, "flow", flow))]
+
+        def valve(node, ev: Event):
+            limit = node.state.get("limit", 120.0)
+            throttled = min(float(ev.payload), limit)
+            return [("reactor", ev.at(0.1, "coolant", throttled))]
+
+        def reactor(node, ev: Event):
+            temperature = sim._reactor_step(float(ev.payload))
+            return [("driver", ev.at(0.1, "temperature", temperature))]
+
+        graph.add_node("driver", driver, state={"demand": 1.0})
+        graph.add_node("pump", pump, processors=self.g_pump)
+        graph.add_node("valve", valve, state={"limit": 120.0})
+        graph.add_node("reactor", reactor, processors=self.g_reactor)
+        # Fig 2.3's fixed component topology, declared strictly: any
+        # emission outside these edges is a programming error.
+        graph.connect("driver", "pump")
+        graph.connect("driver", "driver")  # self-scheduled ticks
+        graph.connect("pump", "valve")
+        graph.connect("valve", "reactor")
+        graph.connect("reactor", "driver")
+
+        result = graph.run(
+            [("driver", Event(0.0, "tick"))], timeout=timeout
+        )
+        return ReactorTrace(
+            result=result,
+            temperatures=temperatures,
+            flows=flows,
+            demands=graph.nodes["driver"].state.get("ticks", 0),
+        )
+
+    def free(self) -> None:
+        self.field.free()
+        self.pump_a.free()
+        self.pump_b.free()
+        self.pump_x.free()

@@ -1,0 +1,147 @@
+"""Signal-processing pipelines (§2.3.2's motivating workloads).
+
+"Examples of such computations include signal-processing operations like
+convolution, correlation, and filtering" — the iterated Fourier-transform
+pipeline of Fig 2.2 with different elementwise middle stages.  This module
+instantiates that pipeline for the three §2.3.2 operations over the same
+four-group structure as the §6.2 polynomial multiplier:
+
+* **convolve** — circular convolution of two N-point signals;
+* **correlate** — circular cross-correlation;
+* **lowpass** — ideal low-pass filtering of one signal.
+
+All operate on full N-point blocks (circular, no zero padding), which is
+the signal-processing setting; the §6.2 polynomial case is the same
+pipeline with zero padding folded into phase 1.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.apps.polymul import _FFTGroup
+from repro.calls.params import Local
+from repro.core.pipeline import Pipeline, PipelineResult, Stage
+from repro.core.runtime import IntegratedRuntime
+from repro.pcn.composition import par
+from repro.spmd import signal
+from repro.status import check_status
+
+_KINDS = ("convolve", "correlate", "lowpass", "scale")
+
+
+class SpectralProcessor:
+    """The Fig 2.2 pipeline with a selectable elementwise middle stage."""
+
+    def __init__(
+        self,
+        rt: IntegratedRuntime,
+        n: int,
+        kind: str = "convolve",
+        cutoff: float = 0.5,
+        gain: float = 1.0,
+    ) -> None:
+        if kind not in _KINDS:
+            raise ValueError(f"kind must be one of {_KINDS}, got {kind!r}")
+        if rt.num_nodes % 4 != 0:
+            raise ValueError("the pipeline uses 4 processor groups")
+        self.rt = rt
+        self.n = n
+        self.kind = kind
+        self.cutoff = cutoff
+        self.gain = gain
+        self.binary = kind in ("convolve", "correlate")
+        g1a, g1b, gc, g2 = rt.split_processors(4)
+        self.grp_1a = _FFTGroup(rt, g1a, n)
+        self.grp_1b = _FFTGroup(rt, g1b, n) if self.binary else None
+        self.grp_2 = _FFTGroup(rt, g2, n)
+        self.procs_c = gc
+        self.comb_a = rt.array("double", (2 * n,), gc, ["block"])
+        self.comb_b = rt.array("double", (2 * n,), gc, ["block"])
+
+    # -- stages --------------------------------------------------------------
+
+    def _phase1(self, item):
+        if self.binary:
+            x, y = item
+            self.grp_1a.load_bit_reversed(np.asarray(x, dtype=np.complex128))
+            self.grp_1b.load_bit_reversed(np.asarray(y, dtype=np.complex128))
+            par(self.grp_1a.inverse_fft, self.grp_1b.inverse_fft)
+            return self.grp_1a.read_complex(), self.grp_1b.read_complex()
+        self.grp_1a.load_bit_reversed(np.asarray(item, dtype=np.complex128))
+        self.grp_1a.inverse_fft()
+        return self.grp_1a.read_complex()
+
+    def _load_combine(self, array, values: np.ndarray) -> None:
+        flat = np.empty(2 * self.n)
+        flat[0::2] = values.real
+        flat[1::2] = values.imag
+        array.from_numpy(flat)
+
+    def _combine(self, spectra):
+        if self.binary:
+            va, vb = spectra
+            self._load_combine(self.comb_a, va)
+            self._load_combine(self.comb_b, vb)
+            program = (
+                signal.combine_convolve
+                if self.kind == "convolve"
+                else signal.combine_correlate
+            )
+            result = self.rt.call(
+                self.procs_c,
+                program,
+                [Local(self.comb_a.array_id), Local(self.comb_b.array_id)],
+            )
+        else:
+            self._load_combine(self.comb_b, spectra)
+            if self.kind == "lowpass":
+                result = self.rt.call(
+                    self.procs_c,
+                    signal.combine_filter,
+                    [self.n, self.cutoff, Local(self.comb_b.array_id)],
+                )
+            else:
+                result = self.rt.call(
+                    self.procs_c,
+                    signal.combine_scale,
+                    [self.gain, Local(self.comb_b.array_id)],
+                )
+        check_status(result.status, f"{self.kind} combine stage failed")
+        flat = self.comb_b.to_numpy()
+        return flat[0::2] + 1j * flat[1::2]
+
+    def _phase2(self, values: np.ndarray) -> np.ndarray:
+        self.grp_2.load_natural(values)
+        self.grp_2.forward_fft()
+        return self.grp_2.read_bit_reversed().real
+
+    # -- drivers ----------------------------------------------------------------
+
+    def pipeline(self) -> Pipeline:
+        return Pipeline(
+            [
+                Stage("phase1-inverse-fft", self._phase1),
+                Stage(f"combine-{self.kind}", self._combine),
+                Stage("phase2-forward-fft", self._phase2),
+            ]
+        )
+
+    def process_one(self, *signals_in) -> np.ndarray:
+        item = signals_in if self.binary else signals_in[0]
+        if self.binary and len(signals_in) != 2:
+            raise ValueError(f"{self.kind} needs two input signals")
+        return self._phase2(self._combine(self._phase1(item)))
+
+    def process_stream(self, items: Iterable) -> PipelineResult:
+        return self.pipeline().run(items)
+
+    def free(self) -> None:
+        self.grp_1a.free()
+        if self.grp_1b is not None:
+            self.grp_1b.free()
+        self.grp_2.free()
+        self.comb_a.free()
+        self.comb_b.free()

@@ -1,0 +1,180 @@
+"""Paper-faithful library procedures for distributed arrays (§4.2).
+
+Each procedure issues the corresponding array-manager server request and
+waits for it to be serviced before returning — the library-procedure
+discipline of §5.1.2, which lets callers sequence distributed-array
+manipulations without explicitly testing Status variables.
+
+Signatures mirror §4.2 with the out-parameters returned as Python values:
+``create_array`` returns ``(array_id, status)``, ``read_element`` returns
+``(element, status)``, and so on.  Callers may also pass their own
+definitional variables for the out-parameters (``array_id_out=``,
+``status_out=``) to use PCN-style dataflow synchronisation.
+
+The ``processor`` argument is the ``@Processor`` annotation: the node the
+request is made *on*.  Per §3.2.1.5, array creation may run on any
+processor; all other global operations may run on the creating processor or
+any processor holding a local section, with identical results — the tests
+verify that observational equivalence.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from repro.arrays.manager import get_array_manager
+from repro.arrays.record import ArrayID
+from repro.pcn.defvar import DefVar
+from repro.status import Status
+from repro.vp.machine import Machine
+
+
+def _out(var: Optional[DefVar], name: str) -> DefVar:
+    return var if var is not None else DefVar(name)
+
+
+def create_array(
+    machine: Machine,
+    type_name: str,
+    dimensions: Sequence[int],
+    processors: Sequence[int],
+    distrib_info: Sequence,
+    border_info: Any = None,
+    indexing_type: str = "row",
+    processor: int = 0,
+    array_id_out: Optional[DefVar] = None,
+    status_out: Optional[DefVar] = None,
+) -> tuple[Optional[ArrayID], Status]:
+    """am_user:create_array (§4.2.1)."""
+    get_array_manager(machine)
+    array_id = _out(array_id_out, "Array_ID")
+    status = _out(status_out, "Status")
+    machine.server.request(
+        "create_array",
+        array_id,
+        type_name,
+        dimensions,
+        processors,
+        distrib_info,
+        border_info,
+        indexing_type,
+        status,
+        processor=processor,
+    )
+    return array_id.read(), Status(status.read())
+
+
+def free_array(
+    machine: Machine,
+    array_id: ArrayID,
+    processor: int = 0,
+    status_out: Optional[DefVar] = None,
+) -> Status:
+    """am_user:free_array (§4.2.2)."""
+    status = _out(status_out, "Status")
+    machine.server.request("free_array", array_id, status, processor=processor)
+    return Status(status.read())
+
+
+def read_element(
+    machine: Machine,
+    array_id: ArrayID,
+    indices: Sequence[int],
+    processor: int = 0,
+    element_out: Optional[DefVar] = None,
+    status_out: Optional[DefVar] = None,
+) -> tuple[Any, Status]:
+    """am_user:read_element (§4.2.3)."""
+    element = _out(element_out, "Element")
+    status = _out(status_out, "Status")
+    machine.server.request(
+        "read_element", array_id, tuple(indices), element, status,
+        processor=processor,
+    )
+    return element.read(), Status(status.read())
+
+
+def write_element(
+    machine: Machine,
+    array_id: ArrayID,
+    indices: Sequence[int],
+    element: Any,
+    processor: int = 0,
+    status_out: Optional[DefVar] = None,
+) -> Status:
+    """am_user:write_element (§4.2.4)."""
+    status = _out(status_out, "Status")
+    machine.server.request(
+        "write_element", array_id, tuple(indices), element, status,
+        processor=processor,
+    )
+    return Status(status.read())
+
+
+def find_local(
+    machine: Machine,
+    array_id: ArrayID,
+    processor: int,
+    section_out: Optional[DefVar] = None,
+    status_out: Optional[DefVar] = None,
+) -> tuple[Any, Status]:
+    """am_user:find_local (§4.2.5).
+
+    Requires a local view: ``processor`` must hold a section of the array.
+    Users rarely call this directly; the distributed-call wrapper invokes it
+    automatically (§5.2.2).
+    """
+    section = _out(section_out, "Local_section")
+    status = _out(status_out, "Status")
+    machine.server.request(
+        "find_local", array_id, section, status, processor=processor
+    )
+    return section.read(), Status(status.read())
+
+
+def find_info(
+    machine: Machine,
+    array_id: ArrayID,
+    which: str,
+    processor: int = 0,
+    out: Optional[DefVar] = None,
+    status_out: Optional[DefVar] = None,
+) -> tuple[Any, Status]:
+    """am_user:find_info (§4.2.6)."""
+    out_var = _out(out, "Out")
+    status = _out(status_out, "Status")
+    machine.server.request(
+        "find_info", array_id, which, out_var, status, processor=processor
+    )
+    return out_var.read(), Status(status.read())
+
+
+def verify_array(
+    machine: Machine,
+    array_id: ArrayID,
+    n_dims: int,
+    border_info: Any,
+    indexing_type: str,
+    processor: int = 0,
+    status_out: Optional[DefVar] = None,
+) -> Status:
+    """am_user:verify_array (§4.2.7)."""
+    status = _out(status_out, "Status")
+    machine.server.request(
+        "verify_array",
+        array_id,
+        n_dims,
+        border_info,
+        indexing_type,
+        status,
+        processor=processor,
+    )
+    return Status(status.read())
+
+
+def distributed_call(*args, **kwargs):
+    """am_user:distributed_call (§4.3.1) — re-exported from
+    :mod:`repro.calls.api` to mirror the paper's single ``am_user`` module."""
+    from repro.calls.api import distributed_call as _impl
+
+    return _impl(*args, **kwargs)

@@ -1,0 +1,100 @@
+"""Utility library procedures (§C).
+
+The thesis ships a small ``am_util`` module alongside the core library:
+array constructors, module loading, atomic printing, and the default
+``max`` reduction operator.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from typing import Any, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.arrays.manager import install_array_manager
+from repro.pcn.defvar import DefVar
+from repro.vp.machine import Machine
+
+
+def tuple_to_int_array(values: Iterable[int]) -> np.ndarray:
+    """am_util:tuple_to_int_array (§C.1): definitional int array from a
+    tuple."""
+    return np.asarray(list(values), dtype=np.int64)
+
+
+def node_array(first: int, stride: int, count: int) -> np.ndarray:
+    """am_util:node_array (§C.2): the patterned array
+    ``[first, first+stride, first+2*stride, ...]`` of processor numbers."""
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    return np.asarray(
+        [first + i * stride for i in range(count)], dtype=np.int64
+    )
+
+
+def load_all(
+    machine: Machine,
+    server_name: str = "am",
+    done: Optional[DefVar] = None,
+) -> DefVar:
+    """am_util:load_all (§C.3): load a module on all processors.
+
+    Loading ``"am"`` starts the array manager (§B.3); ``"am_debug"`` starts
+    the tracing variant.  Returns the Done variable, defined (to ``[]``,
+    represented as None) once the load completes everywhere.
+    """
+    if server_name == "am":
+        install_array_manager(machine, trace=False)
+    elif server_name == "am_debug":
+        install_array_manager(machine, trace=True)
+    else:
+        raise ValueError(f"unknown server module {server_name!r}")
+    done_var = done if done is not None else DefVar("Done")
+    done_var.define(None)
+    return done_var
+
+
+_print_lock = threading.Lock()
+
+
+def atomic_print(*items: Any, file=None) -> None:
+    """am_util:atomic_print (§C.4): write one line atomically.
+
+    Definitional variables among ``items`` are read first, so the line
+    prints only after all referenced variables become defined — matching
+    the §C.4 postcondition.
+    """
+    rendered = []
+    for item in items:
+        if isinstance(item, DefVar):
+            item = item.read()
+        rendered.append(str(item))
+    line = "".join(rendered)
+    with _print_lock:
+        print(line, file=file if file is not None else sys.stdout, flush=True)
+
+
+def max_combine(in1: Any, in2: Any) -> Any:
+    """am_util:max (§C.5): the default status/reduction combiner."""
+    if isinstance(in1, np.ndarray) or isinstance(in2, np.ndarray):
+        return np.maximum(in1, in2)
+    return max(in1, in2)
+
+
+def min_combine(in1: Any, in2: Any) -> Any:
+    """Binary min, the combiner used in the §4.3.1 cpgm2 example."""
+    if isinstance(in1, np.ndarray) or isinstance(in2, np.ndarray):
+        return np.minimum(in1, in2)
+    return min(in1, in2)
+
+
+def sum_combine(in1: Any, in2: Any) -> Any:
+    """Binary sum, a common reduction combiner (inner product, §6.1)."""
+    return in1 + in2
+
+
+def processors_of(machine: Machine) -> np.ndarray:
+    """All processor numbers of the machine: node_array(0, 1, num_nodes)."""
+    return node_array(0, 1, machine.num_nodes)

@@ -1,0 +1,119 @@
+"""Border specifications, including the ``foreign_borders`` option (§5.1.7).
+
+``Border_info`` (§4.2.1) takes one of four forms:
+
+* ``[]`` / ``None`` — no borders;
+* a sequence of ``2*rank`` integers — explicit border sizes, where entries
+  ``2i`` and ``2i+1`` are the borders before/after dimension ``i``;
+* ``("foreign_borders", program, parm_num)`` — the *called data-parallel
+  program* supplies border sizes at runtime, so each parameter of each DP
+  program can demand different borders.  In the thesis, ``program`` names a
+  foreign routine ``Program_`` invoked through a generated PCN wrapper
+  (§5.1.7); here ``program`` is the DP callable itself and the protocol is
+  an attribute ``border_query(parm_num, rank) -> Sequence[int]``;
+* ``("borders", provider, parm_num)`` — the internal form the thesis'
+  transformation rewrites ``foreign_borders`` into; ``provider`` is called
+  as ``provider(parm_num, 2*rank)`` and must return the border sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Union
+
+BorderInfo = Union[None, Sequence[int], tuple]
+
+
+class BorderSpecError(ValueError):
+    """Malformed Border_info parameter (STATUS_INVALID at the library layer)."""
+
+
+def resolve_borders(border_info: BorderInfo, rank: int) -> tuple[int, ...]:
+    """Evaluate a ``Border_info`` specification to concrete border sizes.
+
+    This is the runtime half of the thesis' source-to-source transformation:
+    ``foreign_borders`` resolves by *calling into the data-parallel program*
+    for the sizes, exactly when the array is created or verified.
+    """
+    if border_info is None:
+        return (0,) * (2 * rank)
+
+    if isinstance(border_info, tuple) and border_info and isinstance(
+        border_info[0], str
+    ):
+        kind = border_info[0]
+        if kind == "foreign_borders":
+            if len(border_info) != 3:
+                raise BorderSpecError(
+                    "foreign_borders takes (tag, program, parm_num), got "
+                    f"{border_info!r}"
+                )
+            _tag, program, parm_num = border_info
+            query = getattr(program, "border_query", None)
+            if query is None and callable(program):
+                query = program
+            if query is None:
+                raise BorderSpecError(
+                    f"{program!r} provides no border_query and is not callable"
+                )
+            borders = query(parm_num, rank)
+            return _validate(borders, rank)
+        if kind == "borders":
+            if len(border_info) != 3:
+                raise BorderSpecError(
+                    "borders takes (tag, provider, parm_num), got "
+                    f"{border_info!r}"
+                )
+            _tag, provider, parm_num = border_info
+            borders = provider(parm_num, 2 * rank)
+            return _validate(borders, rank)
+        raise BorderSpecError(f"unknown Border_info tag {kind!r}")
+
+    # Plain sequence of integers (covers the empty sequence = no borders).
+    try:
+        values = list(border_info)  # type: ignore[arg-type]
+    except TypeError:
+        raise BorderSpecError(f"bad Border_info {border_info!r}") from None
+    if not values:
+        return (0,) * (2 * rank)
+    return _validate(values, rank)
+
+
+def _validate(values: Sequence[int], rank: int) -> tuple[int, ...]:
+    values = list(values)
+    if len(values) != 2 * rank:
+        raise BorderSpecError(
+            f"border list must have 2*rank = {2 * rank} entries, got "
+            f"{len(values)}"
+        )
+    out = []
+    for v in values:
+        iv = int(v)
+        if iv < 0:
+            raise BorderSpecError(f"negative border size {v}")
+        out.append(iv)
+    return tuple(out)
+
+
+def make_border_provider(
+    sizes_by_parm: dict[int, Sequence[int]],
+    default: Optional[Sequence[int]] = None,
+) -> Callable[[int, int], Sequence[int]]:
+    """Build a ``border_query``-style provider from a per-parameter table.
+
+    Mirrors the foreign routine of §4.2.1 (``subroutine fpgm_(iarg,
+    isizes)``) that switches on the parameter number.
+    """
+
+    def query(parm_num: int, rank: int) -> Sequence[int]:
+        if parm_num in sizes_by_parm:
+            return sizes_by_parm[parm_num]
+        if default is not None:
+            return default
+        return (0,) * (2 * rank)
+
+    return query
+
+
+def borders_for_program(program, parm_num: int) -> tuple:
+    """Convenience constructor for the paper's ``foreign_borders`` tuple."""
+    return ("foreign_borders", program, parm_num)

@@ -1,0 +1,206 @@
+"""Block decomposition of arrays onto processor grids (§3.2.1.1-§3.2.1.2).
+
+Only *block* decompositions are supported, but the user controls the
+processor-grid dimensions with a per-dimension specification taken directly
+from Fortran D:
+
+* ``BLOCK`` (the string ``"block"``) — the grid dimension takes the default
+  value;
+* ``Block(n)`` (the tuple ``("block", n)``) — the grid dimension is ``n``;
+* ``STAR`` (the string ``"*"``) — the grid dimension is 1 (no decomposition
+  along this dimension).
+
+Defaults (§3.2.1.2): with no dimensions specified, an N-dimensional array on
+P processors uses a "square" grid, every dimension ``P**(1/N)``.  With M
+dimensions specified whose product is Q, every unspecified dimension is
+``(P/Q)**(1/(N-M))``.  The thesis' worked example: a 3-D array on 32
+processors with the second grid dimension specified as 2 yields a 4x2x4
+grid.
+
+The thesis assumes each grid dimension divides the corresponding array
+dimension; we check and reject violations (STATUS_INVALID at the library
+layer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+
+class DecompositionError(ValueError):
+    """A distribution specification cannot be satisfied."""
+
+
+BLOCK = "block"
+STAR = "*"
+
+
+@dataclass(frozen=True)
+class Block:
+    """The ``block(N)`` specification: grid dimension fixed to ``n``."""
+
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise DecompositionError(f"block({self.n}): size must be >= 1")
+
+
+DistribSpec = Union[str, Block, tuple]
+
+
+def normalize_distrib(spec: DistribSpec) -> Union[str, Block]:
+    """Accept both the pythonic and the paper's tuple syntax.
+
+    The paper writes ``{"block", N}``; we accept ``("block", N)`` as well as
+    ``Block(N)``, plus the strings ``"block"`` and ``"*"``.
+    """
+    if isinstance(spec, Block):
+        return spec
+    if isinstance(spec, tuple):
+        if len(spec) == 2 and spec[0] == BLOCK and isinstance(spec[1], int):
+            return Block(spec[1])
+        raise DecompositionError(f"bad distribution spec {spec!r}")
+    if spec == BLOCK or spec == STAR:
+        return spec
+    raise DecompositionError(f"bad distribution spec {spec!r}")
+
+
+def _integer_root(value: int, degree: int) -> int:
+    """Return ``value ** (1/degree)`` when it is an exact integer.
+
+    Raises :class:`DecompositionError` otherwise — the thesis' default grid
+    only exists when P/Q has an exact (N-M)-th root.
+    """
+    if degree <= 0:
+        raise DecompositionError("no free dimensions to solve for")
+    if value < 1:
+        raise DecompositionError(
+            f"cannot build a grid: {value} processors left for "
+            f"{degree} unspecified dimension(s)"
+        )
+    root = round(value ** (1.0 / degree))
+    for candidate in (root - 1, root, root + 1):
+        if candidate >= 1 and candidate**degree == value:
+            return candidate
+    raise DecompositionError(
+        f"{value} has no exact integer {degree}-th root; specify grid "
+        f"dimensions explicitly with block(N)"
+    )
+
+
+def compute_grid(
+    dims: Sequence[int],
+    num_processors: int,
+    distrib: Sequence[DistribSpec],
+) -> tuple[int, ...]:
+    """Compute the processor-grid dimensions for a distribution request.
+
+    Implements the defaulting rule of §3.2.1.2 and validates that
+
+    * the grid uses exactly ``num_processors`` cells (one local section per
+      supplied processor, §3.2.1.4), and
+    * every grid dimension divides the corresponding array dimension.
+    """
+    if len(dims) != len(distrib):
+        raise DecompositionError(
+            f"array has {len(dims)} dimensions but distribution spec has "
+            f"{len(distrib)} entries"
+        )
+    if any(d < 1 for d in dims):
+        raise DecompositionError(f"array dimensions must be >= 1: {list(dims)}")
+    if num_processors < 1:
+        raise DecompositionError("need at least one processor")
+
+    specs = [normalize_distrib(s) for s in distrib]
+    grid: list[int] = []
+    free_positions: list[int] = []
+    specified_product = 1
+    for i, spec in enumerate(specs):
+        if spec == STAR:
+            grid.append(1)
+            specified_product *= 1
+        elif isinstance(spec, Block):
+            grid.append(spec.n)
+            specified_product *= spec.n
+        else:  # BLOCK default
+            grid.append(0)  # placeholder
+            free_positions.append(i)
+
+    if free_positions:
+        if num_processors % specified_product != 0:
+            raise DecompositionError(
+                f"specified grid dimensions (product {specified_product}) do "
+                f"not divide processor count {num_processors}"
+            )
+        per_dim = _integer_root(
+            num_processors // specified_product, len(free_positions)
+        )
+        for i in free_positions:
+            grid[i] = per_dim
+    else:
+        if specified_product != num_processors:
+            raise DecompositionError(
+                f"grid {tuple(grid)} uses {specified_product} cells but "
+                f"{num_processors} processors were supplied"
+            )
+
+    for dim, g in zip(dims, grid):
+        if dim % g != 0:
+            raise DecompositionError(
+                f"grid dimension {g} does not divide array dimension {dim} "
+                f"(the thesis assumes even division, §3.2.1.1)"
+            )
+    return tuple(grid)
+
+
+def local_dims_for(
+    dims: Sequence[int], grid: Sequence[int]
+) -> tuple[int, ...]:
+    """Local-section dimensions: array dims divided by grid dims."""
+    return tuple(d // g for d, g in zip(dims, grid))
+
+
+def _prime_factors(n: int) -> list[int]:
+    factors = []
+    d = 2
+    while d * d <= n:
+        while n % d == 0:
+            factors.append(d)
+            n //= d
+        d += 1
+    if n > 1:
+        factors.append(n)
+    return factors
+
+
+def balanced_grid(dims: Sequence[int], num_processors: int) -> tuple[int, ...]:
+    """A near-square valid grid when the thesis' exact default has no
+    solution (extension, used only by the pythonic layer's defaulting).
+
+    Greedily assigns the prime factors of P (largest first) to whichever
+    dimension currently has the largest local extent, subject to the
+    divisibility constraint.  Raises :class:`DecompositionError` when no
+    assignment exists.
+    """
+    if num_processors < 1:
+        raise DecompositionError("need at least one processor")
+    grid = [1] * len(dims)
+    for factor in sorted(_prime_factors(num_processors), reverse=True):
+        candidates = sorted(
+            range(len(dims)),
+            key=lambda i: dims[i] / grid[i],
+            reverse=True,
+        )
+        for i in candidates:
+            new_g = grid[i] * factor
+            if dims[i] % new_g == 0:
+                grid[i] = new_g
+                break
+        else:
+            raise DecompositionError(
+                f"cannot place factor {factor} of P={num_processors} on any "
+                f"dimension of {tuple(dims)} (current grid {tuple(grid)})"
+            )
+    return tuple(grid)

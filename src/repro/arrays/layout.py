@@ -1,0 +1,222 @@
+"""Index arithmetic for distributed arrays (§3.2.1.1, §3.2.1.3-§3.2.1.4).
+
+Every element of a distributed array has
+
+* an N-tuple of **global indices** into the whole array,
+* a pair ``(processor-grid-coordinates, local-indices)`` identifying which
+  local section holds it and where, and
+* a flat offset into the local section's contiguous storage (local sections
+  are "flat pieces of contiguous storage", §3.2.1.3), which must account for
+  border elements.
+
+The mapping between multi-dimensional and flat indices is row-major
+(C-style) or column-major (Fortran-style), chosen per array; the choice
+applies to *both* the array and the processor grid (§3.2.1.4, Fig 3.8).
+
+All functions here are pure — they are the property-testing surface for the
+bijectivity invariants of the decomposition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+ROW_MAJOR = "row"
+COLUMN_MAJOR = "column"
+
+_INDEXING_ALIASES = {
+    "row": ROW_MAJOR,
+    "C": ROW_MAJOR,
+    "c": ROW_MAJOR,
+    "column": COLUMN_MAJOR,
+    "Fortran": COLUMN_MAJOR,
+    "fortran": COLUMN_MAJOR,
+}
+
+
+def normalize_indexing(indexing: str) -> str:
+    """Map the paper's accepted spellings ("row"/"C", "column"/"Fortran")."""
+    try:
+        return _INDEXING_ALIASES[indexing]
+    except KeyError:
+        raise ValueError(
+            f"indexing type must be one of {sorted(set(_INDEXING_ALIASES))}, "
+            f"got {indexing!r}"
+        ) from None
+
+
+def flatten_index(
+    indices: Sequence[int], dims: Sequence[int], indexing: str
+) -> int:
+    """Multi-dimensional -> flat index under the given ordering."""
+    if len(indices) != len(dims):
+        raise ValueError(f"rank mismatch: {indices} vs dims {dims}")
+    order = range(len(dims)) if indexing == ROW_MAJOR else range(len(dims) - 1, -1, -1)
+    flat = 0
+    for axis in order:
+        flat = flat * dims[axis] + indices[axis]
+    return flat
+
+
+def unflatten_index(
+    flat: int, dims: Sequence[int], indexing: str
+) -> tuple[int, ...]:
+    """Flat -> multi-dimensional index under the given ordering."""
+    indices = [0] * len(dims)
+    order = (
+        range(len(dims) - 1, -1, -1)
+        if indexing == ROW_MAJOR
+        else range(len(dims))
+    )
+    for axis in order:
+        indices[axis] = flat % dims[axis]
+        flat //= dims[axis]
+    return tuple(indices)
+
+
+@dataclass(frozen=True)
+class ArrayLayout:
+    """The complete index geometry of one distributed array.
+
+    ``borders`` has length ``2*rank``: elements ``2i`` and ``2i+1`` are the
+    border sizes before and after dimension ``i`` (§4.2.1).
+    """
+
+    dims: tuple[int, ...]
+    grid: tuple[int, ...]
+    borders: tuple[int, ...]
+    indexing: str  # array + local-section ordering
+    grid_indexing: str  # processor-grid ordering (same value per §3.2.1.4)
+
+    def __post_init__(self) -> None:
+        if len(self.grid) != len(self.dims):
+            raise ValueError("grid rank must equal array rank")
+        if len(self.borders) != 2 * len(self.dims):
+            raise ValueError("borders must have 2*rank entries")
+        for d, g in zip(self.dims, self.grid):
+            if d % g != 0:
+                raise ValueError(f"grid dim {g} does not divide array dim {d}")
+
+    # -- derived geometry ----------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        return len(self.dims)
+
+    @property
+    def local_dims(self) -> tuple[int, ...]:
+        """Interior (border-free) local-section dimensions."""
+        return tuple(d // g for d, g in zip(self.dims, self.grid))
+
+    @property
+    def local_dims_plus(self) -> tuple[int, ...]:
+        """Local-section dimensions including borders."""
+        return tuple(
+            ld + self.borders[2 * i] + self.borders[2 * i + 1]
+            for i, ld in enumerate(self.local_dims)
+        )
+
+    @property
+    def num_sections(self) -> int:
+        n = 1
+        for g in self.grid:
+            n *= g
+        return n
+
+    @property
+    def global_size(self) -> int:
+        n = 1
+        for d in self.dims:
+            n *= d
+        return n
+
+    def local_size(self) -> int:
+        n = 1
+        for d in self.local_dims:
+            n *= d
+        return n
+
+    def local_size_plus(self) -> int:
+        n = 1
+        for d in self.local_dims_plus:
+            n *= d
+        return n
+
+    # -- global <-> (section, local) -------------------------------------------
+
+    def validate_global(self, indices: Sequence[int]) -> None:
+        if len(indices) != self.rank:
+            raise ValueError(
+                f"index rank {len(indices)} != array rank {self.rank}"
+            )
+        for i, (idx, dim) in enumerate(zip(indices, self.dims)):
+            if not 0 <= idx < dim:
+                raise IndexError(
+                    f"index {idx} out of range [0, {dim}) in dimension {i}"
+                )
+
+    def owner_coords(self, indices: Sequence[int]) -> tuple[int, ...]:
+        """Processor-grid coordinates of the section holding ``indices``."""
+        local = self.local_dims
+        return tuple(idx // ld for idx, ld in zip(indices, local))
+
+    def local_indices(self, indices: Sequence[int]) -> tuple[int, ...]:
+        """Indices within the owning local section (border-free)."""
+        local = self.local_dims
+        return tuple(idx % ld for idx, ld in zip(indices, local))
+
+    def section_index(self, coords: Sequence[int]) -> int:
+        """Grid coordinates -> position in the 1-D processors array.
+
+        The mapping uses the array's grid-indexing order (Fig 3.8: the same
+        element lands on different processors under row- vs column-major).
+        """
+        return flatten_index(coords, self.grid, self.grid_indexing)
+
+    def section_coords(self, section: int) -> tuple[int, ...]:
+        return unflatten_index(section, self.grid, self.grid_indexing)
+
+    def locate(self, indices: Sequence[int]) -> tuple[int, tuple[int, ...]]:
+        """Global indices -> (section number, local indices)."""
+        self.validate_global(indices)
+        coords = self.owner_coords(indices)
+        return self.section_index(coords), self.local_indices(indices)
+
+    def global_indices(
+        self, section: int, local: Sequence[int]
+    ) -> tuple[int, ...]:
+        """(section number, local indices) -> global indices (inverse of
+        :meth:`locate`)."""
+        coords = self.section_coords(section)
+        return tuple(
+            c * ld + li for c, ld, li in zip(coords, self.local_dims, local)
+        )
+
+    # -- local indices -> storage offset ----------------------------------------
+
+    def storage_offset(self, local: Sequence[int]) -> int:
+        """Border-free local indices -> flat offset into the stored section.
+
+        Storage includes borders: the interior element ``local`` lives at
+        ``local[i] + leading_border[i]`` in each dimension.
+        """
+        shifted = tuple(
+            li + self.borders[2 * i] for i, li in enumerate(local)
+        )
+        return flatten_index(shifted, self.local_dims_plus, self.indexing)
+
+    def storage_offset_global(self, indices: Sequence[int]) -> tuple[int, int]:
+        """Global indices -> (section number, flat storage offset)."""
+        section, local = self.locate(indices)
+        return section, self.storage_offset(local)
+
+    def replace_borders(self, borders: Sequence[int]) -> "ArrayLayout":
+        """A copy of this layout with different border sizes (verify_array)."""
+        return ArrayLayout(
+            dims=self.dims,
+            grid=self.grid,
+            borders=tuple(borders),
+            indexing=self.indexing,
+            grid_indexing=self.grid_indexing,
+        )

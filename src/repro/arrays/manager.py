@@ -1,0 +1,563 @@
+"""The array manager: per-processor runtime support for distributed arrays
+(§3.2.2.2, §5.1.1).
+
+The array manager consists of one server process per processor; all requests
+to create or manipulate distributed arrays are handled by the *local*
+array-manager process, which communicates with its peers as needed.  The
+request types implemented here are exactly those enumerated in §5.1.1:
+
+================  ==========================================================
+create_local      create a local section on one processor
+create_array      create the whole array (create_local on every processor)
+free_local        free one local section
+free_array        free the whole array (free_local everywhere)
+read_element_local / read_element      element read via global indices
+write_element_local / write_element    element write via global indices
+find_local        reference to the local section on *this* processor
+copy_local        reallocate a local section with different borders
+verify_array      compare borders, copy_local everywhere on mismatch
+find_info         dimensions / processors / indexing / ... (§4.2.6)
+================  ==========================================================
+
+Results and Status values are returned by defining definitional variables
+supplied in the request — the bidirectional server communication of §5.1.1.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Optional, Sequence
+
+from repro.arrays.borders import BorderSpecError, resolve_borders
+from repro.arrays.decomposition import DecompositionError, compute_grid
+from repro.arrays.layout import ArrayLayout, normalize_indexing
+from repro.arrays.local_section import LocalSection, dtype_for
+from repro.arrays.record import SERIALS, ArrayID, ArrayRecord
+from repro.pcn.defvar import DefVar
+from repro.status import Status
+from repro.vp.machine import Machine
+from repro.vp.processor import VirtualProcessor
+
+_RECORDS_KEY = "am.records"
+
+
+def _records(node: VirtualProcessor) -> dict[ArrayID, ArrayRecord]:
+    table = node.load_default(_RECORDS_KEY)
+    if table is None:
+        table = {}
+        node.store(_RECORDS_KEY, table)
+    return table
+
+
+def _define(var: Optional[DefVar], value: Any) -> None:
+    if var is not None:
+        var.define(value)
+
+
+class ArrayManager:
+    """The machine-wide array-manager service.
+
+    ``install_array_manager(machine)`` registers the capabilities with the
+    machine's server (the ``load "am"`` of §B.3); library procedures in
+    :mod:`repro.arrays.am_user` then issue server requests against it.
+    """
+
+    def __init__(self, machine: Machine, trace: bool = False) -> None:
+        self.machine = machine
+        self.trace_enabled = trace
+        self.trace_log: list[tuple] = []
+        self._trace_lock = threading.Lock()
+        # Request counters: the simulated-cost model for FIG-3.9.
+        self.request_counts: dict[str, int] = {}
+
+    # -- bookkeeping ----------------------------------------------------------
+
+    def _note(self, request_type: str, *detail: Any) -> None:
+        with self._trace_lock:
+            self.request_counts[request_type] = (
+                self.request_counts.get(request_type, 0) + 1
+            )
+            if self.trace_enabled:
+                self.trace_log.append((request_type, *detail))
+
+    def capabilities(self) -> dict:
+        return {
+            "create_array": self.create_array,
+            "create_local": self.create_local,
+            "free_array": self.free_array,
+            "free_local": self.free_local,
+            "read_element": self.read_element,
+            "read_element_local": self.read_element_local,
+            "write_element": self.write_element,
+            "write_element_local": self.write_element_local,
+            "find_local": self.find_local,
+            "find_info": self.find_info,
+            "copy_local": self.copy_local,
+            "verify_array": self.verify_array,
+            "read_section_local": self.read_section_local,
+            "write_section_local": self.write_section_local,
+        }
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _lookup(
+        self, node: VirtualProcessor, array_id: ArrayID
+    ) -> Optional[ArrayRecord]:
+        record = _records(node).get(array_id)
+        if record is None or not record.valid:
+            return None
+        return record
+
+    def _peer_request(
+        self, request_type: str, processor: int, *parameters: Any
+    ) -> None:
+        """Array-manager process -> array-manager process communication."""
+        self.machine.server.request(
+            request_type, *parameters, processor=processor
+        )
+
+    # -- create -------------------------------------------------------------------
+
+    def create_array(
+        self,
+        node: VirtualProcessor,
+        array_id_out: DefVar,
+        type_name: str,
+        dimensions: Sequence[int],
+        processors: Sequence[int],
+        distrib_info: Sequence,
+        border_info: Any,
+        indexing_type: str,
+        status: DefVar,
+    ) -> None:
+        """Create a distributed array (§4.2.1).
+
+        Runs on the requesting processor; issues ``create_local`` on every
+        processor in the distribution, then records the array locally so
+        later requests made on the creating processor resolve (§5.1.4).
+        """
+        self._note("create_array", node.number, tuple(dimensions))
+        try:
+            if type_name not in ("int", "double", "complex"):
+                raise ValueError(f"bad element type {type_name!r}")
+            dtype_for(type_name)
+            dims = tuple(int(d) for d in dimensions)
+            procs = tuple(int(p) for p in processors)
+            if len(set(procs)) != len(procs):
+                raise ValueError("duplicate processor numbers")
+            for p in procs:
+                self.machine.processor(p)  # validates range
+            indexing = normalize_indexing(indexing_type)
+            grid = compute_grid(dims, len(procs), distrib_info)
+            borders = resolve_borders(border_info, len(dims))
+            layout = ArrayLayout(
+                dims=dims,
+                grid=grid,
+                borders=borders,
+                indexing=indexing,
+                grid_indexing=indexing,
+            )
+        except (
+            ValueError,
+            DecompositionError,
+            BorderSpecError,
+            TypeError,
+        ):
+            _define(array_id_out, None)
+            _define(status, Status.INVALID)
+            return
+
+        array_id = ArrayID(node.number, SERIALS.next_for(node.number))
+        border_spec = border_info if isinstance(border_info, tuple) else tuple(
+            borders
+        )
+
+        # One create_local request per processor in the distribution.
+        local_statuses: list[DefVar] = []
+        for section_number, proc in enumerate(procs):
+            st = DefVar(f"create_local@{proc}")
+            local_statuses.append(st)
+            self._peer_request(
+                "create_local",
+                proc,
+                array_id,
+                type_name,
+                layout,
+                procs,
+                border_spec,
+                st,
+            )
+        if any(Status(st.read()) is not Status.OK for st in local_statuses):
+            _define(array_id_out, None)
+            _define(status, Status.ERROR)
+            return
+
+        # Record on the creating processor too, even when it holds no
+        # section (§5.1.4) — without a duplicate section allocation.
+        table = _records(node)
+        if array_id not in table:
+            table[array_id] = ArrayRecord(
+                array_id=array_id,
+                type_name=type_name,
+                layout=layout,
+                processors=procs,
+                section=None,
+                border_spec=border_spec,
+            )
+        _define(array_id_out, array_id)
+        _define(status, Status.OK)
+
+    def create_local(
+        self,
+        node: VirtualProcessor,
+        array_id: ArrayID,
+        type_name: str,
+        layout: ArrayLayout,
+        processors: tuple[int, ...],
+        border_spec: tuple,
+        status: DefVar,
+    ) -> None:
+        """Create the local section for one processor (§5.1.1)."""
+        self._note("create_local", node.number, array_id)
+        section = LocalSection(
+            type_name,
+            layout.local_dims,
+            layout.borders,
+            layout.indexing,
+        )
+        _records(node)[array_id] = ArrayRecord(
+            array_id=array_id,
+            type_name=type_name,
+            layout=layout,
+            processors=processors,
+            section=section,
+            border_spec=border_spec,
+        )
+        _define(status, Status.OK)
+
+    # -- free ----------------------------------------------------------------------
+
+    def free_array(
+        self, node: VirtualProcessor, array_id: Any, status: DefVar
+    ) -> None:
+        """Delete a distributed array and free its storage (§4.2.2)."""
+        self._note("free_array", node.number, array_id)
+        record = self._lookup(node, array_id) if isinstance(
+            array_id, ArrayID
+        ) else None
+        if record is None:
+            _define(status, Status.NOT_FOUND)
+            return
+        statuses = []
+        for proc in record.processors:
+            st = DefVar(f"free_local@{proc}")
+            statuses.append(st)
+            self._peer_request("free_local", proc, array_id, st)
+        for st in statuses:
+            st.read()
+        # Invalidate the creating-processor record as well (§5.1.3).
+        record.valid = False
+        _define(status, Status.OK)
+
+    def free_local(
+        self, node: VirtualProcessor, array_id: ArrayID, status: DefVar
+    ) -> None:
+        self._note("free_local", node.number, array_id)
+        record = _records(node).get(array_id)
+        if record is None:
+            _define(status, Status.NOT_FOUND)
+            return
+        if record.section is not None:
+            record.section.free()
+        record.valid = False
+        _define(status, Status.OK)
+
+    # -- element access ---------------------------------------------------------------
+
+    def read_element(
+        self,
+        node: VirtualProcessor,
+        array_id: Any,
+        indices: Sequence[int],
+        element_out: DefVar,
+        status: DefVar,
+    ) -> None:
+        """Read one element via global indices (§4.2.3).
+
+        Translates global indices to (processor, local indices) and issues
+        ``read_element_local`` on the owner.
+        """
+        self._note("read_element", node.number, array_id)
+        record = self._lookup(node, array_id) if isinstance(
+            array_id, ArrayID
+        ) else None
+        if record is None:
+            _define(element_out, None)
+            _define(status, Status.NOT_FOUND)
+            return
+        try:
+            owner, local = record.owner_of(tuple(indices))
+        except (ValueError, IndexError):
+            _define(element_out, None)
+            _define(status, Status.INVALID)
+            return
+        self._peer_request(
+            "read_element_local", owner, array_id, local, element_out, status
+        )
+
+    def read_element_local(
+        self,
+        node: VirtualProcessor,
+        array_id: ArrayID,
+        local_indices: Sequence[int],
+        element_out: DefVar,
+        status: DefVar,
+    ) -> None:
+        self._note("read_element_local", node.number, array_id)
+        record = self._lookup(node, array_id)
+        if record is None or record.section is None:
+            _define(element_out, None)
+            _define(status, Status.NOT_FOUND)
+            return
+        value = record.section.read(local_indices)
+        _define(element_out, value.item() if hasattr(value, "item") else value)
+        _define(status, Status.OK)
+
+    def write_element(
+        self,
+        node: VirtualProcessor,
+        array_id: Any,
+        indices: Sequence[int],
+        element: Any,
+        status: DefVar,
+    ) -> None:
+        """Write one element via global indices (§4.2.4)."""
+        self._note("write_element", node.number, array_id)
+        record = self._lookup(node, array_id) if isinstance(
+            array_id, ArrayID
+        ) else None
+        if record is None:
+            _define(status, Status.NOT_FOUND)
+            return
+        if not isinstance(element, (int, float, complex)):
+            _define(status, Status.INVALID)
+            return
+        try:
+            owner, local = record.owner_of(tuple(indices))
+        except (ValueError, IndexError):
+            _define(status, Status.INVALID)
+            return
+        self._peer_request(
+            "write_element_local", owner, array_id, local, element, status
+        )
+
+    def write_element_local(
+        self,
+        node: VirtualProcessor,
+        array_id: ArrayID,
+        local_indices: Sequence[int],
+        element: Any,
+        status: DefVar,
+    ) -> None:
+        self._note("write_element_local", node.number, array_id)
+        record = self._lookup(node, array_id)
+        if record is None or record.section is None:
+            _define(status, Status.NOT_FOUND)
+            return
+        record.section.write(local_indices, element)
+        _define(status, Status.OK)
+
+    # -- local sections ------------------------------------------------------------------
+
+    def find_local(
+        self,
+        node: VirtualProcessor,
+        array_id: Any,
+        section_out: DefVar,
+        status: DefVar,
+    ) -> None:
+        """Local section of the array on *this* processor (§4.2.5).
+
+        The one operation requiring a local rather than global view: it
+        fails on processors holding no section of the array (§5.1.4).
+        """
+        self._note("find_local", node.number, array_id)
+        record = self._lookup(node, array_id) if isinstance(
+            array_id, ArrayID
+        ) else None
+        if record is None or record.section is None:
+            _define(section_out, None)
+            _define(status, Status.NOT_FOUND)
+            return
+        _define(section_out, record.section)
+        _define(status, Status.OK)
+
+    def read_section_local(
+        self,
+        node: VirtualProcessor,
+        array_id: ArrayID,
+        data_out: DefVar,
+        status: DefVar,
+    ) -> None:
+        """Copy of this processor's interior section data (extension).
+
+        The thesis moves bulk data only through local sections inside
+        distributed calls; this request is a convenience for the pythonic
+        gather/scatter layer.  The returned array is a *copy* — the message
+        analogue — so the requester never aliases another node's storage.
+        """
+        self._note("read_section_local", node.number, array_id)
+        record = self._lookup(node, array_id)
+        if record is None or record.section is None:
+            _define(data_out, None)
+            _define(status, Status.NOT_FOUND)
+            return
+        _define(data_out, record.section.interior().copy())
+        _define(status, Status.OK)
+
+    def write_section_local(
+        self,
+        node: VirtualProcessor,
+        array_id: ArrayID,
+        data: Any,
+        status: DefVar,
+    ) -> None:
+        """Overwrite this processor's interior section data (extension)."""
+        self._note("write_section_local", node.number, array_id)
+        record = self._lookup(node, array_id)
+        if record is None or record.section is None:
+            _define(status, Status.NOT_FOUND)
+            return
+        interior = record.section.interior()
+        if tuple(getattr(data, "shape", ())) != tuple(interior.shape):
+            _define(status, Status.INVALID)
+            return
+        interior[...] = data
+        _define(status, Status.OK)
+
+    def copy_local(
+        self,
+        node: VirtualProcessor,
+        array_id: ArrayID,
+        new_borders: tuple[int, ...],
+        new_layout: ArrayLayout,
+        status: DefVar,
+    ) -> None:
+        """Reallocate the local section with different borders, copying the
+        interior data (§5.1.1, used by verify_array)."""
+        self._note("copy_local", node.number, array_id)
+        record = self._lookup(node, array_id)
+        if record is None or record.section is None:
+            _define(status, Status.NOT_FOUND)
+            return
+        replacement = record.section.reallocate_with_borders(new_borders)
+        record.section.free()
+        record.section = replacement
+        record.layout = new_layout
+        _define(status, Status.OK)
+
+    def verify_array(
+        self,
+        node: VirtualProcessor,
+        array_id: Any,
+        n_dims: int,
+        border_info: Any,
+        indexing_type: str,
+        status: DefVar,
+    ) -> None:
+        """Verify borders/indexing; reallocate local sections on border
+        mismatch (§4.2.7)."""
+        self._note("verify_array", node.number, array_id)
+        record = self._lookup(node, array_id) if isinstance(
+            array_id, ArrayID
+        ) else None
+        if record is None:
+            _define(status, Status.NOT_FOUND)
+            return
+        try:
+            indexing = normalize_indexing(indexing_type)
+        except ValueError:
+            _define(status, Status.INVALID)
+            return
+        if n_dims != record.layout.rank or indexing != record.indexing_type:
+            # Indexing type cannot be corrected without repartitioning;
+            # mismatch is invalid (§4.2.7 third example).
+            _define(status, Status.INVALID)
+            return
+        try:
+            expected = resolve_borders(border_info, record.layout.rank)
+        except BorderSpecError:
+            _define(status, Status.INVALID)
+            return
+        if expected == record.borders:
+            _define(status, Status.OK)
+            return
+        new_layout = record.layout.replace_borders(expected)
+        statuses = []
+        for proc in record.processors:
+            st = DefVar(f"copy_local@{proc}")
+            statuses.append(st)
+            self._peer_request(
+                "copy_local", proc, array_id, expected, new_layout, st
+            )
+        bad = any(Status(st.read()) is not Status.OK for st in statuses)
+        # Update the creating-processor record too.
+        record.layout = new_layout
+        _define(status, Status.ERROR if bad else Status.OK)
+
+    # -- info ---------------------------------------------------------------------------
+
+    def find_info(
+        self,
+        node: VirtualProcessor,
+        array_id: Any,
+        which: str,
+        out: DefVar,
+        status: DefVar,
+    ) -> None:
+        """Information about a distributed array (§4.2.6)."""
+        self._note("find_info", node.number, array_id, which)
+        record = self._lookup(node, array_id) if isinstance(
+            array_id, ArrayID
+        ) else None
+        if record is None:
+            _define(out, None)
+            _define(status, Status.NOT_FOUND)
+            return
+        try:
+            value = record.info(which)
+        except ValueError:
+            _define(out, None)
+            _define(status, Status.INVALID)
+            return
+        _define(out, value)
+        _define(status, Status.OK)
+
+
+_MANAGER_KEY = "am.manager"
+
+
+def install_array_manager(
+    machine: Machine, trace: bool = False
+) -> ArrayManager:
+    """Load the array manager onto a machine (the ``load "am"`` of §B.3).
+
+    Idempotent: a machine has at most one array manager.
+    """
+    existing = getattr(machine, "_array_manager", None)
+    if existing is not None:
+        return existing
+    manager = ArrayManager(machine, trace=trace)
+    machine.server.load(manager.capabilities())
+    machine._array_manager = manager  # type: ignore[attr-defined]
+    return manager
+
+
+def get_array_manager(machine: Machine) -> ArrayManager:
+    manager = getattr(machine, "_array_manager", None)
+    if manager is None:
+        raise RuntimeError(
+            "array manager not loaded; call install_array_manager(machine) "
+            "or am_util.load_all(machine, 'am') first (§B.3)"
+        )
+    return manager

@@ -1,0 +1,121 @@
+"""Internal representation of distributed arrays (§5.1.3-§5.1.4).
+
+Each array-manager process keeps, for every array it knows about, a record
+carrying the fields enumerated in §5.1.3: the globally-unique ID (creating
+processor number + per-processor counter), element type, global dimensions,
+processor numbers, grid dimensions, local dimensions with and without
+borders, border sizes, both indexing types, and a reference to local-section
+storage.  As in the thesis, derived quantities are computed once at creation
+and stored.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.arrays.layout import ArrayLayout
+from repro.arrays.local_section import LocalSection
+
+
+@dataclass(frozen=True, order=True)
+class ArrayID:
+    """Globally-unique array identifier: a 2-tuple of integers (§4.1.3)."""
+
+    creating_processor: int
+    serial: int
+
+    def as_tuple(self) -> tuple[int, int]:
+        return (self.creating_processor, self.serial)
+
+    def __repr__(self) -> str:
+        return f"ArrayID({self.creating_processor}, {self.serial})"
+
+
+class _Serial:
+    """Per-processor serial numbers distinguishing arrays (§4.1.3)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._next: dict[int, int] = {}
+
+    def next_for(self, processor: int) -> int:
+        with self._lock:
+            value = self._next.get(processor, 0)
+            self._next[processor] = value + 1
+            return value
+
+
+SERIALS = _Serial()
+
+
+@dataclass
+class ArrayRecord:
+    """One array-manager entry (the tuple of §5.1.3).
+
+    A record exists on every processor holding a local section *and* on the
+    creating processor (§5.1.4).  ``section`` is None on a creating
+    processor that holds no local section.  ``valid`` implements the
+    invalidate-on-free behaviour of §5.1.3.
+    """
+
+    array_id: ArrayID
+    type_name: str
+    layout: ArrayLayout
+    processors: tuple[int, ...]
+    section: Optional[LocalSection] = None
+    valid: bool = True
+    # Border specification retained so verify_array can compare (§4.2.7).
+    border_spec: tuple = field(default_factory=tuple)
+
+    @property
+    def dims(self) -> tuple[int, ...]:
+        return self.layout.dims
+
+    @property
+    def grid_dims(self) -> tuple[int, ...]:
+        return self.layout.grid
+
+    @property
+    def local_dims(self) -> tuple[int, ...]:
+        return self.layout.local_dims
+
+    @property
+    def borders(self) -> tuple[int, ...]:
+        return self.layout.borders
+
+    @property
+    def local_dims_plus(self) -> tuple[int, ...]:
+        return self.layout.local_dims_plus
+
+    @property
+    def indexing_type(self) -> str:
+        return self.layout.indexing
+
+    @property
+    def grid_indexing_type(self) -> str:
+        return self.layout.grid_indexing
+
+    def owner_of(self, indices) -> tuple[int, tuple[int, ...]]:
+        """Global indices -> (owning processor number, local indices)."""
+        section, local = self.layout.locate(indices)
+        return self.processors[section], local
+
+    def info(self, which: str):
+        """The find_info dispatch table (§4.2.6)."""
+        table = {
+            "type": lambda: self.type_name,
+            "dimensions": lambda: list(self.dims),
+            "processors": lambda: list(self.processors),
+            "grid_dimensions": lambda: list(self.grid_dims),
+            "local_dimensions": lambda: list(self.local_dims),
+            "borders": lambda: list(self.borders),
+            "local_dimensions_plus": lambda: list(self.local_dims_plus),
+            "indexing_type": lambda: self.indexing_type,
+            "grid_indexing_type": lambda: self.grid_indexing_type,
+        }
+        try:
+            return table[which]()
+        except KeyError:
+            raise ValueError(f"unknown find_info selector {which!r}") from None

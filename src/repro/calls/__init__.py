@@ -1,0 +1,33 @@
+"""Distributed calls: invoking SPMD data-parallel programs from the
+task-parallel level (§3.3, §4.3, §5.2, §F).
+
+A distributed call executes an SPMD program concurrently on each processor
+of a group and suspends the caller until every copy terminates — making the
+call semantically equivalent to a sequential subprogram call (§2.1).  The
+implementation mirrors the thesis' structure: a ``do_all`` primitive
+(§5.2.1), a generated two-level **wrapper** program that marshals
+parameters and local sections (§5.2.2, §F.3-§F.4), and a generated
+**combine** program that pairwise-merges per-copy status/reduction tuples
+(§F.6).
+"""
+
+from repro.calls.params import (
+    Index,
+    Local,
+    Reduce,
+    StatusVar,
+    normalize_parameters,
+)
+from repro.calls.do_all import do_all
+from repro.calls.api import CallResult, distributed_call
+
+__all__ = [
+    "Index",
+    "Local",
+    "Reduce",
+    "StatusVar",
+    "normalize_parameters",
+    "do_all",
+    "CallResult",
+    "distributed_call",
+]

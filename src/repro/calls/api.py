@@ -1,0 +1,113 @@
+"""``am_user:distributed_call`` (§4.3.1).
+
+Executes a data-parallel SPMD program once per processor of a group,
+suspending the caller until all copies complete (Fig 3.2).  Parameters are
+specified per §3.3.1.2 (see :mod:`repro.calls.params`); the postcondition
+implemented here is the §4.3.1 specification:
+
+* ``Local`` parameters arrive as each copy's local section (mutable,
+  in/out);
+* ``Index`` parameters carry the copy's position in the processors array;
+* the per-copy ``status`` values are merged with the caller's combine
+  program (default ``am_util:max``) into the call's Status;
+* each ``Reduce`` parameter's per-copy values are merged pairwise with its
+  own combine program and delivered to the caller.
+
+The called program receives an :class:`~repro.spmd.context.SPMDContext` as
+its leading argument — the Python analogue of the ambient message-passing
+environment plus the relocatability contract of §3.5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from repro.calls.combine import make_combine_program
+from repro.calls.do_all import do_all
+from repro.calls.params import (
+    Reduce,
+    normalize_parameters,
+    reduce_specs,
+    status_position,
+)
+from repro.calls.wrapper import build_wrapper, bundle_parameters, next_call_group
+from repro.pcn.defvar import DefVar
+from repro.status import Status
+from repro.vp.machine import Machine
+
+
+@dataclass
+class CallResult:
+    """Outcome of a distributed call."""
+
+    status: Status
+    reductions: list = field(default_factory=list)
+
+    def __iter__(self):
+        yield self.status
+        yield self.reductions
+
+
+def distributed_call(
+    machine: Machine,
+    processors: Sequence[int],
+    program: Callable[..., Any],
+    parameters: Sequence[Any],
+    combine: Optional[Any] = None,
+    status_out: Optional[DefVar] = None,
+    timeout: Optional[float] = None,
+) -> CallResult:
+    """Call ``program`` concurrently on every processor in ``processors``.
+
+    Returns a :class:`CallResult`; also defines ``status_out`` (if given)
+    and each ``Reduce`` spec's ``out`` definitional variable — both become
+    defined only on completion of all copies (§4.3.1 postcondition), so PCN
+    code can synchronise on them.
+
+    ``combine`` merges per-copy status values when a ``status`` parameter
+    is present; with no status parameter the call's Status is OK provided
+    every wrapper completed cleanly (the wrapper reports find_local and
+    program failures through the status slot regardless).
+    """
+    specs = normalize_parameters(parameters)
+    procs = [int(p) for p in processors]
+    if not procs:
+        raise ValueError("distributed call over an empty processor group")
+    if len(set(procs)) != len(procs):
+        raise ValueError("processor group contains duplicates")
+    for p in procs:
+        machine.processor(p)  # validate range
+
+    reduces = reduce_specs(specs)
+    if combine is not None and status_position(specs) is None:
+        # §4.3.1 precondition: a combine program is only meaningful with a
+        # status parameter.
+        raise ValueError(
+            "combine program supplied but no 'status' parameter in the call"
+        )
+
+    group = next_call_group()
+    wrapper = build_wrapper(machine, program, specs, procs, group)
+    combiner = make_combine_program(combine, [r.combine for r in reduces])
+    parms = bundle_parameters(specs)
+
+    folded = do_all(
+        machine, procs, wrapper, parms, combiner, timeout=timeout
+    )
+    # Per-copy statuses are plain integers assigned by the called program
+    # (§4.3.1); the merged value is mapped onto the Status enum when it is
+    # one of the §4.1.2 codes and kept as an int otherwise.
+    raw_status = int(folded[0])
+    try:
+        status = Status(raw_status)
+    except ValueError:
+        status = raw_status  # type: ignore[assignment]
+    reductions = list(folded[1:])
+
+    if status_out is not None:
+        status_out.define(status)
+    for spec, value in zip(reduces, reductions):
+        if spec.out is not None:
+            spec.out.define(value)
+    return CallResult(status=status, reductions=reductions)

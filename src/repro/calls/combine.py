@@ -1,0 +1,47 @@
+"""Generated combine programs (§5.2.3, §F.6).
+
+The wrapper program returns, per copy, a tuple whose first element is the
+local status and whose remaining elements are the local reduction values.
+The generated combine program merges two such tuples elementwise: the
+status element with the status combiner (default ``am_util:max``), each
+reduction element with the combiner given in its parameter specification.
+
+A tuple whose status element signals a wrapper-level failure (find_local
+failed, DP program raised) propagates: combining anything with a failed
+tuple keeps the *maximum* severity for the status slot and drops reduction
+merging for slots whose inputs are missing — matching the thesis' generated
+``default -> C_out = [1]`` severity behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+from repro.spmd.reduce_ops import resolve_op
+
+
+def make_combine_program(
+    status_combine: Optional[Any],
+    reduce_combines: Sequence[Any],
+) -> Callable[[tuple, tuple], tuple]:
+    """Build the pairwise tuple combiner of §F.6.
+
+    ``status_combine`` None selects the default ``max`` (§3.3.1.2).
+    """
+    fold_status = resolve_op(status_combine if status_combine is not None else "max")
+    fold_reduces = [resolve_op(c) for c in reduce_combines]
+
+    def combine(t1: tuple, t2: tuple) -> tuple:
+        if len(t1) != len(t2) or len(t1) != 1 + len(fold_reduces):
+            # The thesis' generated combine guards tuple shapes and yields
+            # STATUS_INVALID (C_out = {1}) on mismatch.
+            return (1,) + (None,) * len(fold_reduces)
+        out: list[Any] = [fold_status(int(t1[0]), int(t2[0]))]
+        for fold, a, b in zip(fold_reduces, t1[1:], t2[1:]):
+            if a is None or b is None:
+                out.append(a if b is None else b)
+            else:
+                out.append(fold(a, b))
+        return tuple(out)
+
+    return combine

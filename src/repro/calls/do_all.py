@@ -1,0 +1,73 @@
+"""The ``do_all`` primitive (§5.2.1).
+
+``do_all`` executes a program concurrently on every processor of a group,
+waits for all copies to complete, and pairwise-combines their per-copy
+status values with a combine program.  It is the execution engine beneath
+every distributed call; the generated wrapper program is what it runs.
+
+Per the §5.2.1 specification, the program is called as
+``program(index, parms, status)`` where ``status`` is a definitional
+variable the copy must define; the results are folded **pairwise** with the
+combine program.  We fold in index order, which is correct for any
+associative combine (commutativity is not assumed, §3.3.1.2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+from repro.pcn.defvar import DefVar
+from repro.status import Status
+from repro.vp.machine import Machine
+
+
+def do_all(
+    machine: Machine,
+    processors: Sequence[int],
+    program: Callable[[int, Any, DefVar], None],
+    parms: Any,
+    combine: Callable[[Any, Any], Any],
+    status_out: Optional[DefVar] = None,
+    timeout: Optional[float] = None,
+) -> Any:
+    """Run ``program`` once per processor; fold the per-copy statuses.
+
+    Each copy executes as a process *on* its processor (it is a subprocess
+    of the calling process, §3.4.2, which is why the sharing restriction of
+    PCN extends to it).  The fold result is returned and, when supplied,
+    defined on ``status_out`` — which, per §4.1.2, becomes defined only on
+    completion of all copies, so callers may synchronise on it.
+    """
+    procs = [int(p) for p in processors]
+    if not procs:
+        raise ValueError("do_all over an empty processor group")
+    statuses = [DefVar(f"do_all_status[{i}]") for i in range(len(procs))]
+    processes = []
+    for i, p in enumerate(procs):
+        node = machine.processor(p)
+        processes.append(
+            node.spawn(program, i, parms, statuses[i], name=f"do_all[{i}]@{p}")
+        )
+
+    # Join every copy; a copy that raised poisons the whole call with
+    # STATUS_ERROR rather than hanging the caller.
+    error: Optional[BaseException] = None
+    for proc in processes:
+        try:
+            proc.join(timeout=timeout)
+        except BaseException as exc:  # noqa: BLE001
+            if error is None:
+                error = exc
+    if error is not None:
+        result: Any = Status.ERROR
+        if status_out is not None:
+            status_out.define(result)
+        raise error
+
+    values = [st.read(timeout=timeout) for st in statuses]
+    folded = values[0]
+    for value in values[1:]:
+        folded = combine(folded, value)
+    if status_out is not None:
+        status_out.define(folded)
+    return folded

@@ -1,0 +1,173 @@
+"""Generated wrapper programs for distributed calls (§5.2.2, §F.3-§F.5).
+
+The thesis' source-to-source transformation turns each
+``am_user:distributed_call`` into a ``do_all`` over a generated *wrapper*
+program.  The wrapper is two-level:
+
+* the **first-level** wrapper extracts, from the bundled parameter tuple,
+  any values needed to *declare* local variables (reduction lengths — §F.3:
+  "the size of local reduction variables can depend on a global-constant
+  parameter"), then calls the second level;
+* the **second-level** wrapper (§F.4) unbundles the remaining parameters,
+  obtains local sections with ``am_user:find_local``, declares the local
+  status and reduction variables, calls the data-parallel program, and
+  packs ``(local_status, local_reduce_1, ...)`` into the tuple the combine
+  program merges.
+
+We generate the same structure as closures.  Failure behaviour follows the
+generated PCN exactly: a find_local failure or malformed parameter bundle
+defines the status tuple as STATUS_INVALID without calling the program; a
+program that raises yields STATUS_ERROR.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.arrays import am_user
+from repro.arrays.local_section import dtype_for
+from repro.calls.params import (
+    Constant,
+    Index,
+    Local,
+    ParamSpec,
+    Reduce,
+    StatusVar,
+)
+from repro.pcn.defvar import DefVar
+from repro.spmd.context import OutCell, SPMDContext
+from repro.status import Status
+from repro.vp.machine import Machine
+
+_call_ids = itertools.count()
+
+
+def next_call_group() -> tuple:
+    """A machine-unique group id for one distributed call."""
+    return ("dcall", next(_call_ids))
+
+
+def build_wrapper(
+    machine: Machine,
+    program: Callable[..., Any],
+    specs: Sequence[ParamSpec],
+    processors: Sequence[int],
+    group: Any,
+) -> Callable[[int, Any, DefVar], None]:
+    """Generate the wrapper program for one distributed call.
+
+    The returned callable has the ``do_all`` program signature
+    ``wrapper(index, parms, status_var)``.  ``parms`` carries the bundled
+    constants/array IDs; per §F the reduction *lengths* travel in the bundle
+    and are unpacked by the first level before local declarations happen.
+    """
+    procs = tuple(int(p) for p in processors)
+    reduce_list = [s for s in specs if isinstance(s, Reduce)]
+    n_reduce = len(reduce_list)
+
+    def failure_tuple(status: Status) -> tuple:
+        return (int(status),) + (None,) * n_reduce
+
+    def wrapper_first_level(index: int, parms: Any, status_var: DefVar) -> None:
+        # §F.3: pattern-match the bundle; malformed -> STATUS_INVALID.
+        try:
+            bundle, reduce_lengths = parms
+        except (TypeError, ValueError):
+            status_var.define(failure_tuple(Status.INVALID))
+            return
+        wrapper_second_level(index, bundle, status_var, reduce_lengths)
+
+    def wrapper_second_level(
+        index: int,
+        bundle: Sequence[Any],
+        status_var: DefVar,
+        reduce_lengths: Sequence[int],
+    ) -> None:
+        # §F.4: declare local variables now that lengths are known.
+        if len(reduce_lengths) != n_reduce or len(bundle) != len(specs):
+            status_var.define(failure_tuple(Status.INVALID))
+            return
+        status_cell: Optional[OutCell] = None
+        reduce_buffers: list[np.ndarray] = []
+        ctx = SPMDContext(machine, procs, index, group)
+
+        new_parameters: list[Any] = []
+        reduce_i = 0
+        for spec, bundled in zip(specs, bundle):
+            if isinstance(spec, Local):
+                # §F.4: obtain the local section via am_user:find_local on
+                # the executing processor; failure aborts the copy with
+                # STATUS_INVALID (the generated "default -> _l1=[1]").
+                section, st = am_user.find_local(
+                    machine, spec.array_id, processor=procs[index]
+                )
+                if st is not Status.OK or section is None:
+                    status_var.define(failure_tuple(Status.INVALID))
+                    return
+                new_parameters.append(section)
+            elif isinstance(spec, Index):
+                new_parameters.append(index)
+            elif isinstance(spec, StatusVar):
+                status_cell = OutCell("local_status")
+                new_parameters.append(status_cell)
+            elif isinstance(spec, Reduce):
+                length = int(reduce_lengths[reduce_i])
+                reduce_i += 1
+                buf = np.zeros(length, dtype=dtype_for(
+                    "double" if spec.type_name == "char" else spec.type_name
+                ))
+                reduce_buffers.append(buf)
+                new_parameters.append(buf)
+            else:
+                assert isinstance(spec, Constant)
+                new_parameters.append(bundled)
+
+        try:
+            program(ctx, *new_parameters)
+        except Exception:  # noqa: BLE001 - a failed copy poisons the call
+            status_var.define(failure_tuple(Status.ERROR))
+            return
+
+        # §F.4 tail: pack local status + reductions into the result tuple.
+        if status_cell is not None:
+            if not status_cell.assigned:
+                # §4.3.1 requires the program to assign status before
+                # completing; not doing so is a program error.
+                local_status = int(Status.ERROR)
+            else:
+                local_status = int(status_cell.value)
+        else:
+            local_status = int(Status.OK)
+        result: list[Any] = [local_status]
+        for spec, buf in zip(reduce_list, reduce_buffers):
+            value = buf.copy()
+            result.append(value[0].item() if spec.length == 1 else value)
+        status_var.define(tuple(result))
+
+    return wrapper_first_level
+
+
+def bundle_parameters(
+    specs: Sequence[ParamSpec],
+) -> tuple[tuple, tuple]:
+    """Build the ``parms`` value passed to ``do_all`` (§F.2/§F.5).
+
+    Constants travel by value; Local specs travel as their array IDs;
+    Index/Status/Reduce positions travel as placeholders (None).  Reduction
+    lengths travel alongside so the first-level wrapper can declare buffers.
+    """
+    bundle: list[Any] = []
+    lengths: list[int] = []
+    for spec in specs:
+        if isinstance(spec, Constant):
+            bundle.append(spec.value)
+        elif isinstance(spec, Local):
+            bundle.append(spec.array_id)
+        else:
+            bundle.append(None)
+            if isinstance(spec, Reduce):
+                lengths.append(spec.length)
+    return tuple(bundle), tuple(lengths)

@@ -1,0 +1,43 @@
+"""The paper's contribution as a pythonic public API (§2.1).
+
+The integration model adds two operations to the task-parallel repertoire:
+*creation and manipulation of distributed data structures*, and *calls to
+data-parallel programs* (§2.1).  :class:`~repro.core.runtime
+.IntegratedRuntime` exposes exactly those, plus one helper class per
+problem class of §2.3:
+
+* :class:`~repro.core.pipeline.Pipeline` — pipelined computations (§2.3.2);
+* :class:`~repro.core.coupled.CoupledSimulation` — coupled simulations
+  (§2.3.1);
+* :class:`~repro.core.reactive.ReactiveGraph` — reactive / discrete-event
+  computations (§2.3.3);
+* :class:`~repro.core.farm.TaskFarm` — inherently parallel computations
+  (§2.3.4);
+
+and the §7.2.1 extension, :class:`~repro.core.channels.Channel` (direct
+communication between concurrently-executing data-parallel programs).
+"""
+
+from repro.core.runtime import IntegratedRuntime
+from repro.core.darray import DistributedArray
+from repro.core.pipeline import Pipeline, Stage
+from repro.core.coupled import Component, CoupledSimulation
+from repro.core.reactive import ReactiveGraph, ReactiveNode, Event
+from repro.core.farm import TaskFarm
+from repro.core.channels import Channel
+from repro.core.alternative import call_task_parallel_on
+
+__all__ = [
+    "IntegratedRuntime",
+    "DistributedArray",
+    "Pipeline",
+    "Stage",
+    "Component",
+    "CoupledSimulation",
+    "ReactiveGraph",
+    "ReactiveNode",
+    "Event",
+    "TaskFarm",
+    "Channel",
+    "call_task_parallel_on",
+]

@@ -1,0 +1,130 @@
+"""Direct communication between data-parallel programs — the §7.2.1
+extension.
+
+The base model routes *all* data exchanged between different data-parallel
+programs through the common task-parallel caller, which "creates a
+bottleneck for problems in which there is a significant amount of data to
+be exchanged" (§7.2.1).  The proposed extension: let concurrently-executing
+data-parallel programs communicate over **channels defined by the
+task-parallel calling program and passed to the data-parallel programs as
+parameters** (the Fortran M approach).
+
+:class:`Channel` implements that extension.  The task-parallel program —
+which knows both processor groups — creates the channel; each side's copies
+obtain an end from their context.  Copy ``r`` of the producer call is wired
+to copy ``r`` of the consumer call (groups must be the same size), and
+traffic is DATA_PARALLEL-typed under the channel's private group id, so it
+can never conflict with either call's internal communication or with PCN
+traffic (§3.4.1 extended).
+
+The S-7.2.1 benchmark compares stage-to-stage transfer through the
+task-parallel level against transfer over a channel.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Hashable, Optional, Sequence
+
+from repro.spmd.context import SPMDContext
+from repro.vp.machine import Machine
+from repro.vp.message import MessageType
+
+_channel_ids = itertools.count()
+
+
+class ChannelEnd:
+    """One copy's handle on a channel (producer or consumer side)."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        my_proc: int,
+        peer_proc: int,
+        group: Hashable,
+        rank: int,
+    ) -> None:
+        self._machine = machine
+        self._my_proc = my_proc
+        self._peer_proc = peer_proc
+        self._group = group
+        self.rank = rank
+
+    def send(self, payload: Any, tag: Hashable = None) -> None:
+        self._machine.send(
+            source=self._my_proc,
+            dest=self._peer_proc,
+            payload=payload,
+            mtype=MessageType.DATA_PARALLEL,
+            tag=tag,
+            group=self._group,
+        )
+
+    def recv(self, tag: Hashable = None, timeout: Optional[float] = None) -> Any:
+        node = self._machine.processor(self._my_proc)
+        msg = node.mailbox.recv(
+            mtype=MessageType.DATA_PARALLEL,
+            tag=tag,
+            source=self._peer_proc,
+            group=self._group,
+            timeout=timeout,
+        )
+        return msg.payload
+
+
+class Channel:
+    """A rank-to-rank conduit between two concurrent distributed calls."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        side_a_processors: Sequence[int],
+        side_b_processors: Sequence[int],
+    ) -> None:
+        a = tuple(int(p) for p in side_a_processors)
+        b = tuple(int(p) for p in side_b_processors)
+        if len(a) != len(b):
+            raise ValueError(
+                f"channel endpoints must have equal widths: {len(a)} vs "
+                f"{len(b)} (copy r talks to copy r)"
+            )
+        self.machine = machine
+        self.side_a = a
+        self.side_b = b
+        self.group = ("channel", next(_channel_ids))
+
+    @property
+    def width(self) -> int:
+        return len(self.side_a)
+
+    def end_a(self, ctx: SPMDContext) -> ChannelEnd:
+        """The side-A end for one copy (its rank selects the pairing)."""
+        self._check_membership(ctx, self.side_a, "A")
+        return ChannelEnd(
+            self.machine,
+            self.side_a[ctx.index],
+            self.side_b[ctx.index],
+            self.group,
+            ctx.index,
+        )
+
+    def end_b(self, ctx: SPMDContext) -> ChannelEnd:
+        self._check_membership(ctx, self.side_b, "B")
+        return ChannelEnd(
+            self.machine,
+            self.side_b[ctx.index],
+            self.side_a[ctx.index],
+            self.group,
+            ctx.index,
+        )
+
+    def _check_membership(
+        self, ctx: SPMDContext, side: tuple[int, ...], label: str
+    ) -> None:
+        if ctx.index >= len(side) or side[ctx.index] != ctx.processor_number:
+            raise ValueError(
+                f"copy index {ctx.index} on vp{ctx.processor_number} is not "
+                f"rank {ctx.index} of channel side {label} {list(side)}; the "
+                "channel must be created over the same processor groups as "
+                "the distributed calls using it"
+            )

@@ -1,0 +1,224 @@
+"""Pythonic handle for distributed arrays.
+
+Wraps an :class:`~repro.arrays.record.ArrayID` with the §3.2.1.5 operation
+set — element read/write by global indices, info queries, border
+verification, deletion — raising typed exceptions instead of returning
+Status values, plus NumPy gather/scatter conveniences built on bulk section
+transfer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from repro.arrays import am_user
+from repro.arrays.layout import ArrayLayout
+from repro.arrays.record import ArrayID
+from repro.pcn.defvar import DefVar
+from repro.status import ArrayNotFoundError, Status, check_status
+from repro.vp.machine import Machine
+
+
+class DistributedArray:
+    """A distributed array viewed as a global construct (§3.1.3)."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        array_id: ArrayID,
+        layout: ArrayLayout,
+        processors: tuple[int, ...],
+        type_name: str,
+    ) -> None:
+        self.machine = machine
+        self.array_id = array_id
+        self.layout = layout
+        self.processors = processors
+        self.type_name = type_name
+        self._freed = False
+
+    # -- creation ------------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        machine: Machine,
+        type_name: str,
+        dims: Sequence[int],
+        processors: Sequence[int],
+        distrib: Sequence,
+        borders: Any = None,
+        indexing: str = "row",
+        on_processor: int = 0,
+    ) -> "DistributedArray":
+        """Create a distributed array, raising on failure."""
+        array_id, status = am_user.create_array(
+            machine,
+            type_name,
+            dims,
+            processors,
+            distrib,
+            border_info=borders,
+            indexing_type=indexing,
+            processor=on_processor,
+        )
+        check_status(
+            status,
+            f"create_array({type_name}, dims={tuple(dims)}, "
+            f"distrib={tuple(distrib)}) failed: {status.name}",
+        )
+        grid_dims, st = am_user.find_info(machine, array_id, "grid_dimensions")
+        check_status(st)
+        border_list, st = am_user.find_info(machine, array_id, "borders")
+        check_status(st)
+        indexing_type, st = am_user.find_info(machine, array_id, "indexing_type")
+        check_status(st)
+        layout = ArrayLayout(
+            dims=tuple(int(d) for d in dims),
+            grid=tuple(int(g) for g in grid_dims),
+            borders=tuple(int(b) for b in border_list),
+            indexing=indexing_type,
+            grid_indexing=indexing_type,
+        )
+        return cls(
+            machine,
+            array_id,
+            layout,
+            tuple(int(p) for p in processors),
+            type_name,
+        )
+
+    # -- element access ---------------------------------------------------------------
+
+    def _check_live(self) -> None:
+        if self._freed:
+            raise ArrayNotFoundError(f"array {self.array_id} has been freed")
+
+    def __getitem__(self, indices) -> Any:
+        self._check_live()
+        if not isinstance(indices, tuple):
+            indices = (indices,)
+        value, status = am_user.read_element(self.machine, self.array_id, indices)
+        check_status(status, f"read_element{indices} failed")
+        return value
+
+    def __setitem__(self, indices, value) -> None:
+        self._check_live()
+        if not isinstance(indices, tuple):
+            indices = (indices,)
+        status = am_user.write_element(
+            self.machine, self.array_id, indices, value
+        )
+        check_status(status, f"write_element{indices} failed")
+
+    # -- info ---------------------------------------------------------------------------
+
+    @property
+    def dims(self) -> tuple[int, ...]:
+        return self.layout.dims
+
+    @property
+    def grid(self) -> tuple[int, ...]:
+        return self.layout.grid
+
+    @property
+    def local_dims(self) -> tuple[int, ...]:
+        return self.layout.local_dims
+
+    def info(self, which: str) -> Any:
+        self._check_live()
+        value, status = am_user.find_info(self.machine, self.array_id, which)
+        check_status(status, f"find_info({which!r}) failed")
+        return value
+
+    # -- borders ----------------------------------------------------------------------------
+
+    def verify_borders(self, border_info: Any, indexing: Optional[str] = None) -> None:
+        """§4.2.7: ensure borders match, reallocating sections if needed."""
+        self._check_live()
+        status = am_user.verify_array(
+            self.machine,
+            self.array_id,
+            self.layout.rank,
+            border_info,
+            indexing if indexing is not None else self.layout.indexing,
+        )
+        check_status(status, "verify_array failed")
+        borders, st = am_user.find_info(self.machine, self.array_id, "borders")
+        check_status(st)
+        self.layout = self.layout.replace_borders(tuple(int(b) for b in borders))
+
+    # -- lifetime ------------------------------------------------------------------------------
+
+    def free(self) -> None:
+        self._check_live()
+        status = am_user.free_array(self.machine, self.array_id)
+        check_status(status, "free_array failed")
+        self._freed = True
+
+    def __enter__(self) -> "DistributedArray":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if not self._freed:
+            self.free()
+
+    # -- bulk transfer (gather/scatter through the TP level) -------------------------------------
+
+    def _section_slices(self, section: int) -> tuple[slice, ...]:
+        coords = self.layout.section_coords(section)
+        return tuple(
+            slice(c * ld, (c + 1) * ld)
+            for c, ld in zip(coords, self.layout.local_dims)
+        )
+
+    def to_numpy(self) -> np.ndarray:
+        """Assemble the global array on the caller (one section copy per
+        processor; data crosses address spaces by message copy)."""
+        self._check_live()
+        out = np.empty(self.layout.dims, dtype=np.dtype(
+            {"int": np.int64, "double": np.float64, "complex": np.complex128}[
+                self.type_name
+            ]
+        ))
+        for section, proc in enumerate(self.processors):
+            data_out = DefVar("section_data")
+            status = DefVar("section_status")
+            self.machine.server.request(
+                "read_section_local",
+                self.array_id,
+                data_out,
+                status,
+                processor=proc,
+            )
+            check_status(Status(status.read()), "read_section_local failed")
+            out[self._section_slices(section)] = data_out.read()
+        return out
+
+    def from_numpy(self, values: np.ndarray) -> None:
+        """Scatter a global NumPy array into the local sections."""
+        self._check_live()
+        values = np.asarray(values)
+        if tuple(values.shape) != self.layout.dims:
+            raise ValueError(
+                f"shape {values.shape} != array dims {self.layout.dims}"
+            )
+        for section, proc in enumerate(self.processors):
+            status = DefVar("section_status")
+            self.machine.server.request(
+                "write_section_local",
+                self.array_id,
+                values[self._section_slices(section)].copy(),
+                status,
+                processor=proc,
+            )
+            check_status(Status(status.read()), "write_section_local failed")
+
+    def __repr__(self) -> str:
+        return (
+            f"<DistributedArray {self.array_id} {self.type_name}"
+            f"{list(self.dims)} grid={list(self.grid)}"
+            f"{' FREED' if self._freed else ''}>"
+        )

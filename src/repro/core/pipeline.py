@@ -1,0 +1,214 @@
+"""Pipelined computations (§2.3.2, Fig 2.2).
+
+A problem in this class decomposes into subproblems forming pipeline
+stages; the stages execute concurrently as tasks, each stage typically a
+data-parallel program on its own processor group.  "Except during the
+initial filling of the pipeline, all stages can operate concurrently" —
+the property the FIG-2.2 benchmark measures.
+
+:class:`Pipeline` wires one PCN process per stage, connected by
+definitional streams (the §6.2 program structure).  Each stage applies its
+``work`` function to successive items; ``work`` is ordinary Python and may
+make distributed calls on the stage's processor group.
+
+Instrumentation records per-item service intervals per stage, from which
+:class:`PipelineResult` derives both measured wall-clock figures and the
+GIL-independent *simulated* makespans (sequential vs pipelined) used for
+shape comparison.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+from repro.pcn.process import ProcessGroup
+from repro.pcn.streams import Stream, StreamWriter, stream_pair
+
+
+@dataclass
+class Stage:
+    """One pipeline stage.
+
+    ``work(item) -> item`` transforms one data set; ``processors`` is the
+    stage's processor group (informational — ``work`` closes over it when
+    making distributed calls).
+    """
+
+    name: str
+    work: Callable[[Any], Any]
+    processors: Optional[Sequence[int]] = None
+
+
+@dataclass
+class StageRecord:
+    """Service intervals for one stage: (item_index, start, end)."""
+
+    name: str
+    intervals: list = field(default_factory=list)
+
+    def busy_time(self) -> float:
+        return sum(end - start for _, start, end in self.intervals)
+
+    def service_times(self) -> list[float]:
+        return [end - start for _, start, end in self.intervals]
+
+
+@dataclass
+class PipelineResult:
+    """Outputs plus timing instrumentation for one pipeline run."""
+
+    outputs: list
+    records: list[StageRecord]
+    wall_time: float
+
+    def stage_busy_times(self) -> dict[str, float]:
+        return {r.name: r.busy_time() for r in self.records}
+
+    def simulated_sequential_makespan(self) -> float:
+        """Makespan had the stages run one-after-another per item (no
+        overlap): the sum of every service time."""
+        return sum(r.busy_time() for r in self.records)
+
+    def simulated_pipelined_makespan(self) -> float:
+        """Ideal pipelined makespan from the measured service times: fill
+        the pipeline with the first item, then the bottleneck stage paces
+        every further item (Fig 2.2's steady state)."""
+        if not self.records or not self.records[0].intervals:
+            return 0.0
+        n_items = len(self.records[0].intervals)
+        first_item = sum(
+            r.service_times()[0] for r in self.records if r.service_times()
+        )
+        bottleneck = max(
+            max(r.service_times()) if r.service_times() else 0.0
+            for r in self.records
+        )
+        return first_item + bottleneck * (n_items - 1)
+
+    def simulated_speedup(self) -> float:
+        """Sequential/pipelined makespan ratio — approaches the number of
+        (balanced) stages as the item count grows."""
+        pipelined = self.simulated_pipelined_makespan()
+        if pipelined == 0.0:
+            return 1.0
+        return self.simulated_sequential_makespan() / pipelined
+
+    def steady_state_speedup(self) -> float:
+        """Like :meth:`simulated_speedup` but built from *median* service
+        times, making it robust to scheduling-noise spikes in any single
+        interval (the estimator used by the FIG-2.2 benchmark)."""
+        medians = []
+        for record in self.records:
+            times = sorted(record.service_times())
+            if not times:
+                return 1.0
+            medians.append(times[len(times) // 2])
+        n_items = len(self.records[0].intervals)
+        if n_items == 0:
+            return 1.0
+        sequential = sum(medians) * n_items
+        pipelined = sum(medians) + max(medians) * (n_items - 1)
+        return sequential / pipelined if pipelined else 1.0
+
+    def overlap_intervals(self) -> float:
+        """Total time during which >= 2 stages were simultaneously busy in
+        the *actual* run (0 for a sequential execution)."""
+        edges = []
+        for record in self.records:
+            for _, start, end in record.intervals:
+                edges.append((start, 1))
+                edges.append((end, -1))
+        edges.sort()
+        overlap = 0.0
+        depth = 0
+        prev = None
+        for t, delta in edges:
+            if prev is not None and depth >= 2:
+                overlap += t - prev
+            depth += delta
+            prev = t
+        return overlap
+
+
+class Pipeline:
+    """A linear pipeline of concurrently-executing stages."""
+
+    def __init__(self, stages: Sequence[Stage]) -> None:
+        if not stages:
+            raise ValueError("a pipeline needs at least one stage")
+        self.stages = list(stages)
+
+    def _stage_process(
+        self,
+        stage: Stage,
+        record: StageRecord,
+        upstream: Stream,
+        downstream: StreamWriter,
+    ) -> None:
+        index = 0
+        try:
+            for item in upstream:
+                start = time.perf_counter()
+                result = stage.work(item)
+                end = time.perf_counter()
+                record.intervals.append((index, start, end))
+                downstream.send(result)
+                index += 1
+        finally:
+            # Close downstream even when the stage body raises, so the
+            # rest of the pipeline drains and terminates instead of
+            # suspending on an undefined stream cell; the error itself
+            # propagates through the process join.
+            downstream.close()
+
+    def run(
+        self, items: Iterable[Any], timeout: Optional[float] = None
+    ) -> PipelineResult:
+        """Feed ``items`` through the pipeline; all stages run concurrently
+        as PCN processes connected by streams."""
+        records = [StageRecord(s.name) for s in self.stages]
+        head, feed = stream_pair()
+        upstream = head
+        group = ProcessGroup()
+        for stage, record in zip(self.stages, records):
+            out_stream, out_writer = stream_pair()
+            group.spawn(
+                self._stage_process, stage, record, upstream, out_writer
+            )
+            upstream = out_stream
+        tail = upstream
+
+        started = time.perf_counter()
+        outputs: list[Any] = []
+
+        def consume() -> None:
+            for item in tail:
+                outputs.append(item)
+
+        group.spawn(consume)
+        for item in items:
+            feed.send(item)
+        feed.close()
+        group.join_all(timeout=timeout)
+        wall = time.perf_counter() - started
+        return PipelineResult(outputs=outputs, records=records, wall_time=wall)
+
+    def run_sequential(
+        self, items: Iterable[Any]
+    ) -> PipelineResult:
+        """Baseline: apply every stage to each item on one thread of
+        control (the unintegrated, purely data-parallel formulation)."""
+        records = [StageRecord(s.name) for s in self.stages]
+        outputs = []
+        started = time.perf_counter()
+        for index, item in enumerate(items):
+            for stage, record in zip(self.stages, records):
+                t0 = time.perf_counter()
+                item = stage.work(item)
+                t1 = time.perf_counter()
+                record.intervals.append((index, t0, t1))
+            outputs.append(item)
+        wall = time.perf_counter() - started
+        return PipelineResult(outputs=outputs, records=records, wall_time=wall)

@@ -1,0 +1,53 @@
+"""PCN-style task-parallel substrate (§3.1.1, §A of the thesis).
+
+This package embeds the semantics of Program Composition Notation in
+Python:
+
+* :class:`~repro.pcn.defvar.DefVar` — single-assignment (definitional)
+  variables whose readers suspend until the variable is defined.
+* :class:`~repro.pcn.defvar.Mutable` — multiple-assignment variables with
+  the PCN sharing restriction (§3.1.1.4).
+* :mod:`~repro.pcn.streams` — definitional streams (cons lists of
+  definitional variables), PCN's communication mechanism (§A.3).
+* :mod:`~repro.pcn.composition` — sequential, parallel, and choice
+  composition (§A.1).
+"""
+
+from repro.pcn.defvar import DefVar, Mutable, data, is_defvar
+from repro.pcn.streams import (
+    EMPTY,
+    Stream,
+    StreamClosed,
+    stream_from_iterable,
+    stream_to_list,
+)
+from repro.pcn.composition import (
+    Guard,
+    choice,
+    default,
+    par,
+    par_for,
+    seq,
+)
+from repro.pcn.process import Process, ProcessGroup, spawn
+
+__all__ = [
+    "DefVar",
+    "Mutable",
+    "data",
+    "is_defvar",
+    "EMPTY",
+    "Stream",
+    "StreamClosed",
+    "stream_from_iterable",
+    "stream_to_list",
+    "Guard",
+    "choice",
+    "default",
+    "par",
+    "par_for",
+    "seq",
+    "Process",
+    "ProcessGroup",
+    "spawn",
+]

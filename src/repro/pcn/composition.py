@@ -1,0 +1,155 @@
+"""Sequential, parallel, and choice composition (§A.1).
+
+PCN builds programs by composing statements three ways::
+
+    {; A, B}    sequential composition  ->  seq(A, B)
+    {|| A, B}   parallel composition    ->  par(A, B)
+    {? g1 -> A, g2 -> B}  choice        ->  choice((g1, A), (g2, B))
+
+Statements are represented as zero-argument callables (thunks).  ``par``
+creates one process per statement and waits for all of them to terminate —
+exactly the operational semantics given in §3.1.1.1.
+
+Choice composition evaluates guards in order.  A guard may *suspend* by
+raising :class:`GuardSuspend` when a definitional variable it needs is still
+undefined (the ``data`` test); ``choice`` then waits for that variable and
+re-evaluates.  At most one alternative's body executes.  A ``default``
+alternative fires when every other guard evaluates to a definite False.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Optional, Sequence, Union
+
+from repro.pcn.defvar import DefVar
+from repro.pcn.process import ProcessGroup
+
+Thunk = Callable[[], Any]
+
+
+def seq(*statements: Thunk) -> list:
+    """Execute statements in order; return their results."""
+    return [stmt() for stmt in statements]
+
+
+def par(*statements: Thunk, timeout: Optional[float] = None) -> list:
+    """Execute statements concurrently; wait for all to terminate.
+
+    Equivalent to PCN's ``{|| ...}``: one process per statement, joined
+    before ``par`` returns (§3.1.1.1).
+    """
+    group = ProcessGroup()
+    for stmt in statements:
+        group.spawn(stmt)
+    return group.join_all(timeout=timeout)
+
+
+def par_for(
+    count: int,
+    body: Callable[[int], Any],
+    timeout: Optional[float] = None,
+) -> list:
+    """Parallel quantification: run ``body(i)`` for i in 0..count-1.
+
+    The PCN idiom ``{|| i over 0..n-1 :: body(i)}``.
+    """
+    group = ProcessGroup()
+    for i in range(count):
+        group.spawn(body, i)
+    return group.join_all(timeout=timeout)
+
+
+class GuardSuspend(Exception):
+    """Raised inside a guard when a needed definitional variable is
+    undefined; carries the variables to wait on before retrying."""
+
+    def __init__(self, *variables: DefVar) -> None:
+        super().__init__("guard suspended on undefined variable")
+        self.variables = list(variables)
+
+
+def need(var: DefVar) -> Any:
+    """Read ``var`` inside a guard, suspending the guard if undefined.
+
+    Guards must not block (all alternatives are notionally evaluated
+    together), so an undefined variable raises :class:`GuardSuspend` and the
+    enclosing ``choice`` re-evaluates once the variable is defined.
+    """
+    if isinstance(var, DefVar):
+        if not var.data():
+            raise GuardSuspend(var)
+        return var.peek()
+    return var
+
+
+class _Default:
+    """Sentinel guard for the ``default`` alternative."""
+
+    def __repr__(self) -> str:
+        return "default"
+
+
+default = _Default()
+
+Guard = Union[Callable[[], Any], bool, _Default]
+
+
+def _evaluate_guard(guard: Guard) -> bool:
+    if isinstance(guard, bool):
+        return guard
+    if isinstance(guard, _Default):
+        raise TypeError("default alternative evaluated as a normal guard")
+    return bool(guard())
+
+
+def choice(
+    *alternatives: tuple[Guard, Thunk],
+    timeout: Optional[float] = None,
+) -> Any:
+    """Choice composition ``{? g1 -> b1, g2 -> b2, default -> bd}``.
+
+    Evaluates guards; executes the body of the first alternative whose guard
+    is True.  Guards that suspend (via :func:`need`) cause ``choice`` to wait
+    for the needed variables and re-evaluate.  The ``default`` body runs only
+    when *every* other guard is definitely False.  If all guards are False
+    and there is no default, ``choice`` is a no-op (PCN semantics).
+    """
+    normal: list[tuple[Guard, Thunk]] = []
+    default_body: Optional[Thunk] = None
+    for guard, body in alternatives:
+        if isinstance(guard, _Default):
+            if default_body is not None:
+                raise ValueError("choice with two default alternatives")
+            default_body = body
+        else:
+            normal.append((guard, body))
+
+    while True:
+        suspended_on: list[DefVar] = []
+        any_suspended = False
+        for guard, body in normal:
+            try:
+                if _evaluate_guard(guard):
+                    return body()
+            except GuardSuspend as suspend:
+                any_suspended = True
+                suspended_on.extend(suspend.variables)
+        if not any_suspended:
+            if default_body is not None:
+                return default_body()
+            return None
+        _wait_for_any(suspended_on, timeout=timeout)
+
+
+def _wait_for_any(variables: Sequence[DefVar], timeout: Optional[float]) -> None:
+    """Block until at least one of ``variables`` becomes defined."""
+    event = threading.Event()
+    for var in variables:
+        var.on_define(lambda _value: event.set())
+    limit = 30.0 if timeout is None else timeout
+    if not event.wait(timeout=limit):
+        raise TimeoutError(
+            "choice suspended indefinitely: no guard variable was defined "
+            f"within {limit}s"
+        )

@@ -1,0 +1,185 @@
+"""Definitional (single-assignment) and mutable variables (§3.1.1.2-§3.1.1.4).
+
+PCN's synchronisation model rests on *definition variables*: a variable that
+starts in a special "undefined" state, can be assigned (*defined*) at most
+once, and suspends any process that needs its value until the definition
+happens.  Conflicting access to shared *mutable* variables is prevented by
+the PCN restriction that concurrent sharers must not write (§3.1.1.4); the
+:class:`Mutable` here enforces that restriction dynamically.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Iterator, Optional
+
+from repro.status import SharedVariableConflictError, SingleAssignmentError
+
+_UNDEFINED = object()
+
+# Default number of seconds a reader waits before declaring deadlock.  PCN
+# programs that suspend forever are erroneous; an explicit timeout converts a
+# hang into a diagnosable failure, which matters for a test suite.
+DEFAULT_TIMEOUT: float = 30.0
+
+
+class DefVar:
+    """A single-assignment variable.
+
+    ``define(value)`` assigns the value exactly once; a second ``define``
+    raises :class:`SingleAssignmentError`.  ``read()`` returns the value,
+    suspending the calling thread until the variable is defined.  ``data()``
+    is a non-blocking probe (PCN's ``data`` guard).
+    """
+
+    __slots__ = ("_value", "_cond", "name", "_waiters")
+
+    def __init__(self, name: str = "") -> None:
+        self._value: Any = _UNDEFINED
+        self._cond = threading.Condition()
+        self._waiters: list[Callable[[Any], None]] = []
+        self.name = name
+
+    def define(self, value: Any) -> None:
+        """Assign ``value``; legal at most once (§3.1.1.2)."""
+        if isinstance(value, DefVar):
+            # Defining one definitional variable to be another aliases them:
+            # propagate the value when the source becomes defined.
+            value.on_define(self.define)
+            return
+        with self._cond:
+            if self._value is not _UNDEFINED:
+                raise SingleAssignmentError(
+                    f"definition variable {self.name or id(self)} defined twice"
+                )
+            self._value = value
+            waiters = self._waiters
+            self._waiters = []
+            self._cond.notify_all()
+        for callback in waiters:
+            callback(value)
+
+    def read(self, timeout: Optional[float] = None) -> Any:
+        """Return the value, suspending until the variable is defined."""
+        limit = DEFAULT_TIMEOUT if timeout is None else timeout
+        with self._cond:
+            if self._value is _UNDEFINED:
+                ok = self._cond.wait_for(
+                    lambda: self._value is not _UNDEFINED, timeout=limit
+                )
+                if not ok:
+                    raise TimeoutError(
+                        f"read of undefined variable {self.name or id(self)} "
+                        f"timed out after {limit}s (suspended process)"
+                    )
+            return self._value
+
+    def data(self) -> bool:
+        """Non-blocking: is the variable defined?  (PCN ``data`` guard.)"""
+        with self._cond:
+            return self._value is not _UNDEFINED
+
+    def peek(self) -> Any:
+        """Return the value without blocking; raises if undefined."""
+        with self._cond:
+            if self._value is _UNDEFINED:
+                raise ValueError("variable is undefined")
+            return self._value
+
+    def on_define(self, callback: Callable[[Any], None]) -> None:
+        """Invoke ``callback(value)`` once the variable is defined.
+
+        If already defined the callback runs immediately on the caller's
+        thread; otherwise it runs on the defining thread.
+        """
+        with self._cond:
+            if self._value is _UNDEFINED:
+                self._waiters.append(callback)
+                return
+            value = self._value
+        callback(value)
+
+    def __repr__(self) -> str:
+        with self._cond:
+            if self._value is _UNDEFINED:
+                state = "undefined"
+            else:
+                state = f"= {self._value!r}"
+        label = self.name or f"0x{id(self):x}"
+        return f"<DefVar {label} {state}>"
+
+
+def is_defvar(obj: Any) -> bool:
+    """True when ``obj`` is a definitional variable."""
+    return isinstance(obj, DefVar)
+
+
+def data(obj: Any) -> bool:
+    """PCN's ``data`` guard: defined variables and plain values are data."""
+    if isinstance(obj, DefVar):
+        return obj.data()
+    return True
+
+
+def resolve(obj: Any, timeout: Optional[float] = None) -> Any:
+    """Dereference ``obj`` if it is a definitional variable, else return it."""
+    if isinstance(obj, DefVar):
+        return obj.read(timeout=timeout)
+    return obj
+
+
+class Mutable:
+    """A multiple-assignment variable with PCN's sharing restriction.
+
+    The paper prevents conflicting access by requiring that when two
+    concurrently-executing processes share a mutable, *neither* writes to it
+    (§3.1.1.4).  We enforce a dynamic approximation: a mutable records the
+    thread that owns write access; a write from a different thread while the
+    owner still exists raises :class:`SharedVariableConflictError` unless
+    ownership has been explicitly transferred with :meth:`transfer`.
+    """
+
+    __slots__ = ("_value", "_owner", "_lock", "name")
+
+    def __init__(self, value: Any = None, name: str = "") -> None:
+        self._value = value
+        self._owner: Optional[int] = threading.get_ident()
+        self._lock = threading.Lock()
+        self.name = name
+
+    def get(self) -> Any:
+        with self._lock:
+            return self._value
+
+    def set(self, value: Any) -> None:
+        me = threading.get_ident()
+        with self._lock:
+            if self._owner is not None and self._owner != me:
+                raise SharedVariableConflictError(
+                    f"mutable {self.name or id(self)} written by thread {me} "
+                    f"while owned by thread {self._owner} (§3.1.1.4)"
+                )
+            self._value = value
+
+    def transfer(self, thread_ident: Optional[int] = None) -> None:
+        """Hand write-ownership to ``thread_ident`` (None = next writer)."""
+        with self._lock:
+            self._owner = thread_ident
+
+    def adopt(self) -> None:
+        """Claim write-ownership for the calling thread."""
+        with self._lock:
+            if self._owner is None:
+                self._owner = threading.get_ident()
+            elif self._owner != threading.get_ident():
+                raise SharedVariableConflictError(
+                    f"mutable {self.name or id(self)} already owned"
+                )
+
+    def __repr__(self) -> str:
+        return f"<Mutable {self.name or hex(id(self))} = {self._value!r}>"
+
+
+def wait_all(variables: Iterator[DefVar], timeout: Optional[float] = None) -> list:
+    """Read every variable, suspending until all are defined."""
+    return [v.read(timeout=timeout) for v in variables]

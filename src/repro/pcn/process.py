@@ -1,0 +1,117 @@
+"""Processes and dynamic process creation (§3.1.1.1).
+
+A PCN parallel composition creates one concurrently-executing process per
+statement and waits for all of them to terminate.  :class:`Process` wraps a
+Python thread with error propagation; :class:`ProcessGroup` is the join
+barrier used by ``par``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Optional
+
+
+class Process:
+    """A concurrently-executing unit of computation.
+
+    Exceptions raised by the body are captured and re-raised by
+    :meth:`join`, so failures in a parallel composition surface in the
+    composing process rather than being lost on a daemon thread.
+    """
+
+    _counter = 0
+    _counter_lock = threading.Lock()
+
+    def __init__(
+        self,
+        target: Callable[..., Any],
+        args: tuple = (),
+        kwargs: Optional[dict] = None,
+        name: str = "",
+        processor: Optional[int] = None,
+    ) -> None:
+        with Process._counter_lock:
+            Process._counter += 1
+            seq = Process._counter
+        self.name = name or f"pcn-process-{seq}"
+        self.processor = processor
+        self._target = target
+        self._args = args
+        self._kwargs = kwargs or {}
+        self._error: Optional[BaseException] = None
+        self._result: Any = None
+        self._thread = threading.Thread(
+            target=self._run, name=self.name, daemon=True
+        )
+
+    def _run(self) -> None:
+        try:
+            self._result = self._target(*self._args, **self._kwargs)
+        except BaseException as exc:  # noqa: BLE001 - propagated via join()
+            self._error = exc
+
+    def start(self) -> "Process":
+        self._thread.start()
+        return self
+
+    def join(self, timeout: Optional[float] = None) -> Any:
+        self._thread.join(timeout=timeout)
+        if self._thread.is_alive():
+            raise TimeoutError(f"process {self.name} did not terminate")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def is_alive(self) -> bool:
+        return self._thread.is_alive()
+
+    @property
+    def result(self) -> Any:
+        return self._result
+
+
+def spawn(
+    target: Callable[..., Any],
+    *args: Any,
+    name: str = "",
+    processor: Optional[int] = None,
+    **kwargs: Any,
+) -> Process:
+    """Create and start a process (PCN dynamic process creation)."""
+    return Process(
+        target, args=args, kwargs=kwargs, name=name, processor=processor
+    ).start()
+
+
+class ProcessGroup:
+    """A set of processes joined together (a parallel composition)."""
+
+    def __init__(self) -> None:
+        self._processes: list[Process] = []
+
+    def spawn(self, target: Callable[..., Any], *args: Any, **kwargs: Any) -> Process:
+        proc = spawn(target, *args, **kwargs)
+        self._processes.append(proc)
+        return proc
+
+    def add(self, process: Process) -> None:
+        self._processes.append(process)
+
+    def join_all(self, timeout: Optional[float] = None) -> list:
+        """Wait for every process; re-raise the first captured error."""
+        results = []
+        first_error: Optional[BaseException] = None
+        for proc in self._processes:
+            try:
+                results.append(proc.join(timeout=timeout))
+            except BaseException as exc:  # noqa: BLE001
+                if first_error is None:
+                    first_error = exc
+                results.append(None)
+        if first_error is not None:
+            raise first_error
+        return results
+
+    def __len__(self) -> int:
+        return len(self._processes)

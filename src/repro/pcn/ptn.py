@@ -1,0 +1,290 @@
+"""PTN-style source-to-source transformation for distributed calls
+(§5.2.3, §5.2.4, §F).
+
+The thesis implements distributed calls with a Program Transformation
+Notation pass that rewrites every ``am_user:distributed_call`` into a block
+calling ``am_util:do_all`` and *generates* two wrapper programs and a
+combine program as PCN source.  The runtime machinery of
+:mod:`repro.calls.wrapper` reproduces the transformation's *behaviour* as
+closures; this module reproduces its *product*: given a call's parameter
+list, it renders the transformed block, the first- and second-level
+wrapper programs, and the combine program as PCN-syntax text, structured
+exactly like the §5.2.4 worked examples.
+
+This serves two purposes: it documents precisely what the runtime wrapper
+does (the rendered text and the executed closure are generated from the
+same parameter analysis), and it lets tests pin the transformation against
+the thesis' printed examples (xform_ex2/3/4).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.calls.params import (
+    Constant,
+    Index,
+    Local,
+    ParamSpec,
+    Reduce,
+    StatusVar,
+    normalize_parameters,
+)
+
+_label_counter = itertools.count(1)
+
+
+@dataclass
+class TransformResult:
+    """The four artefacts of one transformed distributed call (§F)."""
+
+    call_block: str
+    wrapper_first: str
+    wrapper_second: str
+    combine: str
+    wrapper_name: str = ""
+    combine_name: str = ""
+
+    def programs(self) -> str:
+        """The generated module additions, concatenated."""
+        return "\n\n".join(
+            [self.wrapper_first, self.wrapper_second, self.combine]
+        )
+
+
+@dataclass
+class _Analysis:
+    """Everything the generators need, computed once from the specs."""
+
+    specs: Sequence[ParamSpec]
+    module: str
+    program: str
+    combine_module: str
+    combine_program: str
+    has_status: bool = False
+    reduces: list = field(default_factory=list)
+    locals_: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for i, spec in enumerate(self.specs):
+            if isinstance(spec, StatusVar):
+                self.has_status = True
+            elif isinstance(spec, Reduce):
+                self.reduces.append((i, spec))
+            elif isinstance(spec, Local):
+                self.locals_.append((i, spec))
+
+    @property
+    def tuple_len(self) -> int:
+        """Length of the merged status tuple: 1 + #reductions (§F.6)."""
+        return 1 + len(self.reduces)
+
+
+def _parms_tuple_source(analysis: _Analysis) -> str:
+    """Render the bundled Parms argument of the do_all call (§F.2).
+
+    Constants appear by their source text, Local parameters by their
+    array-ID variable, Index/Status placeholders as ``_``; reduction
+    entries contribute a placeholder plus their Length at the tail (the
+    first-level wrapper peels lengths off to declare local buffers)."""
+    entries = []
+    lengths = []
+    for spec in analysis.specs:
+        if isinstance(spec, Constant):
+            entries.append(str(spec.value))
+        elif isinstance(spec, Local):
+            entries.append(f"{spec.array_id}" if isinstance(
+                spec.array_id, str
+            ) else "AA")
+        elif isinstance(spec, Reduce):
+            entries.append("_")
+            lengths.append(str(spec.length))
+        else:
+            entries.append("_")
+    return "{" + ",".join(entries + lengths) + "}"
+
+
+def transform_distributed_call(
+    parameters: Sequence,
+    module: str = "xform",
+    program: str = "cpgm",
+    processors: str = "Processors",
+    combine_module: str = "",
+    combine_program: str = "",
+    status_var: str = "Status",
+) -> TransformResult:
+    """Apply the §F transformation to one distributed call.
+
+    ``parameters`` uses the same forms as
+    :func:`repro.calls.api.distributed_call`; Local specs may carry a
+    string in place of an ArrayID so the rendered text shows the source
+    variable name (as the thesis' examples do with ``AA``).
+    """
+    specs = normalize_parameters(
+        [p if not isinstance(p, tuple) or p[:1] != ("local",) else p
+         for p in parameters]
+    )
+    n = next(_label_counter)
+    wrapper1 = f"wrapper_{n}"
+    wrapper2 = f"wrapper2_{n}"
+    combine = f"combine_{n + 1}"
+    analysis = _Analysis(
+        specs, module, program, combine_module, combine_program
+    )
+
+    result = TransformResult(
+        call_block=_render_call_block(
+            analysis, processors, wrapper1, combine, status_var
+        ),
+        wrapper_first=_render_wrapper_first(analysis, wrapper1, wrapper2),
+        wrapper_second=_render_wrapper_second(analysis, wrapper2),
+        combine=_render_combine(analysis, combine),
+        wrapper_name=wrapper1,
+        combine_name=combine,
+    )
+    return result
+
+
+def _render_call_block(
+    analysis: _Analysis,
+    processors: str,
+    wrapper1: str,
+    combine: str,
+    status_var: str,
+) -> str:
+    """The transformed call site (§F.1, §F.5): a parallel block running
+    do_all and unpacking the merged tuple into Status and the reduction
+    variables."""
+    lines = [
+        "{||",
+        f'    am_util:do_all({processors},"{analysis.module}",'
+        f'"{wrapper1}",',
+        f"        {_parms_tuple_source(analysis)},",
+        f'        "{analysis.module}","{combine}",_l1),',
+        f"    {status_var} = _l1[0]",
+    ]
+    for k, (_i, spec) in enumerate(analysis.reduces):
+        var = getattr(spec.out, "name", None) or f"RR{k}"
+        lines.append(f"    , {var} = _l1[{k + 1}]")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _render_wrapper_first(
+    analysis: _Analysis, wrapper1: str, wrapper2: str
+) -> str:
+    """The first-level wrapper (§F.3): peel reduction lengths off the
+    Parms tuple — values needed to *declare* second-level locals — and
+    delegate; a bundle that fails to match yields STATUS_INVALID."""
+    n_lengths = len(analysis.reduces)
+    peeled = ["_l7"] + [f"_l8{chr(97 + k)}" for k in range(n_lengths)]
+    pattern = ",".join(peeled)
+    forward = ",".join(["Index", "_l7", "_l1"] + peeled[1:])
+    return "\n".join(
+        [
+            f"{wrapper1}(Index,Parms,_l1)",
+            "{?  Parms ?= {" + pattern + "} ->",
+            f"        {wrapper2}({forward}),",
+            "    default ->",
+            "        _l1 = {1}",
+            "}",
+        ]
+    )
+
+
+def _render_wrapper_second(analysis: _Analysis, wrapper2: str) -> str:
+    """The second-level wrapper (§F.4): declare local status/reduction
+    variables, unbundle Parms, find_local every local section, call the
+    program, and pack the result tuple."""
+    decls = []
+    if analysis.has_status:
+        decls.append("int local_status")
+    for k, (_i, spec) in enumerate(analysis.reduces):
+        ctype = {"double": "double", "int": "int", "char": "char",
+                 "complex": "double"}[spec.type_name]
+        decls.append(f"{ctype} _l7{chr(97 + k)}[_l8{chr(97 + k)}]")
+
+    unbundle = []
+    call_args = []
+    find_locals = []
+    for i, spec in enumerate(analysis.specs):
+        slot = f"_p{i}"
+        if isinstance(spec, Constant):
+            unbundle.append(slot)
+            call_args.append(slot)
+        elif isinstance(spec, Local):
+            unbundle.append(slot)
+            local = f"_s{i}"
+            find_locals.append(
+                f"        am_user:find_local({slot},{local},_st{i}),"
+            )
+            call_args.append(local)
+        elif isinstance(spec, Index):
+            unbundle.append("_")
+            call_args.append("Index")
+        elif isinstance(spec, StatusVar):
+            unbundle.append("_")
+            call_args.append("local_status")
+        else:  # Reduce
+            k = [j for j, (ri, _s) in enumerate(analysis.reduces)
+                 if ri == i][0]
+            unbundle.append("_")
+            call_args.append(f"_l7{chr(97 + k)}")
+
+    pack = ["_l1[0] = "
+            + ("local_status" if analysis.has_status else "0")]
+    for k in range(len(analysis.reduces)):
+        pack.append(f"_l1[{k + 1}] = _l7{chr(97 + k)}")
+
+    lengths = [f"_l8{chr(97 + k)}" for k in range(len(analysis.reduces))]
+    header_parms = ",".join(["Index", "Parms", "_l1"] + lengths)
+    lines = [f"{wrapper2}({header_parms})"]
+    lines.extend(decls)
+    lines.append("{?  Parms ?= {" + ",".join(unbundle) + "} ->")
+    lines.append("    {||")
+    lines.extend(find_locals)
+    lines.append(
+        f"        {analysis.program}({','.join(call_args)}),"
+    )
+    lines.append(f"        make_tuple({analysis.tuple_len},_l1),")
+    lines.extend(f"        {p}," for p in pack)
+    lines.append("    },")
+    lines.append("    default ->")
+    lines.append("        _l1 = {1}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _render_combine(analysis: _Analysis, combine: str) -> str:
+    """The generated combine program (§F.6): merge two result tuples,
+    status slot by the user's (or default max) combiner, each reduction
+    slot by its own combiner."""
+    status_comb = (
+        f"{analysis.combine_module}:{analysis.combine_program}"
+        if analysis.combine_module
+        else "am_util:max"
+    )
+    n = analysis.tuple_len
+    lines = [
+        f"{combine}(C_in1,C_in2,C_out)",
+        "{?  data(C_in1),tuple(C_in2),"
+        f"length(C_in1)=={n},length(C_in2)=={n} ->",
+        "    {||",
+        f"        make_tuple({n},C_out),",
+        f"        {status_comb}(C_in1[0],C_in2[0],C_out[0]),",
+    ]
+    for k, (_i, spec) in enumerate(analysis.reduces):
+        comb = spec.combine if isinstance(spec.combine, str) else getattr(
+            spec.combine, "__name__", "combine_it"
+        )
+        lines.append(
+            f"        {comb}(C_in1[{k + 1}],C_in2[{k + 1}],"
+            f"C_out[{k + 1}]),"
+        )
+    lines.append("    },")
+    lines.append("    default ->")
+    lines.append("        C_out = {1}")
+    lines.append("}")
+    return "\n".join(lines)

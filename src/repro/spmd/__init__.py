@@ -1,0 +1,41 @@
+"""SPMD data-parallel substrate (§1.2.5, §3.1.4, §3.5, §D).
+
+A *called data-parallel program* in the thesis is a multiple-address-space
+SPMD program: one copy per processor, each operating on its local section,
+communicating point-to-point with its peers.  §3.5 lays out the contract
+such programs must satisfy — the key clause being **relocatability**: a
+program must run on *any subset* of the available processors, obtaining
+processor numbers only from the ``Processors`` array it is passed.
+
+:class:`~repro.spmd.context.SPMDContext` packages that contract: it carries
+the processors array, this copy's index, and a group-scoped communicator
+whose ranks are indices into the processors array, so programs written
+against it are relocatable by construction.
+"""
+
+from repro.spmd.context import SPMDContext, OutCell
+from repro.spmd.comm import GroupComm
+from repro.spmd import (
+    collectives,
+    costs,
+    fft,
+    legacy,
+    linalg,
+    reduce_ops,
+    signal,
+    stencil,
+)
+
+__all__ = [
+    "SPMDContext",
+    "OutCell",
+    "GroupComm",
+    "collectives",
+    "costs",
+    "fft",
+    "legacy",
+    "linalg",
+    "reduce_ops",
+    "signal",
+    "stencil",
+]

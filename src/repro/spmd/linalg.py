@@ -1,0 +1,593 @@
+"""SPMD linear-algebra library (the adapted van de Velde library, §D).
+
+The thesis tested its prototype against a hand-written SPMD message-passing
+C library of linear-algebra operations: distributed vectors and matrices,
+basic vector/matrix operations, and "more complex operations including LU
+decomposition ... and solution of an LU-decomposed system" (§D.1).  This
+module is that library, rebuilt against :class:`~repro.spmd.context
+.SPMDContext` and satisfying every §3.5 requirement:
+
+* **SPMD**: each program is written to run once per processor on its local
+  section;
+* **relocatable**: processor identity comes only from the context/ranks;
+* **flat parameters**: local sections are flat contiguous storage, obtained
+  from :class:`~repro.arrays.local_section.LocalSection` views;
+* **typed communication**: all traffic flows through the group
+  communicator (DATA_PARALLEL-typed, group-scoped messages).
+
+Distribution conventions (documented per program, paper-style):
+
+* vectors are 1-D arrays distributed ``[block]``;
+* matrices are 2-D arrays distributed ``(block, "*")`` — contiguous row
+  blocks, every processor holding ``n/P`` full rows.
+
+Every program takes the context first, then its parameters in the calling
+convention of §4.3.1 examples (constants, index, locals, outputs).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Union
+
+import numpy as np
+
+from repro.arrays.local_section import LocalSection
+from repro.spmd import collectives
+from repro.spmd.context import OutCell, SPMDContext
+
+ArrayLike = Union[LocalSection, np.ndarray]
+
+
+def interior(section: ArrayLike) -> np.ndarray:
+    """Border-free ndarray view of a local section (or a raw ndarray)."""
+    if isinstance(section, LocalSection):
+        return section.interior()
+    return np.asarray(section)
+
+
+# ---------------------------------------------------------------------------
+# vector creation / filling
+# ---------------------------------------------------------------------------
+
+
+def vec_fill(ctx: SPMDContext, value: float, v: ArrayLike) -> None:
+    """Postcondition: V[i] == value for all global i."""
+    interior(v)[:] = value
+
+
+def vec_affine(ctx: SPMDContext, a: float, b: float, v: ArrayLike) -> None:
+    """Postcondition: V[i] == a*i + b for all global i.
+
+    ``vec_affine(ctx, 1, 1, v)`` reproduces the §6.1 initialisation
+    ``V[i] = i + 1``.
+    """
+    local = interior(v)
+    base = ctx.index * local.shape[0]
+    local[:] = a * (base + np.arange(local.shape[0])) + b
+
+
+def vec_copy(ctx: SPMDContext, x: ArrayLike, y: ArrayLike) -> None:
+    """Postcondition: Y == X."""
+    interior(y)[:] = interior(x)
+
+
+# ---------------------------------------------------------------------------
+# BLAS-1 style operations
+# ---------------------------------------------------------------------------
+
+
+def vec_scale(ctx: SPMDContext, alpha: float, x: ArrayLike) -> None:
+    """Postcondition: X == alpha * X_in."""
+    interior(x)[:] *= alpha
+
+
+def vec_axpy(ctx: SPMDContext, alpha: float, x: ArrayLike, y: ArrayLike) -> None:
+    """Postcondition: Y == alpha*X + Y_in."""
+    interior(y)[:] += alpha * interior(x)
+
+
+def vec_pointwise_mul(ctx: SPMDContext, x: ArrayLike, y: ArrayLike) -> None:
+    """Postcondition: Y == X .* Y_in (elementwise)."""
+    interior(y)[:] *= interior(x)
+
+
+def vec_dot(
+    ctx: SPMDContext, x: ArrayLike, y: ArrayLike, out: Union[OutCell, np.ndarray]
+) -> None:
+    """Postcondition: out == inner product of X and Y (on every copy)."""
+    local = float(interior(x) @ interior(y))
+    total = collectives.allreduce(ctx.comm, local, op="sum")
+    if isinstance(out, OutCell):
+        out.set(total)
+    else:
+        out[0] = total
+
+
+def vec_norm2(ctx: SPMDContext, x: ArrayLike, out: Union[OutCell, np.ndarray]) -> None:
+    """Postcondition: out == ||X||_2."""
+    local = float(interior(x) @ interior(x))
+    total = collectives.allreduce(ctx.comm, local, op="sum")
+    value = float(np.sqrt(total))
+    if isinstance(out, OutCell):
+        out.set(value)
+    else:
+        out[0] = value
+
+
+def vec_sum(ctx: SPMDContext, x: ArrayLike, out: Union[OutCell, np.ndarray]) -> None:
+    """Postcondition: out == sum of all elements of X."""
+    total = collectives.allreduce(ctx.comm, float(interior(x).sum()), op="sum")
+    if isinstance(out, OutCell):
+        out.set(total)
+    else:
+        out[0] = total
+
+
+def vec_allgather(ctx: SPMDContext, x: ArrayLike) -> np.ndarray:
+    """Assemble the full global vector on every copy (internal helper)."""
+    parts = collectives.allgather(ctx.comm, interior(x).copy())
+    return np.concatenate(parts)
+
+
+# ---------------------------------------------------------------------------
+# matrix operations (row-block distribution: (block, "*"))
+# ---------------------------------------------------------------------------
+
+
+def mat_fill_random(
+    ctx: SPMDContext, seed: int, scale: float, a: ArrayLike
+) -> None:
+    """Fill a row-block-distributed matrix with reproducible random values.
+
+    Precondition: the same ``seed`` on every copy.  Each copy derives a
+    per-rank stream so the global matrix is deterministic regardless of P.
+    """
+    local = interior(a)
+    rng = np.random.default_rng(seed + 7919 * ctx.index)
+    local[:] = scale * rng.standard_normal(local.shape)
+
+
+def mat_diagonally_dominant(
+    ctx: SPMDContext, seed: int, n: int, a: ArrayLike
+) -> None:
+    """Random matrix with dominant diagonal (safe for LU without pivoting
+    and for Jacobi iteration).
+
+    Precondition: A is n x n, distributed (block, "*"); n % P == 0.
+    """
+    local = interior(a)
+    rng = np.random.default_rng(seed + 7919 * ctx.index)
+    local[:] = rng.uniform(-1.0, 1.0, local.shape)
+    rows = local.shape[0]
+    base = ctx.index * rows
+    for r in range(rows):
+        local[r, base + r] = n + rng.uniform(1.0, 2.0)
+
+
+def mat_vec(
+    ctx: SPMDContext, a: ArrayLike, x: ArrayLike, y: ArrayLike
+) -> None:
+    """y = A @ x.
+
+    Precondition: A is n x n row-block distributed; X, Y are conformally
+    block-distributed vectors.  Uses the allgather matvec of the mpi4py
+    idiom: assemble x globally, multiply the local row block.
+    """
+    xg = vec_allgather(ctx, x)
+    interior(y)[:] = interior(a) @ xg
+
+
+def mat_transpose_vec(
+    ctx: SPMDContext, a: ArrayLike, x: ArrayLike, y: ArrayLike
+) -> None:
+    """y = A.T @ x for a row-block-distributed A.
+
+    Each copy forms its partial product from its rows, then the partials
+    are summed across copies and scattered back block-wise.
+    """
+    local_a = interior(a)
+    local_x = interior(x)
+    partial = local_a.T @ local_x  # full-length partial result
+    total = collectives.allreduce(ctx.comm, partial, op="sum")
+    rows = interior(y).shape[0]
+    base = ctx.index * rows
+    interior(y)[:] = total[base : base + rows]
+
+
+# ---------------------------------------------------------------------------
+# LU decomposition and solution (the §D "more complex operations")
+# ---------------------------------------------------------------------------
+
+
+def _owner_of_row(k: int, rows_per_proc: int) -> int:
+    return k // rows_per_proc
+
+
+def lu_decompose(ctx: SPMDContext, n: int, a: ArrayLike) -> None:
+    """In-place LU decomposition without pivoting.
+
+    Precondition: A is n x n, row-block distributed, and such that no zero
+    pivot arises (e.g. diagonally dominant).  Postcondition: A holds L
+    (unit lower, below the diagonal) and U (upper, on/above).
+
+    The classic SPMD pipeline: the owner of pivot row k broadcasts the
+    U-part of that row; every copy eliminates its rows below k.
+    """
+    local = interior(a)
+    rows = local.shape[0]
+    base = ctx.index * rows
+    for k in range(n - 1):
+        owner = _owner_of_row(k, rows)
+        if ctx.index == owner:
+            pivot_row = local[k - base, k:].copy()
+        else:
+            pivot_row = None
+        pivot_row = collectives.bcast(ctx.comm, pivot_row, root=owner)
+        pivot = pivot_row[0]
+        # Rows strictly below k that this copy owns:
+        lo = max(k + 1, base) - base
+        if lo < rows:
+            multipliers = local[lo:, k] / pivot
+            local[lo:, k] = multipliers
+            local[lo:, k + 1 :] -= np.outer(multipliers, pivot_row[1:])
+
+
+def lu_solve(
+    ctx: SPMDContext, n: int, a: ArrayLike, b: ArrayLike, x: ArrayLike
+) -> None:
+    """Solve A x = b given the in-place LU factors from :func:`lu_decompose`.
+
+    Precondition: A holds LU factors (row-block); B, X conformally
+    distributed vectors.  Postcondition: X solves the original system; B is
+    unchanged.
+
+    Substitution is inherently sequential in k; each step's solved
+    component is broadcast from its owning copy (the fan-out pipeline of
+    the van de Velde formulation).
+    """
+    local_a = interior(a)
+    rows = local_a.shape[0]
+    base = ctx.index * rows
+
+    # Forward substitution: y = L^{-1} b (unit diagonal).
+    y_local = interior(b).astype(np.float64).copy()
+    for k in range(n):
+        owner = _owner_of_row(k, rows)
+        yk = collectives.bcast(
+            ctx.comm,
+            float(y_local[k - base]) if ctx.index == owner else None,
+            root=owner,
+        )
+        lo = max(k + 1, base) - base
+        if lo < rows:
+            y_local[lo:] -= local_a[lo:, k] * yk
+
+    # Back substitution: x = U^{-1} y.
+    x_local = interior(x)
+    x_local[:] = y_local
+    for k in range(n - 1, -1, -1):
+        owner = _owner_of_row(k, rows)
+        if ctx.index == owner:
+            x_local[k - base] /= local_a[k - base, k]
+            xk = float(x_local[k - base])
+        else:
+            xk = None
+        xk = collectives.bcast(ctx.comm, xk, root=owner)
+        hi = min(k, base + rows) - base
+        if hi > 0:
+            x_local[:hi] -= local_a[:hi, k] * xk
+
+
+# ---------------------------------------------------------------------------
+# iterative methods
+# ---------------------------------------------------------------------------
+
+
+def jacobi_iterate(
+    ctx: SPMDContext,
+    n: int,
+    iterations: int,
+    a: ArrayLike,
+    b: ArrayLike,
+    x: ArrayLike,
+    residual_out: Optional[Union[OutCell, np.ndarray]] = None,
+) -> None:
+    """Run ``iterations`` Jacobi sweeps for A x = b.
+
+    Precondition: A diagonally dominant, row-block distributed; B, X
+    conformal vectors.  Postcondition: X holds the iterate;
+    ``residual_out`` (if given) the final ||Ax - b||_2.
+    """
+    local_a = interior(a)
+    local_b = interior(b)
+    local_x = interior(x)
+    rows = local_a.shape[0]
+    base = ctx.index * rows
+    diag = local_a[np.arange(rows), base + np.arange(rows)].copy()
+    off = local_a.copy()
+    off[np.arange(rows), base + np.arange(rows)] = 0.0
+
+    for _ in range(iterations):
+        xg = vec_allgather(ctx, local_x)
+        local_x[:] = (local_b - off @ xg) / diag
+
+    if residual_out is not None:
+        xg = vec_allgather(ctx, local_x)
+        r_local = float(np.sum((local_a @ xg - local_b) ** 2))
+        norm = float(np.sqrt(collectives.allreduce(ctx.comm, r_local, op="sum")))
+        if isinstance(residual_out, OutCell):
+            residual_out.set(norm)
+        else:
+            residual_out[0] = norm
+
+
+def power_method(
+    ctx: SPMDContext,
+    n: int,
+    iterations: int,
+    a: ArrayLike,
+    x: ArrayLike,
+    eigenvalue_out: Union[OutCell, np.ndarray],
+) -> None:
+    """Dominant-eigenvalue estimate by power iteration.
+
+    Precondition: X holds a nonzero start vector.  Postcondition: X is the
+    (normalised) iterate, ``eigenvalue_out`` the Rayleigh-quotient
+    estimate.
+    """
+    local_x = interior(x)
+    lam = 0.0
+    for _ in range(iterations):
+        xg = vec_allgather(ctx, local_x)
+        y = interior(a) @ xg
+        nrm_local = float(y @ y)
+        nrm = float(
+            np.sqrt(collectives.allreduce(ctx.comm, nrm_local, op="sum"))
+        )
+        local_x[:] = y / nrm
+        xg = vec_allgather(ctx, local_x)
+        ay = interior(a) @ xg
+        num = collectives.allreduce(ctx.comm, float(local_x @ ay), op="sum")
+        den = collectives.allreduce(ctx.comm, float(local_x @ local_x), op="sum")
+        lam = num / den
+    if isinstance(eigenvalue_out, OutCell):
+        eigenvalue_out.set(lam)
+    else:
+        eigenvalue_out[0] = lam
+
+
+# ---------------------------------------------------------------------------
+# QR decomposition (§D.1 lists QR among the library's complex operations)
+# ---------------------------------------------------------------------------
+
+
+def qr_decompose(
+    ctx: SPMDContext, n: int, a: ArrayLike, r_out: ArrayLike
+) -> None:
+    """In-place QR by modified Gram-Schmidt: A <- Q (orthonormal columns),
+    r_out <- R (upper triangular).
+
+    Precondition: A is n x n with full column rank, row-block distributed;
+    r_out is a local n x n buffer on every copy (each copy computes the
+    identical R — the classic replicated-R formulation).
+    Postcondition: Q @ R equals the original A; Q.T @ Q == I.
+
+    Column operations need full-column inner products, which for a
+    row-block distribution are allreduced partial dot products.
+    """
+    q = interior(a)
+    r = interior(r_out) if not isinstance(r_out, np.ndarray) else r_out
+    r[...] = 0.0
+    for k in range(n):
+        norm_sq_local = float(q[:, k] @ q[:, k])
+        norm = float(
+            np.sqrt(collectives.allreduce(ctx.comm, norm_sq_local, op="sum"))
+        )
+        r[k, k] = norm
+        q[:, k] /= norm
+        if k + 1 < n:
+            dots_local = q[:, k] @ q[:, k + 1 :]
+            dots = collectives.allreduce(ctx.comm, dots_local, op="sum")
+            r[k, k + 1 :] = dots
+            q[:, k + 1 :] -= np.outer(q[:, k], dots)
+
+
+def qr_solve(
+    ctx: SPMDContext,
+    n: int,
+    q: ArrayLike,
+    r: ArrayLike,
+    b: ArrayLike,
+    x: ArrayLike,
+) -> None:
+    """Solve A x = b given A = QR from :func:`qr_decompose`.
+
+    Precondition: Q row-block distributed, R replicated per copy, B and X
+    conformally block-distributed vectors.  Postcondition: X solves the
+    system (x = R^{-1} Q.T b); B unchanged.
+    """
+    q_local = interior(q)
+    r_full = interior(r) if not isinstance(r, np.ndarray) else r
+    # y = Q.T b: partial products summed across copies.
+    y = collectives.allreduce(
+        ctx.comm, q_local.T @ interior(b), op="sum"
+    )
+    # Back substitution on the replicated R (identical on every copy).
+    sol = np.zeros(n)
+    for k in range(n - 1, -1, -1):
+        sol[k] = (y[k] - r_full[k, k + 1 :] @ sol[k + 1 :]) / r_full[k, k]
+    rows = interior(x).shape[0]
+    base = ctx.index * rows
+    interior(x)[:] = sol[base : base + rows]
+
+
+# ---------------------------------------------------------------------------
+# conjugate gradient
+# ---------------------------------------------------------------------------
+
+
+def conjugate_gradient(
+    ctx: SPMDContext,
+    n: int,
+    max_iterations: int,
+    tolerance: float,
+    a: ArrayLike,
+    b: ArrayLike,
+    x: ArrayLike,
+    residual_out: Optional[Union[OutCell, np.ndarray]] = None,
+) -> None:
+    """Conjugate-gradient solve of A x = b for symmetric positive-definite
+    A (row-block distributed), starting from the current X.
+
+    Postcondition: X holds the iterate with residual 2-norm below
+    ``tolerance`` (or after ``max_iterations``); ``residual_out`` reports
+    the final residual norm.
+    """
+
+    def dot(u_local: np.ndarray, v_local: np.ndarray) -> float:
+        return collectives.allreduce(
+            ctx.comm, float(u_local @ v_local), op="sum"
+        )
+
+    local_a = interior(a)
+    local_x = interior(x)
+    xg = vec_allgather(ctx, local_x)
+    r_local = interior(b) - local_a @ xg
+    p_local = r_local.copy()
+    rs_old = dot(r_local, r_local)
+    final = float(np.sqrt(rs_old))
+    for _ in range(max_iterations):
+        if final <= tolerance:
+            break
+        pg = vec_allgather(ctx, p_local)
+        ap_local = local_a @ pg
+        alpha = rs_old / dot(p_local, ap_local)
+        local_x += alpha * p_local
+        r_local -= alpha * ap_local
+        rs_new = dot(r_local, r_local)
+        final = float(np.sqrt(rs_new))
+        p_local = r_local + (rs_new / rs_old) * p_local
+        rs_old = rs_new
+    if residual_out is not None:
+        if isinstance(residual_out, OutCell):
+            residual_out.set(final)
+        else:
+            residual_out[0] = final
+
+
+# ---------------------------------------------------------------------------
+# matrix-matrix multiplication
+# ---------------------------------------------------------------------------
+
+
+def mat_mat(
+    ctx: SPMDContext, a: ArrayLike, b: ArrayLike, c: ArrayLike
+) -> None:
+    """C = A @ B for three conformally row-block-distributed matrices.
+
+    Each copy needs all of B's rows: they are assembled by allgather
+    (the broadcast-B variant of SPMD matmul, adequate for the library's
+    modest matrix sizes), then the local row block of C is one GEMM.
+    """
+    b_parts = collectives.allgather(ctx.comm, interior(b).copy())
+    b_full = np.vstack(b_parts)
+    interior(c)[:] = interior(a) @ b_full
+
+
+def mat_frobenius_norm(
+    ctx: SPMDContext, a: ArrayLike, out: Union[OutCell, np.ndarray]
+) -> None:
+    """out = ||A||_F over the row-block-distributed matrix."""
+    local = float(np.sum(interior(a) ** 2))
+    total = float(
+        np.sqrt(collectives.allreduce(ctx.comm, local, op="sum"))
+    )
+    if isinstance(out, OutCell):
+        out.set(total)
+    else:
+        out[0] = total
+
+
+def cholesky_decompose(ctx: SPMDContext, n: int, a: ArrayLike) -> None:
+    """In-place Cholesky factorisation of a symmetric positive-definite
+    matrix: A <- L with A = L @ L.T (lower triangle; the strict upper
+    triangle is zeroed).
+
+    Precondition: A is n x n SPD, row-block distributed.  The same
+    owner-broadcast pipeline as :func:`lu_decompose`, with the symmetric
+    update restricted to the lower triangle.
+    """
+    local = interior(a)
+    rows = local.shape[0]
+    base = ctx.index * rows
+    for k in range(n):
+        owner = _owner_of_row(k, rows)
+        if ctx.index == owner:
+            r = k - base
+            local[r, k] = np.sqrt(local[r, k])
+            if k + 1 < n:
+                # the column below the pivot lives in later rows; zero the
+                # pivot row's tail (strict upper triangle).
+                local[r, k + 1 :] = 0.0
+            pivot = float(local[r, k])
+        else:
+            pivot = None
+        pivot = collectives.bcast(ctx.comm, pivot, root=owner)
+        # Every copy scales its below-k part of column k, then gathers the
+        # full column for the trailing update.
+        lo = max(k + 1, base) - base
+        if lo < rows:
+            local[lo:, k] /= pivot
+        column = np.zeros(n)
+        if lo < rows:
+            column[base + lo : base + rows] = local[lo:, k]
+        column = collectives.allreduce(ctx.comm, column, op="sum")
+        if lo < rows:
+            for r in range(lo, rows):
+                j_global = base + r
+                local[r, k + 1 : j_global + 1] -= (
+                    local[r, k] * column[k + 1 : j_global + 1]
+                )
+
+
+def cholesky_solve(
+    ctx: SPMDContext, n: int, l_factor: ArrayLike, b: ArrayLike, x: ArrayLike
+) -> None:
+    """Solve A x = b given A = L L.T from :func:`cholesky_decompose`.
+
+    Forward substitution with L, back substitution with L.T (each step's
+    solved component broadcast from its owner, as in :func:`lu_solve`).
+    """
+    local_l = interior(l_factor)
+    rows = local_l.shape[0]
+    base = ctx.index * rows
+
+    y_local = interior(b).astype(np.float64).copy()
+    for k in range(n):
+        owner = _owner_of_row(k, rows)
+        if ctx.index == owner:
+            y_local[k - base] /= local_l[k - base, k]
+            yk = float(y_local[k - base])
+        else:
+            yk = None
+        yk = collectives.bcast(ctx.comm, yk, root=owner)
+        lo = max(k + 1, base) - base
+        if lo < rows:
+            y_local[lo:] -= local_l[lo:, k] * yk
+
+    # Back substitution with L.T: component k needs column k of L below
+    # the diagonal, gathered across copies.
+    x_local = interior(x)
+    x_local[:] = y_local
+    for k in range(n - 1, -1, -1):
+        owner = _owner_of_row(k, rows)
+        # contributions of already-solved components x_j (j > k) via
+        # L[j, k]; each copy owns some of those rows.
+        lo = max(k + 1, base) - base
+        partial = 0.0
+        if lo < rows:
+            partial = float(local_l[lo:, k] @ x_local[lo:])
+        total = collectives.allreduce(ctx.comm, partial, op="sum")
+        if ctx.index == owner:
+            r = k - base
+            x_local[r] = (x_local[r] - total) / local_l[r, k]

@@ -1,0 +1,61 @@
+"""Binary associative reduction operators for collectives and distributed
+calls (§3.3.1.2: "merged using any binary associative operator — by default
+max").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+BinaryOp = Callable[[Any, Any], Any]
+
+
+def op_max(a: Any, b: Any) -> Any:
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.maximum(a, b)
+    return max(a, b)
+
+
+def op_min(a: Any, b: Any) -> Any:
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.minimum(a, b)
+    return min(a, b)
+
+
+def op_sum(a: Any, b: Any) -> Any:
+    return a + b
+
+
+def op_prod(a: Any, b: Any) -> Any:
+    return a * b
+
+
+def op_concat(a: Any, b: Any) -> Any:
+    """List/array concatenation (an associative, non-commutative operator)."""
+    if isinstance(a, np.ndarray) and isinstance(b, np.ndarray):
+        return np.concatenate([a, b])
+    return list(a) + list(b)
+
+
+NAMED_OPS: dict[str, BinaryOp] = {
+    "max": op_max,
+    "min": op_min,
+    "sum": op_sum,
+    "prod": op_prod,
+    "concat": op_concat,
+}
+
+
+def resolve_op(op) -> BinaryOp:
+    """Accept an operator by name or as a callable."""
+    if callable(op):
+        return op
+    try:
+        return NAMED_OPS[op]
+    except (KeyError, TypeError):
+        raise ValueError(
+            f"unknown reduction operator {op!r}; expected a callable or one "
+            f"of {sorted(NAMED_OPS)}"
+        ) from None

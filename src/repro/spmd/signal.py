@@ -1,0 +1,115 @@
+"""Signal-processing operations on the FFT pipeline (§2.3.2).
+
+The thesis motivates the pipelined problem class with "signal-processing
+operations like convolution, correlation, and filtering" performed as
+iterated Fourier-transform computations (inverse DFT -> elementwise
+manipulation -> forward DFT).  §6.2 works the polynomial-multiplication
+instance in full; this module supplies the other three elementwise
+manipulations over the same distributed-FFT substrate, each as a
+data-parallel program suitable for the middle stage of the Fig 2.2
+pipeline.
+
+All programs operate on value tables in the frequency domain, stored as
+paired-doubles complex local sections (§6.2's representation).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.arrays.local_section import LocalSection
+from repro.spmd.context import SPMDContext
+from repro.spmd.fft import as_complex
+
+ArrayLike = Union[LocalSection, np.ndarray]
+
+
+def combine_convolve(ctx: SPMDContext, local_a: ArrayLike,
+                     local_b: ArrayLike) -> None:
+    """Frequency-domain convolution: B <- A .* B.
+
+    By the convolution theorem, multiplying the two signals' value tables
+    (their inverse DFTs in the thesis' convention) yields the value table
+    of their circular convolution — §6.2's combine stage generalised.
+    """
+    a = as_complex(local_a)
+    b = as_complex(local_b)
+    b *= a
+
+
+def combine_correlate(ctx: SPMDContext, local_a: ArrayLike,
+                      local_b: ArrayLike) -> None:
+    """Frequency-domain cross-correlation: B <- conj(A) .* B.
+
+    The correlation theorem: conjugating one spectrum turns convolution
+    into correlation.
+    """
+    a = as_complex(local_a)
+    b = as_complex(local_b)
+    b *= np.conj(a)
+
+
+def combine_filter(ctx: SPMDContext, n, cutoff_fraction,
+                   local_b: ArrayLike) -> None:
+    """Ideal low-pass filter: zero every bin above the cutoff.
+
+    Precondition: B holds this copy's block of an N-point value table in
+    natural frequency order; ``cutoff_fraction`` in (0, 1] keeps bins with
+    |frequency| <= cutoff_fraction * N/2 (two-sided, conjugate-symmetric,
+    so real signals stay real after the inverse transform).
+    """
+    nn = int(n[0]) if hasattr(n, "__getitem__") else int(n)
+    frac = float(
+        cutoff_fraction[0]
+        if hasattr(cutoff_fraction, "__getitem__")
+        else cutoff_fraction
+    )
+    b = as_complex(local_b)
+    m = b.size
+    base = ctx.index * m
+    bins = base + np.arange(m)
+    # two-sided frequency index: 0..N/2 then mirrored
+    freq = np.minimum(bins, nn - bins)
+    keep = freq <= frac * (nn / 2)
+    b[~keep] = 0.0
+
+
+def combine_scale(ctx: SPMDContext, factor, local_b: ArrayLike) -> None:
+    """Uniform gain: B <- factor * B (the trivial elementwise stage)."""
+    f = float(factor[0] if hasattr(factor, "__getitem__") else factor)
+    as_complex(local_b)[:] *= f
+
+
+# ---------------------------------------------------------------------------
+# serial references (for tests and the benchmark baselines)
+# ---------------------------------------------------------------------------
+
+
+def circular_convolve_reference(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Direct O(N^2) circular convolution."""
+    n = len(x)
+    out = np.zeros(n, dtype=np.result_type(x, y, np.float64))
+    for k in range(n):
+        out[k] = sum(x[j] * y[(k - j) % n] for j in range(n))
+    return out
+
+
+def circular_correlate_reference(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Direct O(N^2) circular cross-correlation (x lagged against y)."""
+    n = len(x)
+    out = np.zeros(n, dtype=np.result_type(x, y, np.float64))
+    for k in range(n):
+        out[k] = sum(x[j] * y[(j + k) % n] for j in range(n))
+    return out
+
+
+def lowpass_reference(x: np.ndarray, cutoff_fraction: float) -> np.ndarray:
+    """Ideal low-pass via numpy.fft, matching :func:`combine_filter`."""
+    n = len(x)
+    spectrum = np.fft.ifft(x) * n  # thesis' inverse convention
+    bins = np.arange(n)
+    freq = np.minimum(bins, n - bins)
+    spectrum[freq > cutoff_fraction * (n / 2)] = 0.0
+    return np.real(np.fft.fft(spectrum) / n)

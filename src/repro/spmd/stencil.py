@@ -1,0 +1,175 @@
+"""Border-exchange stencil kernels (overlap areas, §3.2.1.3).
+
+The thesis supports Fortran-D-style *borders* around local sections "to be
+used internally by the data-parallel program ... as communication buffers"
+(§3.2.1.3).  This module is the data-parallel program family that actually
+uses them: 5-point Jacobi relaxation on a 2-D domain, with each sweep
+exchanging edge data into the neighbours' border cells.
+
+These kernels power the FIG-2.1 climate experiment (ocean/atmosphere
+subdomains are each a bordered distributed array relaxed by these programs)
+and the ABL-1 decomposition-shape ablation (halo traffic of ``(block,
+block)`` vs ``(block, "*")`` grids).
+
+Distribution contract: the array is 2-D, distributed over a ``gr x gc``
+processor grid with row-major grid indexing (copy ``index`` sits at grid
+coordinates ``divmod(index, gc)``), with borders of at least 1 in every
+direction.  Domain edges are Dirichlet: border cells on the physical
+boundary hold fixed values the kernel never overwrites.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.arrays.local_section import LocalSection
+from repro.spmd import collectives
+from repro.spmd.context import OutCell, SPMDContext
+from repro.spmd.linalg import interior
+
+
+def _full(section: Union[LocalSection, np.ndarray]) -> np.ndarray:
+    if isinstance(section, LocalSection):
+        if min(section.borders) < 1:
+            raise ValueError(
+                "stencil kernels need borders >= 1 in every direction "
+                f"(got {section.borders}); create the array with "
+                "Border_info=[1,1,1,1] or foreign_borders"
+            )
+        return section.full()
+    return np.asarray(section)
+
+
+def grid_coords(index: int, grid_cols: int) -> tuple[int, int]:
+    """Copy index -> (row, col) on the row-major processor grid."""
+    return divmod(index, grid_cols)
+
+
+def border_query(parm_num: int, rank: int) -> tuple[int, ...]:
+    """``foreign_borders`` protocol (§5.1.7): every array parameter of the
+    stencil programs needs a 1-deep border on each side."""
+    return (1,) * (2 * rank)
+
+
+def exchange_halos(
+    ctx: SPMDContext,
+    full: np.ndarray,
+    grid_rows: int,
+    grid_cols: int,
+) -> int:
+    """Swap 1-deep edge strips with the four grid neighbours.
+
+    Returns the number of messages sent (the ABL-1 traffic metric).
+    Communication is deadlock-free because sends never block: every copy
+    posts all sends, then receives selectively by tag and source.
+    """
+    r, c = grid_coords(ctx.index, grid_cols)
+    sent = 0
+    neighbours = {
+        "north": (r - 1, c) if r > 0 else None,
+        "south": (r + 1, c) if r + 1 < grid_rows else None,
+        "west": (r, c - 1) if c > 0 else None,
+        "east": (r, c + 1) if c + 1 < grid_cols else None,
+    }
+    strips = {
+        "north": full[1, 1:-1].copy(),
+        "south": full[-2, 1:-1].copy(),
+        "west": full[1:-1, 1].copy(),
+        "east": full[1:-1, -2].copy(),
+    }
+    opposite = {"north": "south", "south": "north", "west": "east", "east": "west"}
+    for side, coords in neighbours.items():
+        if coords is None:
+            continue
+        dest_rank = coords[0] * grid_cols + coords[1]
+        # Tag by the side the *receiver* will see it on.
+        ctx.comm.send(dest_rank, strips[side], tag=("halo", opposite[side]))
+        sent += 1
+    for side, coords in neighbours.items():
+        if coords is None:
+            continue
+        src_rank = coords[0] * grid_cols + coords[1]
+        strip = ctx.comm.recv(source_rank=src_rank, tag=("halo", side))
+        if side == "north":
+            full[0, 1:-1] = strip
+        elif side == "south":
+            full[-1, 1:-1] = strip
+        elif side == "west":
+            full[1:-1, 0] = strip
+        else:
+            full[1:-1, -1] = strip
+    return sent
+
+
+def jacobi_sweep(full: np.ndarray) -> np.ndarray:
+    """One 5-point Jacobi relaxation over the interior; returns the new
+    interior (does not write it back)."""
+    return 0.25 * (
+        full[:-2, 1:-1] + full[2:, 1:-1] + full[1:-1, :-2] + full[1:-1, 2:]
+    )
+
+
+def heat_steps(
+    ctx: SPMDContext,
+    grid_rows,
+    grid_cols,
+    steps,
+    section: Union[LocalSection, np.ndarray],
+    delta_out: Optional[Union[OutCell, np.ndarray]] = None,
+) -> None:
+    """Run ``steps`` Jacobi sweeps of the heat equation on a bordered
+    distributed array.
+
+    Precondition: section has 1-deep borders; domain-edge border cells hold
+    the Dirichlet boundary values.  Postcondition: the interior holds the
+    relaxed field; ``delta_out`` (if given) the global max |change| of the
+    final sweep — the convergence measure.
+    """
+    gr = int(grid_rows[0]) if hasattr(grid_rows, "__getitem__") else int(grid_rows)
+    gc = int(grid_cols[0]) if hasattr(grid_cols, "__getitem__") else int(grid_cols)
+    n_steps = int(steps[0]) if hasattr(steps, "__getitem__") else int(steps)
+    full = _full(section)
+    delta = 0.0
+    for _ in range(n_steps):
+        exchange_halos(ctx, full, gr, gc)
+        new_interior = jacobi_sweep(full)
+        delta = float(np.max(np.abs(new_interior - full[1:-1, 1:-1])))
+        full[1:-1, 1:-1] = new_interior
+    delta = collectives.allreduce(ctx.comm, delta, op="max")
+    if delta_out is not None:
+        if isinstance(delta_out, OutCell):
+            delta_out.set(delta)
+        else:
+            delta_out[0] = delta
+
+
+def halo_traffic_for(
+    ctx: SPMDContext,
+    grid_rows,
+    grid_cols,
+    section: Union[LocalSection, np.ndarray],
+    bytes_out: Union[OutCell, np.ndarray],
+) -> None:
+    """Measure one halo exchange's outbound bytes for this decomposition
+    (the ABL-1 metric): perimeter strips x 8 bytes."""
+    gr = int(grid_rows[0]) if hasattr(grid_rows, "__getitem__") else int(grid_rows)
+    gc = int(grid_cols[0]) if hasattr(grid_cols, "__getitem__") else int(grid_cols)
+    full = _full(section)
+    r, c = grid_coords(ctx.index, gc)
+    rows, cols = full.shape[0] - 2, full.shape[1] - 2
+    nbytes = 0
+    if r > 0:
+        nbytes += cols * 8
+    if r + 1 < gr:
+        nbytes += cols * 8
+    if c > 0:
+        nbytes += rows * 8
+    if c + 1 < gc:
+        nbytes += rows * 8
+    total = collectives.allreduce(ctx.comm, nbytes, op="sum")
+    if isinstance(bytes_out, OutCell):
+        bytes_out.set(total)
+    else:
+        bytes_out[0] = total

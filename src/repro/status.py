@@ -1,0 +1,94 @@
+"""Status codes and exception hierarchy.
+
+The paper's library procedures (§4.1.2) report success or failure through an
+integer ``Status`` out-parameter.  The paper-faithful ``am_user`` layer keeps
+that convention; the pythonic ``core`` layer converts non-OK statuses into
+the exceptions defined here.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Status(enum.IntEnum):
+    """Status values from §4.1.2 of the thesis."""
+
+    OK = 0
+    INVALID = 1
+    NOT_FOUND = 2
+    ERROR = 99
+
+
+STATUS_OK = Status.OK
+STATUS_INVALID = Status.INVALID
+STATUS_NOT_FOUND = Status.NOT_FOUND
+STATUS_ERROR = Status.ERROR
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the pythonic layers."""
+
+    status: Status = Status.ERROR
+
+
+class InvalidParameterError(ReproError):
+    """A library procedure was called with an invalid parameter."""
+
+    status = Status.INVALID
+
+
+class ArrayNotFoundError(ReproError):
+    """A distributed-array ID does not reference a live array."""
+
+    status = Status.NOT_FOUND
+
+
+class SystemError_(ReproError):
+    """Internal failure of the runtime (paper's STATUS_ERROR)."""
+
+    status = Status.ERROR
+
+
+class SingleAssignmentError(ReproError):
+    """A definitional variable was defined more than once (§3.1.1.2)."""
+
+    status = Status.INVALID
+
+
+class SharedVariableConflictError(ReproError):
+    """Two concurrent processes made conflicting writes to a shared
+    multiple-assignment variable (§3.1.1.4)."""
+
+    status = Status.INVALID
+
+
+class DeadlockError(ReproError):
+    """The runtime detected that every live process is suspended."""
+
+    status = Status.ERROR
+
+
+_EXCEPTION_FOR_STATUS = {
+    Status.INVALID: InvalidParameterError,
+    Status.NOT_FOUND: ArrayNotFoundError,
+    Status.ERROR: SystemError_,
+}
+
+
+def check_status(status: int, context: str = "") -> None:
+    """Raise the exception matching ``status`` if it is not ``OK``.
+
+    User programs may report arbitrary integer statuses (§4.3.1); any
+    nonzero value outside the §4.1.2 codes raises :class:`SystemError_`.
+    """
+    try:
+        st = Status(int(status))
+    except ValueError:
+        raise SystemError_(
+            context or f"operation failed with status {status!r}"
+        ) from None
+    if st is Status.OK:
+        return
+    exc = _EXCEPTION_FOR_STATUS.get(st, SystemError_)
+    raise exc(context or f"operation failed with status {st.name}")

@@ -1,0 +1,29 @@
+"""Virtual-processor machine substrate.
+
+The thesis maps programs onto *virtual processors* — persistent entities
+with distinct address spaces, identified by processor numbers (Preface,
+"Terminology and conventions").  This package simulates such a machine:
+
+* :class:`~repro.vp.processor.VirtualProcessor` — one node: a private heap,
+  a typed-message mailbox, and the ability to run processes.
+* :class:`~repro.vp.machine.Machine` — a fixed set of virtual processors
+  plus the PCN server mechanism (§5.1.1) used by the array manager.
+* :class:`~repro.vp.mailbox.Mailbox` — point-to-point typed messages with
+  selective receive, the conflict-avoidance design of §3.4.1.
+"""
+
+from repro.vp.message import Message, MessageType
+from repro.vp.mailbox import Mailbox
+from repro.vp.processor import VirtualProcessor
+from repro.vp.machine import Machine
+from repro.vp.server import ServerRegistry, ServerRequestError
+
+__all__ = [
+    "Message",
+    "MessageType",
+    "Mailbox",
+    "VirtualProcessor",
+    "Machine",
+    "ServerRegistry",
+    "ServerRequestError",
+]

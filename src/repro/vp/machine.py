@@ -1,0 +1,109 @@
+"""The simulated multicomputer: a fixed set of virtual processors.
+
+``Machine`` owns the processors, routes point-to-point messages between
+their mailboxes, and hosts the server registry (§5.1.1).  It substitutes for
+the Symult s2010 / Cosmic Environment of the thesis' testbed; see DESIGN.md
+for the substitution argument.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Hashable, Optional
+
+from repro.vp.message import Message, MessageType
+from repro.vp.processor import VirtualProcessor
+from repro.vp.server import ServerRegistry
+
+
+class Machine:
+    """A multicomputer of ``num_nodes`` virtual processors."""
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes < 1:
+            raise ValueError("a machine needs at least one processor")
+        self._processors = [VirtualProcessor(i, self) for i in range(num_nodes)]
+        self.server = ServerRegistry(self)
+        self._lock = threading.Lock()
+        self.routed_count = 0
+        self.routed_bytes = 0
+
+    # -- topology ------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """PCN's ``sys:num_nodes``."""
+        return len(self._processors)
+
+    def processor(self, number: int) -> VirtualProcessor:
+        try:
+            return self._processors[number]
+        except IndexError:
+            raise ValueError(
+                f"processor {number} out of range 0..{self.num_nodes - 1}"
+            ) from None
+
+    def processors(self) -> list[VirtualProcessor]:
+        return list(self._processors)
+
+    # -- transport -----------------------------------------------------------
+
+    def route(self, message: Message) -> None:
+        """Deliver ``message`` to the destination processor's mailbox."""
+        dest = self.processor(message.dest)
+        with self._lock:
+            self.routed_count += 1
+            self.routed_bytes += message.nbytes()
+        dest.mailbox.deliver(message)
+
+    def send(
+        self,
+        source: int,
+        dest: int,
+        payload: Any,
+        mtype: MessageType = MessageType.PCN,
+        tag: Hashable = None,
+        group: Optional[Hashable] = None,
+    ) -> None:
+        """Convenience: build and route one message."""
+        self.processor(source).send(
+            Message(
+                source=source,
+                dest=dest,
+                payload=payload,
+                mtype=mtype,
+                tag=tag,
+                group=group,
+            )
+        )
+
+    # -- traffic accounting ----------------------------------------------------
+
+    def traffic_snapshot(self) -> dict[str, int]:
+        """Exact message/byte counters (GIL-independent cost model)."""
+        with self._lock:
+            return {
+                "messages": self.routed_count,
+                "bytes": self.routed_bytes,
+            }
+
+    def reset_traffic(self) -> None:
+        with self._lock:
+            self.routed_count = 0
+            self.routed_bytes = 0
+        for node in self._processors:
+            node.sent_count = 0
+            node.sent_bytes = 0
+            node.mailbox.received_count = 0
+            node.mailbox.received_bytes = 0
+
+    # -- program placement -----------------------------------------------------
+
+    def run_on(self, processor: int, target: Callable[..., Any], *args: Any,
+               **kwargs: Any) -> Any:
+        """Execute ``target`` on a processor and wait for the result
+        (PCN's ``@Processor`` annotation for program calls)."""
+        return self.processor(processor).run(target, *args, **kwargs)
+
+    def __repr__(self) -> str:
+        return f"<Machine num_nodes={self.num_nodes}>"

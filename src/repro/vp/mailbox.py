@@ -1,0 +1,114 @@
+"""Per-processor mailboxes with selective typed receive (§3.4.1).
+
+Each virtual processor owns one mailbox.  ``recv`` scans buffered messages
+for the first one matching the requested (type, tag, source, group) filter
+and suspends until such a message arrives — the *selective receive* the
+thesis requires to keep task-parallel and data-parallel traffic disjoint.
+
+``recv_untyped`` takes the oldest message regardless of filters, modelling
+the original Cosmic Environment behaviour whose conflicts §3.4.1 analyses.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Hashable, Optional
+
+from repro.vp.message import Message, MessageType
+
+_RECV_TIMEOUT = 30.0
+
+
+class Mailbox:
+    """An in-order buffer of messages with selective receive."""
+
+    def __init__(self, owner: int) -> None:
+        self.owner = owner
+        self._buffer: list[Message] = []
+        self._cond = threading.Condition()
+        # Traffic accounting for the simulated-cost model (DESIGN.md
+        # "Fidelity notes"): counts are exact and GIL-independent.
+        self.received_count = 0
+        self.received_bytes = 0
+
+    def deliver(self, message: Message) -> None:
+        """Called by the machine's transport to enqueue a message."""
+        with self._cond:
+            self._buffer.append(message)
+            self._cond.notify_all()
+
+    def recv(
+        self,
+        mtype: Optional[MessageType] = MessageType.PCN,
+        tag: Hashable = None,
+        source: Optional[int] = None,
+        group: Optional[Hashable] = None,
+        match_any_tag: bool = False,
+        match_any_group: bool = False,
+        timeout: Optional[float] = None,
+    ) -> Message:
+        """Selective receive: first buffered message matching the filter.
+
+        Suspends until a match arrives.  ``mtype=None`` matches any type.
+        """
+        limit = _RECV_TIMEOUT if timeout is None else timeout
+
+        def find() -> Optional[int]:
+            for i, msg in enumerate(self._buffer):
+                if msg.matches(
+                    mtype,
+                    tag=tag,
+                    source=source,
+                    group=group,
+                    match_any_tag=match_any_tag,
+                    match_any_group=match_any_group,
+                ):
+                    return i
+            return None
+
+        with self._cond:
+            index = find()
+            if index is None:
+                ok = self._cond.wait_for(
+                    lambda: find() is not None, timeout=limit
+                )
+                if not ok:
+                    raise TimeoutError(
+                        f"processor {self.owner}: selective recv "
+                        f"(type={mtype}, tag={tag!r}, source={source}, "
+                        f"group={group!r}) timed out after {limit}s"
+                    )
+                index = find()
+                assert index is not None
+            message = self._buffer.pop(index)
+            self.received_count += 1
+            self.received_bytes += message.nbytes()
+            return message
+
+    def recv_untyped(self, timeout: Optional[float] = None) -> Message:
+        """Non-selective receive: oldest message, any type/tag/group.
+
+        Models the original untyped message-passing whose interception
+        hazard §3.4.1 describes; used only by the conflict experiments.
+        """
+        limit = _RECV_TIMEOUT if timeout is None else timeout
+        with self._cond:
+            ok = self._cond.wait_for(lambda: bool(self._buffer), timeout=limit)
+            if not ok:
+                raise TimeoutError(
+                    f"processor {self.owner}: untyped recv timed out"
+                )
+            message = self._buffer.pop(0)
+            self.received_count += 1
+            self.received_bytes += message.nbytes()
+            return message
+
+    def pending(self) -> int:
+        with self._cond:
+            return len(self._buffer)
+
+    def drain(self) -> list[Message]:
+        """Remove and return all buffered messages (test/diagnostic aid)."""
+        with self._cond:
+            out, self._buffer = self._buffer, []
+            return out

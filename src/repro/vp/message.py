@@ -1,0 +1,82 @@
+"""Typed point-to-point messages (§3.4.1).
+
+The thesis prevents message conflicts between the task-parallel runtime and
+called data-parallel programs by requiring *typed* messages and *selective*
+receives, with disjoint type sets for the two layers.  §5.3 describes the
+concrete fix applied to the Symult s2010 port: untyped Cosmic Environment
+messages were replaced with messages of a "PCN" type and a
+"data-parallel-program" type.
+
+We reproduce that design: every message carries a :class:`MessageType`; the
+mailbox's selective receive filters on it.  ``MessageType.UNTYPED`` exists
+only so the §3.4.1 conflict experiment can demonstrate the failure mode the
+typing discipline prevents.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Optional
+
+
+class MessageType(enum.Enum):
+    """Disjoint message-type sets for the two runtime layers (§3.4.1)."""
+
+    PCN = "pcn"  # task-parallel runtime traffic (server requests, control)
+    DATA_PARALLEL = "dp"  # traffic between copies of an SPMD program
+    UNTYPED = "untyped"  # legacy Cosmic-Environment style; conflict-prone
+
+
+_sequence = itertools.count()
+
+
+@dataclass(frozen=True)
+class Message:
+    """One point-to-point message.
+
+    ``tag`` subdivides traffic within a type (e.g. per-collective tags in
+    the SPMD layer); ``group`` identifies which distributed call's copies
+    are communicating, so concurrent distributed calls sharing a processor
+    cannot intercept each other's traffic.
+    """
+
+    source: int
+    dest: int
+    payload: Any
+    mtype: MessageType = MessageType.PCN
+    tag: Hashable = None
+    group: Optional[Hashable] = None
+    seq: int = field(default_factory=lambda: next(_sequence))
+
+    def matches(
+        self,
+        mtype: Optional[MessageType],
+        tag: Hashable = None,
+        source: Optional[int] = None,
+        group: Optional[Hashable] = None,
+        match_any_tag: bool = False,
+        match_any_group: bool = False,
+    ) -> bool:
+        """Selective-receive predicate."""
+        if mtype is not None and self.mtype is not mtype:
+            return False
+        if not match_any_tag and self.tag != tag:
+            return False
+        if source is not None and self.source != source:
+            return False
+        if not match_any_group and self.group != group:
+            return False
+        return True
+
+    def nbytes(self) -> int:
+        """Approximate payload size, for simulated-traffic accounting."""
+        payload = self.payload
+        if hasattr(payload, "nbytes"):
+            return int(payload.nbytes)
+        if isinstance(payload, (bytes, bytearray)):
+            return len(payload)
+        if isinstance(payload, (list, tuple)):
+            return 8 * len(payload)
+        return 8

@@ -1,0 +1,97 @@
+"""Virtual processors (Preface "Terminology and conventions").
+
+A virtual processor is a persistent entity with a distinct address space.
+Here the address space is a private ``heap`` dict plus whatever storage the
+array manager allocates on the node; separation is enforced by the API (no
+processor object hands out another processor's heap) and checked by tests.
+
+Processes are mapped to processors by spawning them *on* a processor; this
+models the thesis' assignment of processes to virtual processors while the
+underlying OS threads share one real address space.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Optional
+
+from repro.pcn.process import Process
+from repro.vp.mailbox import Mailbox
+
+
+class VirtualProcessor:
+    """One node of the simulated machine."""
+
+    def __init__(self, number: int, machine: "Machine") -> None:  # noqa: F821
+        self.number = number
+        self.machine = machine
+        self.mailbox = Mailbox(owner=number)
+        # The node's private address space.  Only code executing "on" this
+        # processor may touch it; cross-node access must use messages or
+        # server requests.
+        self.heap: dict[str, Any] = {}
+        self._heap_lock = threading.RLock()
+        self._processes: list[Process] = []
+        self._processes_lock = threading.Lock()
+        self.sent_count = 0
+        self.sent_bytes = 0
+
+    # -- process placement --------------------------------------------------
+
+    def spawn(
+        self, target: Callable[..., Any], *args: Any, name: str = "", **kwargs: Any
+    ) -> Process:
+        """Create and start a process assigned to this processor."""
+        proc = Process(
+            target,
+            args=args,
+            kwargs=kwargs,
+            name=name or f"vp{self.number}-proc",
+            processor=self.number,
+        ).start()
+        with self._processes_lock:
+            self._processes = [p for p in self._processes if p.is_alive()]
+            self._processes.append(proc)
+        return proc
+
+    def run(self, target: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
+        """Run ``target`` on this processor and wait for its result."""
+        return self.spawn(target, *args, **kwargs).join()
+
+    def live_process_count(self) -> int:
+        with self._processes_lock:
+            self._processes = [p for p in self._processes if p.is_alive()]
+            return len(self._processes)
+
+    # -- address space ------------------------------------------------------
+
+    def store(self, key: str, value: Any) -> None:
+        with self._heap_lock:
+            self.heap[key] = value
+
+    def load(self, key: str) -> Any:
+        with self._heap_lock:
+            return self.heap[key]
+
+    def load_default(self, key: str, default: Any = None) -> Any:
+        with self._heap_lock:
+            return self.heap.get(key, default)
+
+    def delete(self, key: str) -> None:
+        with self._heap_lock:
+            self.heap.pop(key, None)
+
+    def has(self, key: str) -> bool:
+        with self._heap_lock:
+            return key in self.heap
+
+    # -- communication -------------------------------------------------------
+
+    def send(self, message: "Message") -> None:  # noqa: F821
+        """Send a message; routing is done by the machine's transport."""
+        self.sent_count += 1
+        self.sent_bytes += message.nbytes()
+        self.machine.route(message)
+
+    def __repr__(self) -> str:
+        return f"<VirtualProcessor {self.number}>"

@@ -1,0 +1,79 @@
+"""The PCN server mechanism (§5.1.1).
+
+Any program can communicate with the local server process via a *server
+request*.  Modules loaded with a *capabilities* directive extend the server:
+requests whose type appears in the directive are routed to the module's
+server program as a tuple ``(request_type, *request_parameters)``.
+
+Routing a request to another processor is done with the ``@processor``
+annotation — here the ``processor=`` argument of
+:meth:`ServerRegistry.request`.  Bidirectional communication happens when a
+request parameter is an undefined definitional variable the server program
+defines (e.g. the ``Status`` of a ``free_array`` request).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Optional
+
+Handler = Callable[..., None]
+
+
+class ServerRequestError(Exception):
+    """No loaded module provides the requested capability."""
+
+
+class ServerRegistry:
+    """Per-machine registry of server capabilities.
+
+    One logical server process exists per processor; because capability
+    handlers are registered machine-wide but *execute on* the target
+    processor (they receive the local :class:`VirtualProcessor`), a single
+    registry suffices.
+    """
+
+    def __init__(self, machine: "Machine") -> None:  # noqa: F821
+        self._machine = machine
+        self._capabilities: dict[str, Handler] = {}
+        self._lock = threading.Lock()
+
+    def load(self, capabilities: dict[str, Handler]) -> None:
+        """Load a module: add its capabilities to the server (§5.1.1)."""
+        with self._lock:
+            self._capabilities.update(capabilities)
+
+    def provides(self, request_type: str) -> bool:
+        with self._lock:
+            return request_type in self._capabilities
+
+    def request(
+        self,
+        request_type: str,
+        *parameters: Any,
+        processor: Optional[int] = None,
+        synchronous: bool = True,
+    ) -> None:
+        """Issue a server request.
+
+        ``processor`` is the ``@Processor_number`` annotation: the request
+        executes on that node (default: processor 0, the "local" node for
+        top-level callers).  When ``synchronous`` the handler runs to
+        completion on the caller's thread-of-control before returning —
+        matching the library-procedure discipline of §5.1.2, where each
+        library procedure waits for its request to be serviced.  With
+        ``synchronous=False`` the request completes immediately as a
+        statement and the handler runs as a separate process, which is the
+        raw server-request semantics of §5.1.1.
+        """
+        with self._lock:
+            handler = self._capabilities.get(request_type)
+        if handler is None:
+            raise ServerRequestError(
+                f"no capability registered for request type {request_type!r}"
+            )
+        node = self._machine.processor(0 if processor is None else processor)
+        if synchronous:
+            handler(node, *parameters)
+        else:
+            node.spawn(handler, node, *parameters, name=f"server-{request_type}")

@@ -1,0 +1,111 @@
+"""The coupled climate simulation (§2.3.1, Fig 2.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.climate import ClimateSimulation
+from repro.core.runtime import IntegratedRuntime
+
+
+@pytest.fixture
+def rt():
+    return IntegratedRuntime(8)
+
+
+class TestCoupling:
+    def test_interface_gap_shrinks(self, rt):
+        """Coupling drives the ocean-top and atmosphere-bottom temperatures
+        together."""
+        sim = ClimateSimulation(
+            rt, shape=(8, 16), ocean_temp=10.0, atmos_temp=-10.0
+        )
+        initial_gap = 20.0
+        run = sim.run(steps=6)
+        assert run.interface_gap() < initial_gap / 2
+        sim.free()
+
+    def test_uncoupled_domains_stay_apart(self, rt):
+        """Ablation: with coupling 0 the exchange is inert and the gap
+        decays only through each domain's own edge losses."""
+        coupled = ClimateSimulation(rt, shape=(8, 16), coupling=0.9)
+        gap_coupled = coupled.run(4).interface_gap()
+        coupled.free()
+        uncoupled = ClimateSimulation(rt, shape=(8, 16), coupling=0.0)
+        gap_uncoupled = uncoupled.run(4).interface_gap()
+        uncoupled.free()
+        assert gap_coupled < gap_uncoupled
+
+    def test_fields_bounded_by_initial_extremes(self, rt):
+        sim = ClimateSimulation(
+            rt, shape=(8, 16), ocean_temp=10.0, atmos_temp=-10.0
+        )
+        run = sim.run(5)
+        for field in (run.ocean, run.atmosphere):
+            assert field.max() <= 10.0 + 1e-9
+            assert field.min() >= -10.0 - 1e-9
+        sim.free()
+
+
+class TestSemanticEquivalence:
+    def test_concurrent_equals_sequential(self, rt):
+        """FIG-2.1's key claim: running the two data-parallel components
+        concurrently (the paper's structure) produces *bit-identical*
+        fields to stepping them one at a time — the distributed call is
+        semantically a sequential call (§2.1)."""
+        sim_a = ClimateSimulation(rt, shape=(8, 16))
+        run_a = sim_a.run(5)
+        sim_a.free()
+
+        rt_b = IntegratedRuntime(8)
+        sim_b = ClimateSimulation(rt_b, shape=(8, 16))
+        run_b = sim_b.run_reference(5)
+        sim_b.free()
+
+        assert np.array_equal(run_a.ocean, run_b.ocean)
+        assert np.array_equal(run_a.atmosphere, run_b.atmosphere)
+
+    def test_deterministic_across_runs(self, rt):
+        sim_a = ClimateSimulation(rt, shape=(8, 16))
+        first = sim_a.run(4)
+        sim_a.free()
+        rt2 = IntegratedRuntime(8)
+        sim_b = ClimateSimulation(rt2, shape=(8, 16))
+        second = sim_b.run(4)
+        sim_b.free()
+        assert np.array_equal(first.ocean, second.ocean)
+
+
+class TestValidation:
+    def test_odd_node_count_rejected(self):
+        with pytest.raises(ValueError):
+            ClimateSimulation(IntegratedRuntime(5))
+
+    def test_exchange_fraction_reported(self, rt):
+        sim = ClimateSimulation(rt, shape=(8, 16))
+        run = sim.run(3)
+        assert run.coupled_result is not None
+        assert 0.0 <= run.coupled_result.exchange_fraction() <= 1.0
+        sim.free()
+
+
+class TestDomainGrids:
+    def test_2d_decomposition_matches_row_decomposition(self, rt):
+        """The physics is decomposition-independent: a (2,2) grid per
+        domain produces exactly the same fields as row strips."""
+        sim_rows = ClimateSimulation(rt, shape=(8, 16))
+        run_rows = sim_rows.run(4)
+        sim_rows.free()
+
+        rt2 = IntegratedRuntime(8)
+        sim_grid = ClimateSimulation(rt2, shape=(8, 16), domain_grid=(2, 2))
+        run_grid = sim_grid.run(4)
+        sim_grid.free()
+
+        assert np.array_equal(run_rows.ocean, run_grid.ocean)
+        assert np.array_equal(run_rows.atmosphere, run_grid.atmosphere)
+
+    def test_bad_grid_rejected(self, rt):
+        with pytest.raises(ValueError):
+            ClimateSimulation(rt, shape=(8, 16), domain_grid=(3, 2))

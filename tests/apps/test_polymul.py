@@ -1,0 +1,143 @@
+"""Polynomial multiplication via the FFT pipeline (§6.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import polymul
+from repro.core.runtime import IntegratedRuntime
+
+
+@pytest.fixture(scope="module")
+def rt():
+    return IntegratedRuntime(8)
+
+
+@pytest.fixture(scope="module")
+def multiplier(rt):
+    return polymul.PolynomialMultiplier(rt, n=16)
+
+
+class TestReference:
+    def test_polymul_reference_matches_convolution(self):
+        f = np.array([1.0, 2.0])
+        g = np.array([3.0, 4.0])
+        out = polymul.polymul_reference(
+            np.pad(f, (0, 2)), np.pad(g, (0, 2))
+        )
+        assert list(out[:3]) == [3.0, 10.0, 8.0]
+
+    def test_random_pairs_deterministic(self):
+        a = polymul.random_pairs(8, 3, seed=5)
+        b = polymul.random_pairs(8, 3, seed=5)
+        for (f1, g1), (f2, g2) in zip(a, b):
+            assert np.array_equal(f1, f2) and np.array_equal(g1, g2)
+
+
+class TestSingleMultiply:
+    def test_matches_numpy(self, multiplier):
+        f, g = polymul.random_pairs(16, 1, seed=2)[0]
+        out = multiplier.multiply_one(f, g)
+        assert np.allclose(out, polymul.polymul_reference(f, g), atol=1e-9)
+
+    def test_identity_polynomial(self, multiplier):
+        """F * 1 = F (padded)."""
+        f = np.arange(16, dtype=float)
+        one = np.zeros(16)
+        one[0] = 1.0
+        out = multiplier.multiply_one(f, one)
+        expected = np.zeros(32)
+        expected[:16] = f
+        assert np.allclose(out, expected, atol=1e-9)
+
+    def test_monomial_shift(self, multiplier):
+        """F * x^k shifts coefficients by k."""
+        f = np.zeros(16)
+        f[:4] = [1, 2, 3, 4]
+        xk = np.zeros(16)
+        xk[3] = 1.0
+        out = multiplier.multiply_one(f, xk)
+        assert np.allclose(out[3:7], [1, 2, 3, 4], atol=1e-9)
+        assert np.allclose(out[:3], 0, atol=1e-9)
+
+
+class TestPipeline:
+    def test_stream_outputs_correct_and_ordered(self, multiplier):
+        pairs = polymul.random_pairs(16, 5, seed=3)
+        result = multiplier.multiply_stream(pairs)
+        assert len(result.outputs) == 5
+        for out, pair in zip(result.outputs, pairs):
+            assert np.allclose(out, polymul.polymul_reference(*pair), atol=1e-9)
+
+    def test_sequential_baseline_identical_outputs(self, multiplier):
+        pairs = polymul.random_pairs(16, 3, seed=4)
+        concurrent = multiplier.multiply_stream(pairs)
+        sequential = multiplier.multiply_stream_sequential(pairs)
+        for a, b in zip(concurrent.outputs, sequential.outputs):
+            assert np.allclose(a, b, atol=1e-12)
+
+    def test_pipeline_overlap_fig22(self, multiplier):
+        """Fig 2.2: stages operate concurrently after the pipeline fills."""
+        pairs = polymul.random_pairs(16, 6, seed=6)
+        result = multiplier.multiply_stream(pairs)
+        assert result.overlap_intervals() > 0.0
+        assert result.simulated_speedup() > 1.0
+
+
+class TestValidation:
+    def test_requires_four_groups(self):
+        rt = IntegratedRuntime(6)
+        with pytest.raises(ValueError, match="4 processor groups"):
+            polymul.PolynomialMultiplier(rt, n=8)
+
+    def test_small_machine_single_proc_groups(self):
+        rt = IntegratedRuntime(4)
+        pm = polymul.PolynomialMultiplier(rt, n=8)
+        f, g = polymul.random_pairs(8, 1, seed=7)[0]
+        assert np.allclose(
+            pm.multiply_one(f, g), polymul.polymul_reference(f, g), atol=1e-9
+        )
+        pm.free()
+
+
+class TestElementIOPath:
+    """The thesis' literal element-at-a-time data movement (§6.2.2's
+    get_input/pad_input/put_output) vs the bulk-section path."""
+
+    def test_element_io_matches_bulk_path(self):
+        rt = IntegratedRuntime(4)
+        faithful = polymul.PolynomialMultiplier(rt, n=8, use_element_io=True)
+        bulk = polymul.PolynomialMultiplier(rt, n=8)
+        f, g = polymul.random_pairs(8, 1, seed=21)[0]
+        out_faithful = faithful.multiply_one(f, g)
+        out_bulk = bulk.multiply_one(f, g)
+        assert np.allclose(out_faithful, out_bulk, atol=1e-12)
+        assert np.allclose(
+            out_faithful, polymul.polymul_reference(f, g), atol=1e-9
+        )
+        faithful.free()
+        bulk.free()
+
+    def test_element_io_costs_more_manager_requests(self):
+        """The FIG-3.9 argument applied to §6.2: per-element IO pays one
+        write_element per slot; the bulk path pays one section transfer
+        per processor."""
+        rt = IntegratedRuntime(4)
+        counts = rt.array_manager.request_counts
+
+        faithful = polymul.PolynomialMultiplier(rt, n=8, use_element_io=True)
+        f, g = polymul.random_pairs(8, 1, seed=22)[0]
+        before = counts.get("write_element", 0)
+        faithful.multiply_one(f, g)
+        element_writes = counts.get("write_element", 0) - before
+        faithful.free()
+
+        bulk = polymul.PolynomialMultiplier(rt, n=8)
+        before = counts.get("write_element", 0)
+        bulk.multiply_one(f, g)
+        bulk_writes = counts.get("write_element", 0) - before
+        bulk.free()
+
+        assert element_writes >= 2 * 2 * 16  # two inputs x 16 slots x 2 dbl
+        assert bulk_writes == 0

@@ -1,0 +1,82 @@
+"""The reactor discrete-event simulation (§2.3.3, Fig 2.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.reactor import ReactorSimulation
+from repro.core.runtime import IntegratedRuntime
+
+
+@pytest.fixture
+def rt():
+    return IntegratedRuntime(8)
+
+
+class TestCascade:
+    def test_temperature_monotonically_decreases(self, rt):
+        sim = ReactorSimulation(rt)
+        trace = sim.run(max_ticks=10)
+        assert len(trace.temperatures) >= 3
+        assert all(
+            a > b
+            for a, b in zip(trace.temperatures, trace.temperatures[1:])
+        )
+        sim.free()
+
+    def test_quiesces_when_cooled(self, rt):
+        sim = ReactorSimulation(rt, safe_temperature=400.0)
+        trace = sim.run(max_ticks=50)
+        assert trace.cooled_down(400.0)
+        # Events stop after the safe temperature is reached, well before
+        # the tick cap: data-dependent termination (§1.1.4 irregularity).
+        assert trace.demands < 50
+        sim.free()
+
+    def test_tick_cap_bounds_run(self, rt):
+        sim = ReactorSimulation(rt, safe_temperature=0.0)  # never "safe"
+        trace = sim.run(max_ticks=4)
+        assert trace.demands == 4
+        sim.free()
+
+    def test_each_tick_produces_one_flow_and_temperature(self, rt):
+        sim = ReactorSimulation(rt)
+        trace = sim.run(max_ticks=6)
+        assert len(trace.flows) == len(trace.temperatures) == trace.demands
+        sim.free()
+
+    def test_event_graph_counts(self, rt):
+        """Every tick flows through all four components exactly once:
+        driver(tick) -> pump -> valve -> reactor -> driver(temperature)."""
+        sim = ReactorSimulation(rt)
+        trace = sim.run(max_ticks=5)
+        counts = trace.result.per_node_counts
+        ticks = trace.demands
+        assert counts["pump"] == ticks
+        assert counts["valve"] == ticks
+        assert counts["reactor"] == ticks
+        assert counts["driver"] == 2 * ticks  # tick + temperature events
+        sim.free()
+
+    def test_flows_positive_and_bounded_by_valve(self, rt):
+        sim = ReactorSimulation(rt)
+        trace = sim.run(max_ticks=6)
+        assert all(f > 0 for f in trace.flows)
+        sim.free()
+
+    def test_deterministic(self, rt):
+        sim_a = ReactorSimulation(rt, seed=3)
+        trace_a = sim_a.run(max_ticks=5)
+        sim_a.free()
+        rt_b = IntegratedRuntime(8)
+        sim_b = ReactorSimulation(rt_b, seed=3)
+        trace_b = sim_b.run(max_ticks=5)
+        sim_b.free()
+        assert trace_a.temperatures == trace_b.temperatures
+        assert trace_a.flows == trace_b.flows
+
+
+class TestValidation:
+    def test_odd_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            ReactorSimulation(IntegratedRuntime(3))

@@ -1,0 +1,160 @@
+"""Signal-processing pipelines: convolution, correlation, filtering
+(§2.3.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.signalproc import SpectralProcessor
+from repro.core.runtime import IntegratedRuntime
+from repro.spmd.signal import (
+    circular_convolve_reference,
+    circular_correlate_reference,
+    lowpass_reference,
+)
+
+
+@pytest.fixture(scope="module")
+def rt():
+    return IntegratedRuntime(8)
+
+
+def signals(n, count=1, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.uniform(-1, 1, n) for _ in range(count)]
+
+
+class TestConvolution:
+    def test_matches_direct_convolution(self, rt):
+        n = 16
+        proc = SpectralProcessor(rt, n, kind="convolve")
+        x, y = signals(n, 2, seed=1)
+        out = proc.process_one(x, y)
+        assert np.allclose(out, circular_convolve_reference(x, y), atol=1e-9)
+        proc.free()
+
+    def test_matches_numpy_fft_convolution(self, rt):
+        n = 32
+        proc = SpectralProcessor(rt, n, kind="convolve")
+        x, y = signals(n, 2, seed=2)
+        expected = np.real(np.fft.ifft(np.fft.fft(x) * np.fft.fft(y)))
+        out = proc.process_one(x, y)
+        assert np.allclose(out, expected, atol=1e-9)
+        proc.free()
+
+    def test_delta_is_identity(self, rt):
+        n = 16
+        proc = SpectralProcessor(rt, n, kind="convolve")
+        x = signals(n, 1, seed=3)[0]
+        delta = np.zeros(n)
+        delta[0] = 1.0
+        assert np.allclose(proc.process_one(x, delta), x, atol=1e-9)
+        proc.free()
+
+    def test_shifted_delta_rotates(self, rt):
+        n = 16
+        proc = SpectralProcessor(rt, n, kind="convolve")
+        x = signals(n, 1, seed=4)[0]
+        delta3 = np.zeros(n)
+        delta3[3] = 1.0
+        assert np.allclose(
+            proc.process_one(x, delta3), np.roll(x, 3), atol=1e-9
+        )
+        proc.free()
+
+
+class TestCorrelation:
+    def test_matches_direct_correlation(self, rt):
+        n = 16
+        proc = SpectralProcessor(rt, n, kind="correlate")
+        x, y = signals(n, 2, seed=5)
+        out = proc.process_one(x, y)
+        assert np.allclose(
+            out, circular_correlate_reference(x, y), atol=1e-9
+        )
+        proc.free()
+
+    def test_autocorrelation_peaks_at_zero_lag(self, rt):
+        n = 32
+        proc = SpectralProcessor(rt, n, kind="correlate")
+        x = signals(n, 1, seed=6)[0]
+        out = proc.process_one(x, x)
+        assert np.argmax(out) == 0
+        assert out[0] == pytest.approx(float(x @ x))
+        proc.free()
+
+    def test_detects_known_shift(self, rt):
+        """Correlating a signal against its rotation peaks at the lag."""
+        n = 32
+        proc = SpectralProcessor(rt, n, kind="correlate")
+        x = signals(n, 1, seed=7)[0]
+        shifted = np.roll(x, 5)
+        out = proc.process_one(x, shifted)
+        assert np.argmax(out) == 5
+        proc.free()
+
+
+class TestLowpass:
+    def test_matches_reference_filter(self, rt):
+        n = 32
+        proc = SpectralProcessor(rt, n, kind="lowpass", cutoff=0.25)
+        x = signals(n, 1, seed=8)[0]
+        out = proc.process_one(x)
+        assert np.allclose(out, lowpass_reference(x, 0.25), atol=1e-9)
+        proc.free()
+
+    def test_passes_dc(self, rt):
+        n = 16
+        proc = SpectralProcessor(rt, n, kind="lowpass", cutoff=0.1)
+        constant = np.full(n, 3.0)
+        assert np.allclose(proc.process_one(constant), constant, atol=1e-9)
+        proc.free()
+
+    def test_removes_nyquist_tone(self, rt):
+        n = 16
+        proc = SpectralProcessor(rt, n, kind="lowpass", cutoff=0.3)
+        nyquist = np.cos(np.pi * np.arange(n))  # alternating +1/-1
+        out = proc.process_one(nyquist)
+        assert np.allclose(out, 0.0, atol=1e-9)
+        proc.free()
+
+    def test_cutoff_one_is_identity(self, rt):
+        n = 16
+        proc = SpectralProcessor(rt, n, kind="lowpass", cutoff=1.0)
+        x = signals(n, 1, seed=9)[0]
+        assert np.allclose(proc.process_one(x), x, atol=1e-9)
+        proc.free()
+
+
+class TestPipelineStream:
+    def test_stream_of_convolutions(self, rt):
+        n = 16
+        proc = SpectralProcessor(rt, n, kind="convolve")
+        pairs = [tuple(signals(n, 2, seed=s)) for s in range(4)]
+        result = proc.process_stream(pairs)
+        for out, (x, y) in zip(result.outputs, pairs):
+            assert np.allclose(
+                out, circular_convolve_reference(x, y), atol=1e-9
+            )
+        assert result.overlap_intervals() >= 0.0
+        proc.free()
+
+    def test_gain_stage(self, rt):
+        n = 16
+        proc = SpectralProcessor(rt, n, kind="scale", gain=2.5)
+        x = signals(n, 1, seed=10)[0]
+        assert np.allclose(proc.process_one(x), 2.5 * x, atol=1e-9)
+        proc.free()
+
+
+class TestValidation:
+    def test_unknown_kind_rejected(self, rt):
+        with pytest.raises(ValueError):
+            SpectralProcessor(rt, 16, kind="bandstop")
+
+    def test_binary_kind_needs_two_signals(self, rt):
+        proc = SpectralProcessor(rt, 16, kind="convolve")
+        with pytest.raises(ValueError):
+            proc.process_one(np.zeros(16))
+        proc.free()

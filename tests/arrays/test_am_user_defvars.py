@@ -1,0 +1,98 @@
+"""PCN-style dataflow use of the am_user library procedures.
+
+The paper's procedures return results through definitional out-parameters,
+which callers use for synchronisation (§4.1.2: "The Status parameter is a
+definitional variable that becomes defined only after the operation has
+been completed, so callers can use it for synchronization purposes").
+These tests drive the library through explicitly supplied DefVars, the way
+a PCN program would.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arrays import am_user, am_util
+from repro.pcn.composition import choice, default, need, par
+from repro.pcn.defvar import DefVar
+from repro.pcn.process import spawn
+from repro.status import Status
+from repro.vp.machine import Machine
+
+
+@pytest.fixture
+def m4():
+    machine = Machine(4)
+    am_util.load_all(machine)
+    return machine
+
+
+def procs(machine):
+    return am_util.node_array(0, 1, machine.num_nodes)
+
+
+class TestOutParameterStyle:
+    def test_create_array_defines_supplied_vars(self, m4):
+        array_id = DefVar("A1")
+        status = DefVar("Stat1")
+        am_user.create_array(
+            m4, "double", (8,), procs(m4), ["block"],
+            array_id_out=array_id, status_out=status,
+        )
+        assert status.read() is Status.OK.value or Status(status.read()) is Status.OK
+        assert array_id.read() is not None
+
+    def test_sequential_composition_via_status_vars(self, m4):
+        """The §4.1.3 example block: create then free, each step's
+        completion visible through its Status variable."""
+        a1, stat1, stat2 = DefVar("A1"), DefVar("Stat1"), DefVar("Stat2")
+        am_user.create_array(
+            m4, "double", (8,), procs(m4), ["block"],
+            array_id_out=a1, status_out=stat1,
+        )
+        am_user.free_array(m4, a1.read(), status_out=stat2)
+        assert Status(stat1.read()) is Status.OK
+        assert Status(stat2.read()) is Status.OK
+
+    def test_consumer_suspends_on_element_var(self, m4):
+        """A PCN process reading an element out-variable suspends until
+        the read completes — dataflow synchronisation through the library."""
+        aid, _ = am_user.create_array(m4, "double", (8,), procs(m4), ["block"])
+        am_user.write_element(m4, aid, (3,), 1.25)
+        element = DefVar("Element")
+        got = []
+
+        consumer = spawn(lambda: got.append(element.read()))
+        am_user.read_element(m4, aid, (3,), element_out=element)
+        consumer.join(timeout=5)
+        assert got == [1.25]
+
+    def test_choice_on_status(self, m4):
+        """Guard a choice composition with a library Status variable."""
+        status = DefVar("Status")
+        aid, _ = am_user.create_array(m4, "double", (8,), procs(m4), ["block"])
+        am_user.write_element(m4, aid, (0,), 1.0, status_out=status)
+        outcome = choice(
+            (lambda: need(status) == int(Status.OK), lambda: "wrote"),
+            (default, lambda: "failed"),
+        )
+        assert outcome == "wrote"
+
+    def test_parallel_composition_of_library_calls(self, m4):
+        """Two array creations composed in parallel; both Status variables
+        defined, both arrays usable."""
+        ids = [DefVar("A"), DefVar("B")]
+        stats = [DefVar("SA"), DefVar("SB")]
+
+        par(
+            lambda: am_user.create_array(
+                m4, "double", (8,), procs(m4), ["block"],
+                array_id_out=ids[0], status_out=stats[0],
+            ),
+            lambda: am_user.create_array(
+                m4, "int", (4,), procs(m4), ["block"],
+                array_id_out=ids[1], status_out=stats[1],
+            ),
+        )
+        assert all(Status(s.read()) is Status.OK for s in stats)
+        assert ids[0].read() != ids[1].read()

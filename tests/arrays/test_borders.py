@@ -1,0 +1,97 @@
+"""Border specifications, including foreign_borders (§4.2.1, §5.1.7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arrays.borders import (
+    BorderSpecError,
+    borders_for_program,
+    make_border_provider,
+    resolve_borders,
+)
+
+
+class TestPlainSpecs:
+    def test_none_means_no_borders(self):
+        assert resolve_borders(None, 2) == (0, 0, 0, 0)
+
+    def test_empty_sequence_means_no_borders(self):
+        assert resolve_borders([], 3) == (0,) * 6
+
+    def test_explicit_list(self):
+        """The §4.2.1 example: [2, 2, 1, 1] = two rows above/below, one
+        column either side."""
+        assert resolve_borders([2, 2, 1, 1], 2) == (2, 2, 1, 1)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(BorderSpecError, match="2\\*rank"):
+            resolve_borders([1, 1], 2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(BorderSpecError):
+            resolve_borders([1, -1], 1)
+
+    def test_non_sequence_rejected(self):
+        with pytest.raises(BorderSpecError):
+            resolve_borders(3.14, 1)
+
+
+class TestForeignBorders:
+    def test_program_with_border_query_attribute(self):
+        """The §5.1.7 protocol: the called program supplies borders per
+        parameter number at array-creation time."""
+
+        def fake_dp_program(ctx, *args):
+            pass
+
+        fake_dp_program.border_query = make_border_provider(
+            {1: (2, 2), 2: (1, 1)}
+        )
+        spec = borders_for_program(fake_dp_program, 1)
+        assert spec == ("foreign_borders", fake_dp_program, 1)
+        assert resolve_borders(spec, 1) == (2, 2)
+        assert resolve_borders(("foreign_borders", fake_dp_program, 2), 1) == (1, 1)
+
+    def test_plain_callable_as_program(self):
+        spec = ("foreign_borders", lambda parm, rank: (parm,) * (2 * rank), 3)
+        assert resolve_borders(spec, 2) == (3, 3, 3, 3)
+
+    def test_default_for_unknown_parameter(self):
+        provider = make_border_provider({1: (5, 5)}, default=(0, 0))
+        assert provider(9, 1) == (0, 0)
+
+    def test_zero_default_without_explicit_default(self):
+        provider = make_border_provider({})
+        assert provider(1, 2) == (0, 0, 0, 0)
+
+    def test_wrong_arity_tuple_rejected(self):
+        with pytest.raises(BorderSpecError):
+            resolve_borders(("foreign_borders", lambda p, r: (0, 0)), 1)
+
+    def test_program_returning_wrong_length_rejected(self):
+        spec = ("foreign_borders", lambda parm, rank: (1, 1, 1), 0)
+        with pytest.raises(BorderSpecError):
+            resolve_borders(spec, 2)
+
+    def test_uncallable_program_rejected(self):
+        with pytest.raises(BorderSpecError):
+            resolve_borders(("foreign_borders", object(), 1), 1)
+
+
+class TestInternalBordersForm:
+    def test_borders_tuple_calls_provider(self):
+        """The ("borders", Module, Program, Parm_num) internal form the
+        transformation rewrites foreign_borders into (§5.1.7)."""
+        calls = []
+
+        def provider(parm_num, n_borders):
+            calls.append((parm_num, n_borders))
+            return (4,) * n_borders
+
+        assert resolve_borders(("borders", provider, 7), 2) == (4, 4, 4, 4)
+        assert calls == [(7, 4)]
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(BorderSpecError, match="unknown"):
+            resolve_borders(("mystery", None, 0), 1)

@@ -1,0 +1,188 @@
+"""Block decomposition and processor grids (§3.2.1.1-§3.2.1.2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.arrays.decomposition import (
+    BLOCK,
+    STAR,
+    Block,
+    DecompositionError,
+    balanced_grid,
+    compute_grid,
+    local_dims_for,
+    normalize_distrib,
+)
+
+
+class TestNormalize:
+    def test_block_string(self):
+        assert normalize_distrib("block") == BLOCK
+
+    def test_star_string(self):
+        assert normalize_distrib("*") == STAR
+
+    def test_paper_tuple_syntax(self):
+        assert normalize_distrib(("block", 4)) == Block(4)
+
+    def test_block_object_passthrough(self):
+        assert normalize_distrib(Block(2)) == Block(2)
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(DecompositionError):
+            normalize_distrib("cyclic")
+
+    def test_bad_tuple_rejected(self):
+        with pytest.raises(DecompositionError):
+            normalize_distrib(("block", "x"))
+
+    def test_nonpositive_block_rejected(self):
+        with pytest.raises(DecompositionError):
+            Block(0)
+
+
+class TestPaperWorkedExamples:
+    """The exact examples worked in §3.2.1.2 and Fig 3.6."""
+
+    def test_default_square_grid_16_procs(self):
+        # "a 2-dimensional array is by default distributed among 16
+        # processors using a 4 by 4 processor grid"
+        assert compute_grid((400, 200), 16, ("block", "block")) == (4, 4)
+
+    def test_3d_with_one_specified_dim(self):
+        # "a 3-dimensional array ... among 32 processors with the second
+        # dimension ... specified as 2 ... has dimensions 4 by 2 by 4"
+        grid = compute_grid((64, 64, 64), 32, ("block", ("block", 2), "block"))
+        assert grid == (4, 2, 4)
+
+    def test_fig36_block_block(self):
+        grid = compute_grid((400, 200), 16, ("block", "block"))
+        assert local_dims_for((400, 200), grid) == (100, 50)
+
+    def test_fig36_block2_block8(self):
+        grid = compute_grid((400, 200), 16, (("block", 2), ("block", 8)))
+        assert grid == (2, 8)
+        assert local_dims_for((400, 200), grid) == (200, 25)
+
+    def test_fig36_equivalent_partial_specs(self):
+        # "block(2), block is equivalent, as is block, block(8)"
+        a = compute_grid((400, 200), 16, (("block", 2), "block"))
+        b = compute_grid((400, 200), 16, ("block", ("block", 8)))
+        assert a == b == (2, 8)
+
+    def test_fig36_block_star(self):
+        # "block, * implies a 16-by-1 processor grid ... decomposition by
+        # row only"
+        grid = compute_grid((400, 200), 16, ("block", "*"))
+        assert grid == (16, 1)
+        assert local_dims_for((400, 200), grid) == (25, 200)
+
+    def test_fig35_example(self):
+        # Fig 3.5: 16x16 over 8 processors as a 4x2 grid, 2x4... the text
+        # partitions into eight 2x4-element... wait: "eight 2 by 4 local
+        # sections ... conceptually arranged as a 4 by 2 array" — sections
+        # are 4x8?  The figure uses a 4x2 grid of 4x8 sections for 16x16.
+        # (the worked element (2,5) -> processor (1,1), local (0,1) pins
+        # the figure's array at 8x8: eight 2-by-4 sections on a 4-by-2
+        # processor grid).
+        grid = compute_grid((8, 8), 8, (("block", 4), ("block", 2)))
+        assert grid == (4, 2)
+        assert local_dims_for((8, 8), grid) == (2, 4)
+
+    def test_grid_example_2by4_ok_3by3_not(self):
+        # §3.2.1.1: "a 2 by 4 process grid would be acceptable, but a
+        # 3 by 3 process grid would not" for 8 processors.
+        assert compute_grid((16, 16), 8, (("block", 2), ("block", 4))) == (2, 4)
+        with pytest.raises(DecompositionError):
+            compute_grid((18, 18), 8, (("block", 3), ("block", 3)))
+
+
+class TestValidation:
+    def test_rank_mismatch(self):
+        with pytest.raises(DecompositionError):
+            compute_grid((8, 8), 4, ("block",))
+
+    def test_grid_must_divide_dims(self):
+        with pytest.raises(DecompositionError, match="does not divide"):
+            compute_grid((10,), 4, ("block",))
+
+    def test_specified_product_must_divide_p(self):
+        with pytest.raises(DecompositionError):
+            compute_grid((8, 8), 8, (("block", 3), "block"))
+
+    def test_fully_specified_must_equal_p(self):
+        with pytest.raises(DecompositionError):
+            compute_grid((8, 8), 8, (("block", 2), ("block", 2)))
+
+    def test_no_integer_root(self):
+        with pytest.raises(DecompositionError, match="no exact integer"):
+            compute_grid((8, 8), 8, ("block", "block"))
+
+    def test_nonpositive_dim(self):
+        with pytest.raises(DecompositionError):
+            compute_grid((0, 8), 4, ("block", "block"))
+
+    def test_zero_processors(self):
+        with pytest.raises(DecompositionError):
+            compute_grid((8,), 0, ("block",))
+
+    def test_all_star_one_processor(self):
+        assert compute_grid((8, 8), 1, ("*", "*")) == (1, 1)
+
+    def test_star_means_no_decomposition(self):
+        grid = compute_grid((6, 8), 4, ("*", ("block", 4)))
+        assert grid == (1, 4)
+
+
+grid_cases = st.integers(1, 4).flatmap(
+    lambda rank: st.tuples(
+        st.lists(
+            st.integers(1, 4).map(lambda k: 2**k), min_size=rank, max_size=rank
+        ),
+        st.lists(st.integers(0, 2), min_size=rank, max_size=rank),
+    )
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(grid_cases)
+def test_property_grid_product_equals_p_and_divides(case):
+    """Any grid computed uses exactly P cells and divides every dim."""
+    grid_exps, _ = case
+    # build dims that each grid dim divides: dims = grid * multiplier
+    dims = tuple(g * 3 for g in grid_exps)
+    specs = tuple(("block", g) for g in grid_exps)
+    p = 1
+    for g in grid_exps:
+        p *= g
+    grid = compute_grid(dims, p, specs)
+    assert grid == tuple(grid_exps)
+    prod = 1
+    for g in grid:
+        prod *= g
+    assert prod == p
+    for d, g in zip(dims, grid):
+        assert d % g == 0
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(st.sampled_from([2, 4, 8, 16, 32, 64]), min_size=1, max_size=3),
+    st.sampled_from([1, 2, 4, 8]),
+)
+def test_property_balanced_grid_valid(dims, p):
+    """The pythonic fallback always yields a legal grid when dims are
+    powers of two and P is a power of two <= min(dims product)."""
+    total = 1
+    for d in dims:
+        total *= d
+    assume(p <= total)
+    grid = balanced_grid(dims, p)
+    prod = 1
+    for d, g in zip(dims, grid):
+        assert d % g == 0
+        prod *= g
+    assert prod == p

@@ -1,0 +1,354 @@
+"""The array manager (§3.2.2.2, §5.1) through the am_user library layer
+(§4.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arrays import am_user, am_util
+from repro.arrays.local_section import TRACKER
+from repro.arrays.manager import get_array_manager, install_array_manager
+from repro.arrays.record import ArrayID
+from repro.status import Status
+from repro.vp.machine import Machine
+
+
+@pytest.fixture
+def m16():
+    machine = Machine(16)
+    am_util.load_all(machine)
+    return machine
+
+
+def all_procs(machine):
+    return am_util.node_array(0, 1, machine.num_nodes)
+
+
+class TestCreate:
+    def test_create_returns_unique_ids(self, m16):
+        procs = all_procs(m16)
+        a, st_a = am_user.create_array(m16, "double", (16,), procs, ["block"])
+        b, st_b = am_user.create_array(m16, "double", (16,), procs, ["block"])
+        assert st_a is Status.OK and st_b is Status.OK
+        assert a != b
+        assert isinstance(a, ArrayID)
+
+    def test_array_id_carries_creating_processor(self, m16):
+        procs = all_procs(m16)
+        aid, _ = am_user.create_array(
+            m16, "double", (16,), procs, ["block"], processor=5
+        )
+        assert aid.creating_processor == 5
+
+    def test_create_on_processor_outside_distribution(self, m16):
+        """§3.2.1.5: array creation can be performed on any processor,
+        including one that holds no local section."""
+        procs = am_util.node_array(1, 1, 4)  # processors 1..4
+        aid, st = am_user.create_array(
+            m16, "double", (8,), procs, ["block"], processor=0
+        )
+        assert st is Status.OK
+        # Global operations work from the creating processor...
+        st = am_user.write_element(m16, aid, (3,), 1.0, processor=0)
+        assert st is Status.OK
+        # ...but find_local there fails: no section on processor 0.
+        _sec, st = am_user.find_local(m16, aid, processor=0)
+        assert st is Status.NOT_FOUND
+
+    def test_bad_type_invalid(self, m16):
+        _aid, st = am_user.create_array(
+            m16, "float128", (8,), all_procs(m16), ["block"] * 1
+        )
+        assert st is Status.INVALID
+
+    def test_bad_grid_invalid(self, m16):
+        _aid, st = am_user.create_array(
+            m16, "double", (10,), all_procs(m16), ["block"]
+        )  # 16 does not divide 10
+        assert st is Status.INVALID
+
+    def test_duplicate_processors_invalid(self, m16):
+        _aid, st = am_user.create_array(
+            m16, "double", (8,), [0, 0, 1, 2], ["block"]
+        )
+        assert st is Status.INVALID
+
+    def test_out_of_range_processor_invalid(self, m16):
+        _aid, st = am_user.create_array(
+            m16, "double", (8,), [0, 1, 2, 99], ["block"]
+        )
+        assert st is Status.INVALID
+
+    def test_bad_indexing_type_invalid(self, m16):
+        _aid, st = am_user.create_array(
+            m16, "double", (8,), all_procs(m16)[:4], ["block"],
+            indexing_type="diagonal",
+        )
+        assert st is Status.INVALID
+
+    def test_int_array(self, m16):
+        procs = all_procs(m16)[:4]
+        aid, st = am_user.create_array(m16, "int", (8,), procs, ["block"])
+        assert st is Status.OK
+        am_user.write_element(m16, aid, (0,), 7)
+        value, _ = am_user.read_element(m16, aid, (0,))
+        assert value == 7 and isinstance(value, int)
+
+
+class TestElementAccess:
+    def test_write_then_read(self, m16):
+        procs = all_procs(m16)
+        aid, _ = am_user.create_array(
+            m16, "double", (16, 16), procs, ["block", "block"]
+        )
+        st = am_user.write_element(m16, aid, (3, 7), 2.5)
+        assert st is Status.OK
+        value, st = am_user.read_element(m16, aid, (3, 7))
+        assert (value, st) == (2.5, Status.OK)
+
+    def test_read_same_from_any_processor(self, m16):
+        """§3.2.1.5: 'a request to read the first element of a distributed
+        array returns the same value no matter where it is executed'."""
+        procs = all_procs(m16)
+        aid, _ = am_user.create_array(m16, "double", (16,), procs, ["block"])
+        am_user.write_element(m16, aid, (0,), 42.0)
+        values = {
+            am_user.read_element(m16, aid, (0,), processor=p)[0]
+            for p in range(16)
+        }
+        assert values == {42.0}
+
+    def test_out_of_range_index_invalid(self, m16):
+        aid, _ = am_user.create_array(
+            m16, "double", (16,), all_procs(m16), ["block"]
+        )
+        _v, st = am_user.read_element(m16, aid, (16,))
+        assert st is Status.INVALID
+        st = am_user.write_element(m16, aid, (-1,), 0.0)
+        assert st is Status.INVALID
+
+    def test_wrong_rank_invalid(self, m16):
+        aid, _ = am_user.create_array(
+            m16, "double", (16,), all_procs(m16), ["block"]
+        )
+        _v, st = am_user.read_element(m16, aid, (0, 0))
+        assert st is Status.INVALID
+
+    def test_non_numeric_write_invalid(self, m16):
+        aid, _ = am_user.create_array(
+            m16, "double", (16,), all_procs(m16), ["block"]
+        )
+        st = am_user.write_element(m16, aid, (0,), "not a number")
+        assert st is Status.INVALID
+
+    def test_elements_land_in_correct_sections(self, m16):
+        """Cross-check the manager against the layout arithmetic: write
+        each element its own value, check each owner's section."""
+        procs = all_procs(m16)[:4]
+        aid, _ = am_user.create_array(m16, "double", (8,), procs, ["block"])
+        for i in range(8):
+            am_user.write_element(m16, aid, (i,), float(i))
+        for rank, proc in enumerate(procs):
+            section, st = am_user.find_local(m16, aid, processor=int(proc))
+            assert st is Status.OK
+            assert list(section.interior()) == [rank * 2.0, rank * 2.0 + 1]
+
+
+class TestUnknownArray:
+    def test_read_unknown_not_found(self, m16):
+        _v, st = am_user.read_element(m16, ArrayID(0, 999), (0,))
+        assert st is Status.NOT_FOUND
+
+    def test_free_unknown_not_found(self, m16):
+        assert am_user.free_array(m16, ArrayID(0, 999)) is Status.NOT_FOUND
+
+    def test_garbage_id_not_found(self, m16):
+        _v, st = am_user.read_element(m16, "not-an-id", (0,))
+        assert st is Status.NOT_FOUND
+
+
+class TestFree:
+    def test_free_invalidates_everywhere(self, m16):
+        procs = all_procs(m16)
+        aid, _ = am_user.create_array(m16, "double", (16,), procs, ["block"])
+        assert am_user.free_array(m16, aid) is Status.OK
+        for p in (0, 3, 15):
+            _v, st = am_user.read_element(m16, aid, (0,), processor=p)
+            assert st is Status.NOT_FOUND
+
+    def test_double_free_not_found(self, m16):
+        aid, _ = am_user.create_array(
+            m16, "double", (16,), all_procs(m16), ["block"]
+        )
+        am_user.free_array(m16, aid)
+        assert am_user.free_array(m16, aid) is Status.NOT_FOUND
+
+    def test_free_releases_storage(self, m16):
+        live_before = TRACKER.live
+        aid, _ = am_user.create_array(
+            m16, "double", (16,), all_procs(m16), ["block"]
+        )
+        assert TRACKER.live == live_before + 16
+        am_user.free_array(m16, aid)
+        assert TRACKER.live == live_before
+
+
+class TestFindInfo:
+    @pytest.fixture
+    def arr(self, m16):
+        procs = all_procs(m16)
+        aid, st = am_user.create_array(
+            m16, "double", (400, 200), procs,
+            (("block", 2), ("block", 8)), border_info=[1, 1, 2, 2],
+        )
+        assert st is Status.OK
+        return aid
+
+    def test_type(self, m16, arr):
+        assert am_user.find_info(m16, arr, "type") == ("double", Status.OK)
+
+    def test_dimensions(self, m16, arr):
+        assert am_user.find_info(m16, arr, "dimensions")[0] == [400, 200]
+
+    def test_processors(self, m16, arr):
+        assert am_user.find_info(m16, arr, "processors")[0] == list(range(16))
+
+    def test_grid_dimensions(self, m16, arr):
+        assert am_user.find_info(m16, arr, "grid_dimensions")[0] == [2, 8]
+
+    def test_local_dimensions(self, m16, arr):
+        assert am_user.find_info(m16, arr, "local_dimensions")[0] == [200, 25]
+
+    def test_borders(self, m16, arr):
+        assert am_user.find_info(m16, arr, "borders")[0] == [1, 1, 2, 2]
+
+    def test_local_dimensions_plus(self, m16, arr):
+        assert am_user.find_info(m16, arr, "local_dimensions_plus")[0] == [202, 29]
+
+    def test_indexing_types(self, m16, arr):
+        assert am_user.find_info(m16, arr, "indexing_type")[0] == "row"
+        assert am_user.find_info(m16, arr, "grid_indexing_type")[0] == "row"
+
+    def test_unknown_selector_invalid(self, m16, arr):
+        _out, st = am_user.find_info(m16, arr, "colour")
+        assert st is Status.INVALID
+
+    def test_info_identical_on_all_processors(self, m16, arr):
+        results = {
+            tuple(am_user.find_info(m16, arr, "grid_dimensions", processor=p)[0])
+            for p in range(16)
+        }
+        assert results == {(2, 8)}
+
+
+class TestVerifyArray:
+    """The §4.2.7 examples, transcribed."""
+
+    @pytest.fixture
+    def pgms(self):
+        def pgmA(ctx, *args):
+            pass
+
+        pgmA.border_query = lambda parm, rank: (2,) * (2 * rank)
+
+        def pgmB(ctx, *args):
+            pass
+
+        pgmB.border_query = lambda parm, rank: (1,) * (2 * rank)
+        return pgmA, pgmB
+
+    def make(self, m16):
+        procs = all_procs(m16)
+        aid, st = am_user.create_array(
+            m16, "double", (16, 16), procs, ("block", "block"),
+            border_info=[2, 2, 2, 2], indexing_type="row",
+        )
+        assert st is Status.OK
+        return aid
+
+    def test_matching_borders_ok_no_copy(self, m16, pgms):
+        pgmA, _ = pgms
+        aid = self.make(m16)
+        manager = get_array_manager(m16)
+        copies_before = manager.request_counts.get("copy_local", 0)
+        st = am_user.verify_array(
+            m16, aid, 2, ("foreign_borders", pgmA, 1), "row"
+        )
+        assert st is Status.OK
+        assert manager.request_counts.get("copy_local", 0) == copies_before
+
+    def test_mismatched_borders_reallocates_and_preserves_data(self, m16, pgms):
+        _, pgmB = pgms
+        aid = self.make(m16)
+        am_user.write_element(m16, aid, (5, 5), 3.25)
+        st = am_user.verify_array(
+            m16, aid, 2, ("foreign_borders", pgmB, 1), "row"
+        )
+        assert st is Status.OK
+        assert am_user.find_info(m16, aid, "borders")[0] == [1, 1, 1, 1]
+        # "unchanged interior (non-border) data"
+        assert am_user.read_element(m16, aid, (5, 5))[0] == 3.25
+
+    def test_indexing_mismatch_invalid(self, m16, pgms):
+        pgmA, _ = pgms
+        aid = self.make(m16)
+        st = am_user.verify_array(
+            m16, aid, 2, ("foreign_borders", pgmA, 1), "column"
+        )
+        assert st is Status.INVALID
+
+    def test_rank_mismatch_invalid(self, m16):
+        aid = self.make(m16)
+        st = am_user.verify_array(m16, aid, 3, [1, 1, 1, 1, 1, 1], "row")
+        assert st is Status.INVALID
+
+    def test_unknown_array_not_found(self, m16):
+        st = am_user.verify_array(m16, ArrayID(0, 999), 2, [], "row")
+        assert st is Status.NOT_FOUND
+
+    def test_explicit_border_list_also_works(self, m16):
+        aid = self.make(m16)
+        st = am_user.verify_array(m16, aid, 2, [0, 0, 0, 0], "row")
+        assert st is Status.OK
+        assert am_user.find_info(m16, aid, "local_dimensions_plus")[0] == [4, 4]
+
+
+class TestColumnMajor:
+    def test_fig38_placement(self, m16):
+        """Fig 3.8: 4x4 array over processors (0,2,4,6); the second grid
+        cell's data lands on processor 2 row-major but 4 column-major."""
+        procs = [0, 2, 4, 6]
+        for indexing, expected_proc in (("row", 2), ("column", 4)):
+            aid, st = am_user.create_array(
+                m16, "double", (4, 4), procs, ("block", "block"),
+                indexing_type=indexing,
+            )
+            assert st is Status.OK
+            am_user.write_element(m16, aid, (0, 2), 77.0)  # grid cell (0,1)
+            section, st = am_user.find_local(
+                m16, aid, processor=expected_proc
+            )
+            assert st is Status.OK
+            assert 77.0 in np.asarray(section.interior())
+
+
+class TestTraceAndCounters:
+    def test_debug_manager_traces(self):
+        machine = Machine(4)
+        am_util.load_all(machine, "am_debug")
+        manager = get_array_manager(machine)
+        aid, _ = am_user.create_array(
+            machine, "double", (4,), [0, 1, 2, 3], ["block"]
+        )
+        am_user.read_element(machine, aid, (0,))
+        kinds = [entry[0] for entry in manager.trace_log]
+        assert "create_array" in kinds
+        assert "read_element" in kinds
+        assert "read_element_local" in kinds
+
+    def test_install_idempotent(self):
+        machine = Machine(2)
+        first = install_array_manager(machine)
+        second = install_array_manager(machine)
+        assert first is second

@@ -1,0 +1,78 @@
+"""Generated combine programs (§F.6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.calls.combine import make_combine_program
+
+
+class TestStatusOnly:
+    def test_default_max(self):
+        combine = make_combine_program(None, [])
+        assert combine((0,), (2,)) == (2,)
+        assert combine((99,), (0,)) == (99,)
+
+    def test_custom_status_combine(self):
+        combine = make_combine_program("min", [])
+        assert combine((3,), (1,)) == (1,)
+
+    def test_callable_status_combine(self):
+        combine = make_combine_program(lambda a, b: a + b, [])
+        assert combine((1,), (2,)) == (3,)
+
+
+class TestWithReductions:
+    def test_status_and_one_reduction(self):
+        """The §F example: status via max, reduction via its own combine."""
+        combine = make_combine_program("max", ["sum"])
+        assert combine((0, 10.0), (1, 32.0)) == (1, 42.0)
+
+    def test_multiple_reductions_each_their_own_combine(self):
+        combine = make_combine_program(None, ["sum", "min", "max"])
+        out = combine((0, 1.0, 5, 5), (0, 2.0, 3, 9))
+        assert out == (0, 3.0, 3, 9)
+
+    def test_array_reduction(self):
+        combine = make_combine_program(None, ["sum"])
+        out = combine((0, np.array([1.0, 2.0])), (0, np.array([10.0, 20.0])))
+        assert list(out[1]) == [11.0, 22.0]
+
+    def test_missing_reduction_value_propagates_other(self):
+        """A failed copy contributes None reductions; combining keeps the
+        healthy side's value and the max severity status."""
+        combine = make_combine_program(None, ["sum"])
+        assert combine((1, None), (0, 7.0)) == (1, 7.0)
+        assert combine((0, 7.0), (99, None)) == (99, 7.0)
+
+
+class TestShapeGuards:
+    def test_length_mismatch_yields_invalid(self):
+        """The generated PCN combine's default branch: C_out = {1}."""
+        combine = make_combine_program(None, ["sum"])
+        assert combine((0,), (0, 1.0))[0] == 1
+
+    def test_wrong_arity_tuples_yield_invalid(self):
+        combine = make_combine_program(None, [])
+        assert combine((0, 1), (0, 1))[0] == 1
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(st.integers(0, 99), min_size=2, max_size=6),
+    st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=6),
+)
+def test_property_pairwise_fold_matches_direct(statuses, values):
+    """Folding the generated combine pairwise over per-copy tuples equals
+    max(statuses) and sum(values), independent of fold order grouping."""
+    n = min(len(statuses), len(values))
+    tuples = [(s, v) for s, v in zip(statuses[:n], values[:n])]
+    combine = make_combine_program(None, ["sum"])
+    acc = tuples[0]
+    for t in tuples[1:]:
+        acc = combine(acc, t)
+    assert acc[0] == max(s for s, _ in tuples)
+    assert acc[1] == pytest.approx(sum(v for _, v in tuples), rel=1e-9)

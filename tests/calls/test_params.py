@@ -1,0 +1,109 @@
+"""Distributed-call parameter specifications (§3.3.1.2, §4.3.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arrays.record import ArrayID
+from repro.calls.params import (
+    Constant,
+    Index,
+    Local,
+    Reduce,
+    StatusVar,
+    normalize_parameters,
+    reduce_specs,
+    status_position,
+)
+from repro.pcn.defvar import DefVar
+
+
+class TestPaperSyntax:
+    def test_index_string(self):
+        assert normalize_parameters(["index"]) == [Index()]
+
+    def test_status_string(self):
+        assert normalize_parameters(["status"]) == [StatusVar()]
+
+    def test_local_tuple(self):
+        aid = ArrayID(0, 1)
+        assert normalize_parameters([("local", aid)]) == [Local(aid)]
+
+    def test_local_tuple_requires_array_id(self):
+        with pytest.raises(ValueError):
+            normalize_parameters([("local", "not-an-id")])
+
+    def test_reduce_four_tuple(self):
+        [spec] = normalize_parameters([("reduce", "double", 2, "sum")])
+        assert spec == Reduce("double", 2, "sum", None)
+
+    def test_reduce_five_tuple_with_out(self):
+        out = DefVar("RR")
+        [spec] = normalize_parameters([("reduce", "double", 2, "sum", out)])
+        assert spec.out is out
+
+    def test_reduce_paper_six_tuple(self):
+        """The paper's {"reduce", Type, Length, Mod, Pgm, Var} form."""
+        out = DefVar("RR")
+        [spec] = normalize_parameters(
+            [("reduce", "double", 10, "thismod", "sum", out)]
+        )
+        assert spec.type_name == "double"
+        assert spec.length == 10
+        assert spec.out is out
+
+
+class TestConstants:
+    def test_plain_values_are_constants(self):
+        specs = normalize_parameters([7, 3.5, "hello", None])
+        assert all(isinstance(s, Constant) for s in specs)
+        assert [s.value for s in specs] == [7, 3.5, "hello", None]
+
+    def test_numpy_array_constant(self):
+        procs = np.array([0, 1, 2])
+        [spec] = normalize_parameters([procs])
+        assert isinstance(spec, Constant)
+        assert spec.value is procs
+
+    def test_other_strings_are_constants(self):
+        [spec] = normalize_parameters(["not-a-keyword"])
+        assert isinstance(spec, Constant)
+
+
+class TestValidation:
+    def test_at_most_one_status(self):
+        with pytest.raises(ValueError, match="at most one"):
+            normalize_parameters(["status", "status"])
+
+    def test_reduce_bad_type(self):
+        with pytest.raises(ValueError):
+            Reduce("quaternion", 1, "sum")
+
+    def test_reduce_bad_length(self):
+        with pytest.raises(ValueError):
+            Reduce("double", 0, "sum")
+
+    def test_reduce_bad_combine(self):
+        with pytest.raises(ValueError):
+            Reduce("double", 1, "frobnicate")
+
+    def test_reduce_bad_tuple_arity(self):
+        with pytest.raises(ValueError):
+            normalize_parameters([("reduce", "double")])
+
+
+class TestHelpers:
+    def test_status_position(self):
+        specs = normalize_parameters([1, "status", 2])
+        assert status_position(specs) == 1
+
+    def test_status_position_absent(self):
+        assert status_position(normalize_parameters([1, 2])) is None
+
+    def test_reduce_specs_in_order(self):
+        specs = normalize_parameters(
+            [("reduce", "int", 1, "max"), 5, ("reduce", "double", 2, "sum")]
+        )
+        found = reduce_specs(specs)
+        assert [r.type_name for r in found] == ["int", "double"]

@@ -1,0 +1,151 @@
+"""Unit tests for the generated wrapper machinery (§5.2.2, §F.3-§F.5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arrays import am_user, am_util
+from repro.calls.params import (
+    Constant,
+    Index,
+    Local,
+    Reduce,
+    StatusVar,
+    normalize_parameters,
+)
+from repro.calls.wrapper import (
+    build_wrapper,
+    bundle_parameters,
+    next_call_group,
+)
+from repro.pcn.defvar import DefVar
+from repro.status import Status
+from repro.vp.machine import Machine
+
+
+@pytest.fixture
+def m2():
+    machine = Machine(2)
+    am_util.load_all(machine)
+    return machine
+
+
+class TestBundleParameters:
+    def test_constants_by_value(self):
+        specs = normalize_parameters([7, "text"])
+        bundle, lengths = bundle_parameters(specs)
+        assert bundle == (7, "text")
+        assert lengths == ()
+
+    def test_local_travels_as_array_id(self, m2):
+        procs = am_util.node_array(0, 1, 2)
+        aid, _ = am_user.create_array(m2, "double", (4,), procs, ["block"])
+        specs = normalize_parameters([Local(aid)])
+        bundle, _ = bundle_parameters(specs)
+        assert bundle == (aid,)
+
+    def test_placeholders_for_index_status_reduce(self):
+        specs = normalize_parameters(
+            ["index", "status", ("reduce", "double", 3, "sum")]
+        )
+        bundle, lengths = bundle_parameters(specs)
+        assert bundle == (None, None, None)
+        # §F.3: reduction lengths travel separately so the first-level
+        # wrapper can declare buffers before unbundling.
+        assert lengths == (3,)
+
+    def test_multiple_reduce_lengths_in_order(self):
+        specs = normalize_parameters(
+            [("reduce", "double", 2, "sum"), 1, ("reduce", "int", 5, "max")]
+        )
+        _bundle, lengths = bundle_parameters(specs)
+        assert lengths == (2, 5)
+
+
+class TestGeneratedWrapper:
+    def run_wrapper(self, machine, specs, program, index=0, parms=None):
+        group = next_call_group()
+        wrapper = build_wrapper(machine, program, specs, [0, 1], group)
+        status_var = DefVar("tuple")
+        wrapper(
+            index,
+            parms if parms is not None else bundle_parameters(specs),
+            status_var,
+        )
+        return status_var.read()
+
+    def test_malformed_bundle_yields_invalid(self, m2):
+        specs = normalize_parameters([1])
+        result = self.run_wrapper(
+            m2, specs, lambda ctx, a: None, parms="not-a-bundle"
+        )
+        assert result == (int(Status.INVALID),)
+
+    def test_wrong_bundle_arity_yields_invalid(self, m2):
+        specs = normalize_parameters([1, 2])
+        result = self.run_wrapper(
+            m2, specs, lambda ctx, a, b: None, parms=((1,), ())
+        )
+        assert result == (int(Status.INVALID),)
+
+    def test_success_tuple_shape(self, m2):
+        specs = normalize_parameters(
+            ["status", ("reduce", "double", 2, "sum")]
+        )
+
+        def program(ctx, status, buf):
+            status.set(5)
+            buf[:] = [1.0, 2.0]
+
+        result = self.run_wrapper(m2, specs, program)
+        assert result[0] == 5
+        assert list(result[1]) == [1.0, 2.0]
+
+    def test_reduce_length_one_unboxed(self, m2):
+        specs = normalize_parameters([("reduce", "double", 1, "sum")])
+
+        def program(ctx, buf):
+            buf[0] = 3.5
+
+        result = self.run_wrapper(m2, specs, program)
+        assert result == (0, 3.5)
+        assert isinstance(result[1], float)
+
+    def test_program_exception_packs_error(self, m2):
+        specs = normalize_parameters([("reduce", "double", 1, "sum")])
+
+        def program(ctx, buf):
+            raise RuntimeError("die")
+
+        result = self.run_wrapper(m2, specs, program)
+        assert result == (int(Status.ERROR), None)
+
+    def test_context_index_matches_wrapper_index(self, m2):
+        specs = normalize_parameters(["index"])
+        seen = {}
+
+        def program(ctx, index):
+            seen["ctx"] = ctx.index
+            seen["param"] = index
+            seen["proc"] = ctx.processor_number
+
+        self.run_wrapper(m2, specs, program, index=1)
+        assert seen == {"ctx": 1, "param": 1, "proc": 1}
+
+    def test_reduce_buffer_copied_not_aliased(self, m2):
+        """The packed reduction value is a copy: later mutation of the
+        program's buffer cannot corrupt the merged result."""
+        specs = normalize_parameters([("reduce", "double", 2, "sum")])
+        captured = {}
+
+        def program(ctx, buf):
+            buf[:] = [1.0, 1.0]
+            captured["buf"] = buf
+
+        result = self.run_wrapper(m2, specs, program)
+        captured["buf"][:] = 99.0
+        assert list(result[1]) == [1.0, 1.0]
+
+    def test_group_ids_unique(self):
+        assert next_call_group() != next_call_group()

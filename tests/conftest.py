@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite.
+
+Machines are cheap to construct (threads start lazily), so most fixtures
+are function-scoped for isolation.  Timeouts are kept short: a suspended
+PCN process that never resumes is a bug, and we want it to surface as a
+TimeoutError, not a hung suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arrays.am_util import load_all, node_array
+from repro.core.runtime import IntegratedRuntime
+from repro.vp.machine import Machine
+
+
+@pytest.fixture
+def machine4() -> Machine:
+    m = Machine(4)
+    load_all(m)
+    return m
+
+
+@pytest.fixture
+def machine8() -> Machine:
+    m = Machine(8)
+    load_all(m)
+    return m
+
+
+@pytest.fixture
+def machine16() -> Machine:
+    m = Machine(16)
+    load_all(m)
+    return m
+
+
+@pytest.fixture
+def rt4() -> IntegratedRuntime:
+    return IntegratedRuntime(4)
+
+
+@pytest.fixture
+def rt8() -> IntegratedRuntime:
+    return IntegratedRuntime(8)
+
+
+@pytest.fixture
+def rt16() -> IntegratedRuntime:
+    return IntegratedRuntime(16)
+
+
+def procs_for(machine: Machine):
+    return node_array(0, 1, machine.num_nodes)

@@ -1,0 +1,144 @@
+"""Direct DP<->DP channels — the §7.2.1 extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.calls import Index, Local, Reduce
+from repro.core.channels import Channel
+from repro.pcn.composition import par
+from repro.status import Status
+
+
+class TestConstruction:
+    def test_width_mismatch_rejected(self, rt8):
+        with pytest.raises(ValueError, match="equal widths"):
+            Channel(rt8.machine, [0, 1], [2, 3, 4])
+
+    def test_width(self, rt8):
+        ch = Channel(rt8.machine, [0, 1, 2], [3, 4, 5])
+        assert ch.width == 3
+
+    def test_unique_group_ids(self, rt8):
+        a = Channel(rt8.machine, [0], [1])
+        b = Channel(rt8.machine, [0], [1])
+        assert a.group != b.group
+
+
+class TestEndResolution:
+    def test_end_requires_matching_context(self, rt8):
+        """An end can only be taken by the copy whose rank/processor
+        matches the channel's wiring."""
+        ch = Channel(rt8.machine, [0, 1], [2, 3])
+        errors = []
+
+        def wrong_group_program(ctx, index):
+            try:
+                ch.end_a(ctx)
+            except ValueError as exc:
+                errors.append(str(exc))
+
+        rt8.call([4, 5], wrong_group_program, [Index()])
+        assert len(errors) == 2
+
+
+class TestDataFlow:
+    def test_rank_to_rank_pairing(self, rt8):
+        """Copy r of the producer call talks to copy r of the consumer."""
+        ga, gb = rt8.split_processors(2)
+        ch = Channel(rt8.machine, ga, gb)
+        received = {}
+
+        def producer(ctx, index):
+            ch.end_a(ctx).send(("from", index))
+
+        def consumer(ctx, index):
+            received[index] = ch.end_b(ctx).recv()
+
+        par(
+            lambda: rt8.call(ga, producer, [Index()]),
+            lambda: rt8.call(gb, consumer, [Index()]),
+        )
+        assert received == {i: ("from", i) for i in range(4)}
+
+    def test_bidirectional(self, rt8):
+        ga, gb = rt8.split_processors(2)
+        ch = Channel(rt8.machine, ga, gb)
+        echoes = []
+
+        def side_a(ctx, index):
+            end = ch.end_a(ctx)
+            end.send(index * 2)
+            echoes.append(end.recv())
+
+        def side_b(ctx, index):
+            end = ch.end_b(ctx)
+            end.send(end.recv() + 1)
+
+        par(
+            lambda: rt8.call(ga, side_a, [Index()]),
+            lambda: rt8.call(gb, side_b, [Index()]),
+        )
+        assert sorted(echoes) == [1, 3, 5, 7]
+
+    def test_stream_of_items_through_channel(self, rt8):
+        """The §7.2.1 scenario: significant per-step data volume flowing
+        stage to stage without transiting the TP level."""
+        ga, gb = rt8.split_processors(2)
+        ch = Channel(rt8.machine, ga, gb)
+        items = 5
+        sums = []
+
+        def producer(ctx, index, sec):
+            end = ch.end_a(ctx)
+            data = sec.interior()
+            for k in range(items):
+                data[:] = k + index
+                end.send(data.copy(), tag=k)
+
+        def consumer(ctx, index, out):
+            end = ch.end_b(ctx)
+            total = 0.0
+            for k in range(items):
+                total += float(end.recv(tag=k).sum())
+            out[0] = total
+
+        a = rt8.array("double", (8,), ga, ["block"])
+        results = par(
+            lambda: rt8.call(ga, producer, [Index(), a]),
+            lambda: rt8.call(
+                gb, consumer, [Index(), Reduce("double", 1, "sum")]
+            ),
+        )
+        assert results[1].status is Status.OK
+        # Each of 4 producer ranks sends 5 chunks of 2 elements valued k+index.
+        expected = sum(
+            2 * (k + index) for index in range(4) for k in range(items)
+        )
+        assert results[1].reductions[0] == expected
+        a.free()
+
+    def test_channel_traffic_does_not_disturb_intra_call_comm(self, rt8):
+        """Channel messages carry their own group id, so the consumer
+        call's internal collectives are unaffected (§3.4.1 extended)."""
+        from repro.spmd import collectives
+
+        ga, gb = rt8.split_processors(2)
+        ch = Channel(rt8.machine, ga, gb)
+
+        def producer(ctx, index):
+            ch.end_a(ctx).send("channel-data")
+
+        def consumer(ctx, index, out):
+            internal = collectives.allreduce(ctx.comm, 1, op="sum")
+            payload = ch.end_b(ctx).recv()
+            out[0] = internal if payload == "channel-data" else -1
+
+        results = par(
+            lambda: rt8.call(ga, producer, [Index()]),
+            lambda: rt8.call(
+                gb, consumer, [Index(), Reduce("double", 1, "min")]
+            ),
+        )
+        assert results[1].reductions[0] == 4.0

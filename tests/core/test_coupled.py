@@ -1,0 +1,125 @@
+"""Coupled simulations (§2.3.1)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.coupled import Component, CoupledSimulation
+
+
+class TestStructure:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            CoupledSimulation(
+                [
+                    Component("x", lambda c, k: None, [0]),
+                    Component("x", lambda c, k: None, [1]),
+                ]
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CoupledSimulation([])
+
+    def test_component_lookup(self):
+        sim = CoupledSimulation([Component("a", lambda c, k: None, [0])])
+        assert sim.component("a").name == "a"
+        with pytest.raises(KeyError):
+            sim.component("b")
+
+
+class TestStepping:
+    def test_each_component_steps_every_timestep(self):
+        counts = {"a": 0, "b": 0}
+
+        def stepper(comp, k):
+            counts[comp.name] += 1
+
+        sim = CoupledSimulation(
+            [Component("a", stepper, [0]), Component("b", stepper, [1])]
+        )
+        result = sim.run(7)
+        assert counts == {"a": 7, "b": 7}
+        assert result.steps == 7
+        assert len(result.step_wall_times) == 7
+
+    def test_step_index_passed(self):
+        seen = []
+
+        def stepper(comp, k):
+            seen.append(k)
+
+        CoupledSimulation([Component("a", stepper, [0])]).run(3)
+        assert seen == [0, 1, 2]
+
+    def test_components_step_concurrently(self):
+        """Within one time step the components rendezvous — only possible
+        if they are truly concurrent."""
+        barrier = threading.Barrier(2, timeout=5)
+
+        def stepper(comp, k):
+            barrier.wait()
+
+        sim = CoupledSimulation(
+            [
+                Component("ocean", stepper, [0]),
+                Component("atmos", stepper, [1]),
+            ]
+        )
+        sim.run(3)  # would raise BrokenBarrierError if sequential
+
+    def test_exchange_runs_after_each_step(self):
+        log = []
+
+        def stepper(comp, k):
+            log.append(("step", comp.name, k))
+
+        def exchange(components, k):
+            log.append(("exchange", k))
+
+        CoupledSimulation(
+            [Component("a", stepper, [0])], exchange=exchange
+        ).run(2)
+        assert log == [
+            ("step", "a", 0),
+            ("exchange", 0),
+            ("step", "a", 1),
+            ("exchange", 1),
+        ]
+
+    def test_exchange_sees_component_state(self):
+        def stepper(comp, k):
+            comp.state["value"] = k * 10
+
+        captured = []
+
+        def exchange(components, k):
+            captured.append(components[0].state["value"])
+
+        CoupledSimulation(
+            [Component("a", stepper, [0])], exchange=exchange
+        ).run(3)
+        assert captured == [0, 10, 20]
+
+    def test_step_exception_propagates(self):
+        def bad(comp, k):
+            raise RuntimeError("model blew up")
+
+        sim = CoupledSimulation([Component("a", bad, [0])])
+        with pytest.raises(RuntimeError, match="blew up"):
+            sim.run(1)
+
+
+class TestMetrics:
+    def test_exchange_fraction_between_0_and_1(self):
+        import time
+
+        sim = CoupledSimulation(
+            [Component("a", lambda c, k: time.sleep(0.005), [0])],
+            exchange=lambda comps, k: time.sleep(0.005),
+        )
+        result = sim.run(3)
+        assert 0.0 < result.exchange_fraction() < 1.0
+        assert result.mean_step_time() > 0.0

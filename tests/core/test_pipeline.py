@@ -1,0 +1,139 @@
+"""Pipelined computations (§2.3.2, Fig 2.2)."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.pipeline import Pipeline, Stage
+
+
+def work(dt):
+    def body(item):
+        time.sleep(dt)
+        return item + 1
+
+    return body
+
+
+class TestCorrectness:
+    def test_outputs_in_order(self):
+        pipe = Pipeline([Stage("a", lambda x: x * 2), Stage("b", lambda x: x + 1)])
+        result = pipe.run(range(10))
+        assert result.outputs == [x * 2 + 1 for x in range(10)]
+
+    def test_empty_input(self):
+        pipe = Pipeline([Stage("a", lambda x: x)])
+        assert pipe.run([]).outputs == []
+
+    def test_single_stage(self):
+        pipe = Pipeline([Stage("only", lambda x: -x)])
+        assert pipe.run([1, 2, 3]).outputs == [-1, -2, -3]
+
+    def test_no_stages_rejected(self):
+        with pytest.raises(ValueError):
+            Pipeline([])
+
+    def test_sequential_baseline_same_outputs(self):
+        stages = [Stage("a", lambda x: x + 1), Stage("b", lambda x: x * 3)]
+        items = list(range(8))
+        concurrent = Pipeline(stages).run(items)
+        sequential = Pipeline(stages).run_sequential(items)
+        assert concurrent.outputs == sequential.outputs
+
+    def test_stage_records_one_interval_per_item(self):
+        pipe = Pipeline([Stage("a", lambda x: x), Stage("b", lambda x: x)])
+        result = pipe.run(range(5))
+        assert [len(r.intervals) for r in result.records] == [5, 5]
+
+
+class TestFig22Overlap:
+    """The Fig 2.2 claim: while stage 1 processes item N, stage 2
+    processes item N-1 and stage 3 item N-2 — stages overlap after fill."""
+
+    def test_stages_overlap_in_concurrent_run(self):
+        stages = [Stage(f"s{i}", work(0.02)) for i in range(3)]
+        result = Pipeline(stages).run(range(6))
+        assert result.overlap_intervals() > 0.0
+
+    def test_no_overlap_in_sequential_run(self):
+        stages = [Stage(f"s{i}", work(0.02)) for i in range(3)]
+        result = Pipeline(stages).run_sequential(range(6))
+        assert result.overlap_intervals() == 0.0
+
+    def test_simulated_speedup_approaches_stage_count(self):
+        """With balanced stages and many items, sequential/pipelined
+        makespan ratio tends to the number of stages."""
+        stages = [Stage(f"s{i}", work(0.005)) for i in range(3)]
+        result = Pipeline(stages).run(range(20))
+        # The median-based estimator is robust to scheduling-noise spikes
+        # (under full-suite load a single inflated interval would wreck
+        # the max-based metric).  Ideal is 3.0 for 3 balanced stages.
+        speedup = result.steady_state_speedup()
+        assert 1.8 < speedup <= 3.5
+
+    def test_bottleneck_stage_dominates(self):
+        """An unbalanced pipeline is paced by its slowest stage."""
+        stages = [
+            Stage("fast1", work(0.001)),
+            Stage("slow", work(0.01)),
+            Stage("fast2", work(0.001)),
+        ]
+        result = Pipeline(stages).run(range(10))
+        # Median service times are robust to load spikes: the slow stage
+        # must dominate both fast stages combined.
+        medians = {
+            r.name: sorted(r.service_times())[len(r.service_times()) // 2]
+            for r in result.records
+        }
+        assert medians["slow"] > medians["fast1"] + medians["fast2"]
+        # An unbalanced pipeline cannot approach the 3x balanced ideal.
+        assert result.steady_state_speedup() < 2.2
+
+    def test_wall_clock_beats_sequential_for_sleep_stages(self):
+        """sleep() releases the GIL, so real overlap is observable."""
+        stages = [Stage(f"s{i}", work(0.01)) for i in range(3)]
+        items = range(8)
+        concurrent = Pipeline(stages).run(items)
+        sequential = Pipeline(stages).run_sequential(items)
+        assert concurrent.wall_time < sequential.wall_time
+
+
+class TestResultMetrics:
+    def test_empty_result_metrics(self):
+        result = Pipeline([Stage("a", lambda x: x)]).run([])
+        assert result.simulated_pipelined_makespan() == 0.0
+        assert result.simulated_speedup() == 1.0
+
+    def test_busy_time_positive(self):
+        result = Pipeline([Stage("a", work(0.002))]).run(range(3))
+        assert result.stage_busy_times()["a"] >= 0.006
+
+
+class TestSteadyStateSpeedup:
+    def test_single_item_is_unity(self):
+        result = Pipeline([Stage("a", work(0.002))] * 1).run([0])
+        assert result.steady_state_speedup() == pytest.approx(1.0)
+
+    def test_empty_run_is_unity(self):
+        result = Pipeline([Stage("a", lambda x: x)]).run([])
+        assert result.steady_state_speedup() == 1.0
+
+    def test_robust_to_one_spiked_interval(self):
+        """A single inflated service time must not collapse the estimate
+        (the motivation for the median-based metric)."""
+        result = Pipeline(
+            [Stage("a", lambda x: x), Stage("b", lambda x: x)]
+        ).run(range(9))
+        # forge one wild outlier in stage a's records
+        idx, start, _end = result.records[0].intervals[0]
+        result.records[0].intervals[0] = (idx, start, start + 10.0)
+        spiky = result.steady_state_speedup()
+        assert 1.0 <= spiky <= 2.5
+
+    def test_balanced_two_stages_approach_two(self):
+        result = Pipeline(
+            [Stage("a", work(0.004)), Stage("b", work(0.004))]
+        ).run(range(16))
+        assert 1.5 < result.steady_state_speedup() <= 2.3

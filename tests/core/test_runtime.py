@@ -1,0 +1,99 @@
+"""The IntegratedRuntime facade."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.calls import Reduce
+from repro.core.runtime import IntegratedRuntime
+from repro.spmd import collectives
+
+
+class TestConstruction:
+    def test_nodes_exposed(self):
+        rt = IntegratedRuntime(6)
+        assert rt.num_nodes == 6
+        assert rt.machine.num_nodes == 6
+
+    def test_array_manager_loaded(self):
+        rt = IntegratedRuntime(2)
+        assert rt.array_manager is not None
+        assert rt.machine.server.provides("create_array")
+
+    def test_trace_variant(self):
+        rt = IntegratedRuntime(2, trace_arrays=True)
+        rt.array("double", (4,), distrib=[("block", 2)]).free()
+        assert rt.array_manager.trace_enabled
+        assert len(rt.array_manager.trace_log) > 0
+
+    def test_repr(self):
+        assert "nodes=4" in repr(IntegratedRuntime(4))
+
+
+class TestProcessorGroups:
+    def test_all_processors(self):
+        rt = IntegratedRuntime(5)
+        assert list(rt.all_processors()) == [0, 1, 2, 3, 4]
+
+    def test_processors_with_stride(self):
+        rt = IntegratedRuntime(8)
+        assert list(rt.processors(1, 3, stride=3)) == [1, 4, 7]
+
+    def test_split_processors(self):
+        rt = IntegratedRuntime(8)
+        a, b = rt.split_processors(2)
+        assert list(a) == [0, 1, 2, 3]
+        assert list(b) == [4, 5, 6, 7]
+
+    def test_split_uneven_rejected(self):
+        with pytest.raises(ValueError):
+            IntegratedRuntime(8).split_processors(3)
+
+
+class TestArrayDefaults:
+    def test_default_full_machine_block(self):
+        rt = IntegratedRuntime(4)
+        arr = rt.array("double", (16,))
+        assert arr.grid == (4,)
+        arr.free()
+
+    def test_balanced_default_grid_2d(self):
+        """8 nodes: no square 2-D grid exists; the pythonic default falls
+        back to a balanced factorisation (documented extension)."""
+        rt = IntegratedRuntime(8)
+        arr = rt.array("double", (16, 16))
+        assert int(np.prod(arr.grid)) == 8
+        for d, g in zip(arr.dims, arr.grid):
+            assert d % g == 0
+        arr.free()
+
+    def test_explicit_distrib_not_overridden(self):
+        rt = IntegratedRuntime(4)
+        arr = rt.array("double", (16, 4), distrib=[("block", 4), "*"])
+        assert arr.grid == (4, 1)
+        arr.free()
+
+
+class TestCalls:
+    def test_call_everywhere(self):
+        rt = IntegratedRuntime(4)
+        result = rt.call_everywhere(
+            lambda ctx, out: out.__setitem__(
+                0, collectives.allreduce(ctx.comm, 1.0, op="sum")
+            ),
+            [Reduce("double", 1, "max")],
+        )
+        assert result.reductions[0] == 4.0
+
+    def test_call_timeout_propagates(self):
+        rt = IntegratedRuntime(2)
+        import time
+
+        with pytest.raises(TimeoutError):
+            rt.call(
+                rt.all_processors(),
+                lambda ctx: time.sleep(5),
+                [],
+                timeout=0.1,
+            )

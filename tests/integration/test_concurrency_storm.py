@@ -1,0 +1,160 @@
+"""Concurrency storms: racing library operations from many task-parallel
+processes at once.
+
+PCN programs freely compose array operations and distributed calls in
+parallel; the array manager must serialise its internal state correctly
+under that load (per-processor serials, record tables, section storage).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arrays import am_user, am_util
+from repro.arrays.local_section import TRACKER
+from repro.calls import Index, Local, Reduce, distributed_call
+from repro.pcn.composition import par, par_for
+from repro.spmd import collectives
+from repro.status import Status
+from repro.vp.machine import Machine
+
+
+@pytest.fixture
+def m8():
+    machine = Machine(8)
+    am_util.load_all(machine)
+    return machine
+
+
+class TestCreationStorm:
+    def test_racing_creations_from_every_processor(self, m8):
+        """8 concurrent create_array requests, one per creating
+        processor, over overlapping processor sets: all succeed, all IDs
+        unique, all arrays independently usable."""
+        procs = am_util.node_array(0, 1, 8)
+
+        def create(k):
+            aid, st = am_user.create_array(
+                m8, "double", (16,), procs, ["block"], processor=k
+            )
+            assert st is Status.OK
+            return aid
+
+        ids = par_for(8, create)
+        assert len(set(ids)) == 8
+        for k, aid in enumerate(ids):
+            st = am_user.write_element(m8, aid, (k,), float(k))
+            assert st is Status.OK
+        for k, aid in enumerate(ids):
+            value, st = am_user.read_element(m8, aid, (k,))
+            assert (value, st) == (float(k), Status.OK)
+            assert am_user.free_array(m8, aid) is Status.OK
+
+    def test_racing_creations_same_processor(self, m8):
+        """Serial numbers are per-processor: concurrent creations on the
+        same creating processor still get distinct IDs (§4.1.3)."""
+        procs = am_util.node_array(0, 1, 8)
+
+        def create(_k):
+            aid, st = am_user.create_array(
+                m8, "double", (8,), procs, ["block"], processor=0
+            )
+            assert st is Status.OK
+            return aid
+
+        ids = par_for(12, create)
+        assert len(set(ids)) == 12
+        for aid in ids:
+            am_user.free_array(m8, aid)
+
+    def test_create_free_interleaving_no_leaks(self, m8):
+        procs = am_util.node_array(0, 1, 8)
+        live_before = TRACKER.live
+
+        def churn(_k):
+            for _ in range(5):
+                aid, st = am_user.create_array(
+                    m8, "double", (8,), procs, ["block"]
+                )
+                assert st is Status.OK
+                am_user.write_element(m8, aid, (0,), 1.0)
+                assert am_user.free_array(m8, aid) is Status.OK
+
+        par_for(6, churn)
+        assert TRACKER.live == live_before
+
+
+class TestMixedStorm:
+    def test_calls_and_element_ops_concurrently(self, m8):
+        """Distributed calls on one array racing TP element traffic on
+        another: the §3.4 isolation guarantees under real load."""
+        ga = am_util.node_array(0, 1, 4)
+        gb = am_util.node_array(4, 1, 4)
+        call_array, _ = am_user.create_array(m8, "double", (16,), ga, ["block"])
+        elem_array, _ = am_user.create_array(m8, "double", (16,), gb, ["block"])
+
+        def call_worker():
+            for _ in range(10):
+                result = distributed_call(
+                    m8, ga,
+                    lambda ctx, sec, out: (
+                        sec.interior().__iadd__(1.0),
+                        out.__setitem__(
+                            0,
+                            collectives.allreduce(
+                                ctx.comm, float(sec.interior().sum()),
+                                op="sum",
+                            ),
+                        ),
+                    ),
+                    [Local(call_array), Reduce("double", 1, "max")],
+                )
+                assert result.status is Status.OK
+            return result.reductions[0]
+
+        def element_worker():
+            for round_no in range(10):
+                for i in range(16):
+                    st = am_user.write_element(
+                        m8, elem_array, (i,), float(round_no * 100 + i)
+                    )
+                    assert st is Status.OK
+            return [
+                am_user.read_element(m8, elem_array, (i,))[0]
+                for i in range(16)
+            ]
+
+        call_total, element_values = par(call_worker, element_worker)
+        assert call_total == 160.0  # 16 elements x 10 increments
+        assert element_values == [900.0 + i for i in range(16)]
+        am_user.free_array(m8, call_array)
+        am_user.free_array(m8, elem_array)
+
+    def test_info_queries_race_with_verify(self, m8):
+        """find_info from many processors while verify_array migrates
+        borders: queries never see torn state (either old or new borders,
+        both legal snapshots)."""
+        procs = am_util.node_array(0, 1, 8)
+        aid, _ = am_user.create_array(
+            m8, "double", (16,), procs, ["block"], border_info=[1, 1]
+        )
+
+        def verifier():
+            for k in range(6):
+                target = [2, 2] if k % 2 == 0 else [1, 1]
+                assert am_user.verify_array(
+                    m8, aid, 1, target, "row"
+                ) is Status.OK
+
+        def inspector():
+            seen = set()
+            for _ in range(30):
+                borders, st = am_user.find_info(m8, aid, "borders")
+                assert st is Status.OK
+                seen.add(tuple(borders))
+            return seen
+
+        _v, seen = par(verifier, inspector)
+        assert seen <= {(1, 1), (2, 2)}
+        am_user.free_array(m8, aid)

@@ -1,0 +1,121 @@
+"""Concurrent distributed calls (Fig 3.4) and data transfer through the
+task-parallel level."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.calls import Index, Local, Reduce
+from repro.core.runtime import IntegratedRuntime
+from repro.pcn.composition import par
+from repro.spmd import collectives
+from repro.status import Status
+
+
+@pytest.fixture
+def rt():
+    return IntegratedRuntime(8)
+
+
+class TestDisjointGroups:
+    def test_two_calls_disjoint_groups_no_interference(self, rt):
+        """Fig 3.4: TPA calls DPA on group A while TPB calls DPB on group
+        B; each program's copies communicate internally without crossing."""
+        ga, gb = rt.split_processors(2)
+        a = rt.array("double", (8,), ga, ["block"])
+        b = rt.array("double", (8,), gb, ["block"])
+
+        def dpa(ctx, sec, out):
+            sec.interior()[:] = 1.0
+            out[0] = collectives.allreduce(ctx.comm, 1.0, op="sum")
+
+        def dpb(ctx, sec, out):
+            sec.interior()[:] = 2.0
+            out[0] = collectives.allreduce(ctx.comm, 2.0, op="sum")
+
+        ra, rb = par(
+            lambda: rt.call(ga, dpa, [a, Reduce("double", 1, "max")]),
+            lambda: rt.call(gb, dpb, [b, Reduce("double", 1, "max")]),
+        )
+        assert ra.status is Status.OK and rb.status is Status.OK
+        assert ra.reductions[0] == 4.0  # group size, not 8
+        assert rb.reductions[0] == 8.0
+        assert np.all(a.to_numpy() == 1.0)
+        assert np.all(b.to_numpy() == 2.0)
+        a.free()
+        b.free()
+
+    def test_many_concurrent_calls(self, rt):
+        groups = rt.split_processors(4)
+        arrays = [rt.array("double", (4,), g, ["block"]) for g in groups]
+
+        def filler(ctx, value, sec):
+            sec.interior()[:] = float(value)
+
+        par(
+            *[
+                (lambda g=g, arr=arr, k=k: rt.call(g, filler, [k, arr]))
+                for k, (g, arr) in enumerate(zip(groups, arrays))
+            ]
+        )
+        for k, arr in enumerate(arrays):
+            assert np.all(arr.to_numpy() == float(k))
+            arr.free()
+
+    def test_sequential_calls_same_group_reuse(self, rt):
+        """The same group can be called repeatedly (Fig 3.2: each call's
+        processes are created at call and destroyed at return)."""
+        g = rt.processors(0, 4)
+        arr = rt.array("double", (8,), g, ["block"])
+
+        def increment(ctx, sec):
+            sec.interior()[:] += 1.0
+
+        for expected in (1.0, 2.0, 3.0):
+            rt.call(g, increment, [arr])
+            assert np.all(arr.to_numpy() == expected)
+        arr.free()
+
+
+class TestTransferThroughTPLevel:
+    def test_array_to_array_transfer(self, rt):
+        """Fig 3.4: 'Any transfer of data between DataA and DataB must be
+        done through the task-parallel program.'  Here the TP level reads
+        DataA elementwise and writes DataB, across different groups and
+        decompositions."""
+        ga, gb = rt.split_processors(2)
+        a = rt.array("double", (8,), ga, ["block"])
+        b = rt.array("double", (8,), gb, [("block", 4)])
+
+        def fill(ctx, index, sec):
+            base = index * sec.interior().shape[0]
+            sec.interior()[:] = np.arange(
+                base, base + sec.interior().shape[0], dtype=float
+            )
+
+        rt.call(ga, fill, [Index(), a])
+        # TP-level transfer, element by element (global indices).
+        for i in range(8):
+            b[i] = a[i] * 10.0
+        assert list(b.to_numpy()) == [i * 10.0 for i in range(8)]
+        a.free()
+        b.free()
+
+    def test_overlapping_group_sequential_calls_see_updates(self, rt):
+        """A second call on an overlapping group observes the first
+        call's writes (sequential composition of distributed calls)."""
+        g = rt.all_processors()
+        arr = rt.array("double", (8,), g, ["block"])
+
+        def write_rank(ctx, sec):
+            sec.interior()[:] = float(ctx.index)
+
+        def sum_all(ctx, sec, out):
+            local = float(sec.interior().sum())
+            out[0] = collectives.allreduce(ctx.comm, local, op="sum")
+
+        rt.call(g, write_rank, [arr])
+        result = rt.call(g, sum_all, [arr, Reduce("double", 1, "max")])
+        assert result.reductions[0] == sum(i for i in range(8))
+        arr.free()

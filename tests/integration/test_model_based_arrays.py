@@ -1,0 +1,114 @@
+"""Model-based testing of the array manager.
+
+Hypothesis drives random sequences of distributed-array operations
+(writes, reads from random processors, border verifications, bulk
+transfers, distributed-call mutations) against a plain NumPy oracle; the
+distributed array and the oracle must never disagree.  This catches
+cross-operation interactions no example-based test enumerates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.arrays import am_user, am_util
+from repro.calls import Index, Local, distributed_call
+from repro.status import Status
+from repro.vp.machine import Machine
+
+N = 8  # global vector length
+P = 4
+
+_MACHINE = Machine(P)
+am_util.load_all(_MACHINE)
+_PROCS = am_util.node_array(0, 1, P)
+
+
+write_op = st.tuples(
+    st.just("write"), st.integers(0, N - 1),
+    st.floats(-100, 100, allow_nan=False),
+)
+read_op = st.tuples(st.just("read"), st.integers(0, N - 1), st.integers(0, P - 1))
+verify_op = st.tuples(st.just("verify"), st.integers(0, 2))
+bulk_op = st.tuples(st.just("bulk"), st.integers(0, 2 ** 31 - 1))
+call_op = st.tuples(st.just("call_add"), st.floats(-10, 10, allow_nan=False))
+
+operations = st.lists(
+    st.one_of(write_op, read_op, verify_op, bulk_op, call_op),
+    min_size=1,
+    max_size=25,
+)
+
+
+def _add_program(ctx, delta, sec):
+    sec.interior()[:] += delta
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(operations)
+def test_property_array_tracks_numpy_oracle(ops):
+    aid, st_create = am_user.create_array(
+        _MACHINE, "double", (N,), _PROCS, ["block"]
+    )
+    assert st_create is Status.OK
+    oracle = np.zeros(N)
+    try:
+        for op in ops:
+            kind = op[0]
+            if kind == "write":
+                _, index, value = op
+                status = am_user.write_element(
+                    _MACHINE, aid, (index,), float(value)
+                )
+                assert status is Status.OK
+                oracle[index] = value
+            elif kind == "read":
+                _, index, processor = op
+                value, status = am_user.read_element(
+                    _MACHINE, aid, (index,), processor=processor
+                )
+                assert status is Status.OK
+                assert value == oracle[index]
+            elif kind == "verify":
+                _, border = op
+                status = am_user.verify_array(
+                    _MACHINE, aid, 1, [border, border], "row"
+                )
+                assert status is Status.OK  # data must survive migration
+            elif kind == "bulk":
+                _, seed = op
+                data = np.random.default_rng(seed).uniform(-50, 50, N)
+                from repro.pcn.defvar import DefVar
+
+                for rank, proc in enumerate(_PROCS):
+                    s = DefVar("s")
+                    _MACHINE.server.request(
+                        "write_section_local", aid,
+                        data[rank * 2 : rank * 2 + 2].copy(), s,
+                        processor=int(proc),
+                    )
+                    assert Status(s.read()) is Status.OK
+                oracle = data.copy()
+            else:  # call_add
+                _, delta = op
+                result = distributed_call(
+                    _MACHINE, _PROCS, _add_program,
+                    [float(delta), Local(aid)],
+                )
+                assert result.status is Status.OK
+                oracle += delta
+
+        # Final full sweep: every element agrees with the oracle.
+        final = np.array(
+            [am_user.read_element(_MACHINE, aid, (i,))[0] for i in range(N)]
+        )
+        assert np.allclose(final, oracle, atol=1e-9)
+    finally:
+        am_user.free_array(_MACHINE, aid)

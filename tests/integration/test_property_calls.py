@@ -1,0 +1,129 @@
+"""Property-based tests over the distributed-call machinery.
+
+Hypothesis drives randomized parameter mixes, group shapes, and reduction
+operators through real distributed calls, checking the §4.3.1
+postconditions hold for every combination.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.arrays import am_util
+from repro.calls import Index, Reduce, StatusVar, distributed_call
+from repro.spmd.reduce_ops import resolve_op
+from repro.status import Status
+from repro.vp.machine import Machine
+
+# One machine shared across examples: building a Machine is cheap but
+# hypothesis runs many examples; a shared 8-node machine with per-call
+# group ids keeps examples isolated by construction.
+_MACHINE = Machine(8)
+am_util.load_all(_MACHINE)
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    group_size=st.integers(1, 8),
+    op=st.sampled_from(["sum", "max", "min"]),
+    scale=st.integers(-5, 5),
+)
+def test_property_scalar_reduction_matches_fold(group_size, op, scale):
+    """For any group size and named operator, the merged reduction equals
+    the rank-ordered fold of the per-copy values."""
+    procs = list(range(group_size))
+
+    def program(ctx, index, out):
+        out[0] = float(scale * (index + 1))
+
+    result = distributed_call(
+        _MACHINE, procs, program, [Index(), Reduce("double", 1, op)]
+    )
+    assert result.status is Status.OK
+    expected = functools.reduce(
+        resolve_op(op), [float(scale * (i + 1)) for i in range(group_size)]
+    )
+    assert result.reductions[0] == expected
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    statuses=st.lists(st.integers(0, 9), min_size=1, max_size=8),
+)
+def test_property_status_merge_is_max(statuses):
+    """Default status combining is max over all copies (§4.3.1)."""
+    procs = list(range(len(statuses)))
+
+    def program(ctx, index, status):
+        status.set(statuses[index])
+
+    result = distributed_call(
+        _MACHINE, procs, program, [Index(), StatusVar()]
+    )
+    assert int(result.status) == max(statuses)
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    length=st.integers(1, 16),
+    group_size=st.sampled_from([1, 2, 4]),
+)
+def test_property_vector_reduction_shape_and_value(length, group_size):
+    """Vector reductions preserve length and sum elementwise."""
+    procs = list(range(group_size))
+
+    def program(ctx, index, out):
+        out[:] = float(index + 1)
+
+    result = distributed_call(
+        _MACHINE, procs, program,
+        [Index(), Reduce("double", length, "sum")],
+    )
+    expected_value = sum(range(1, group_size + 1))
+    if length == 1:
+        assert result.reductions[0] == expected_value
+    else:
+        assert result.reductions[0].shape == (length,)
+        assert np.all(result.reductions[0] == expected_value)
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    group=st.permutations(list(range(8))).map(lambda p: p[:4]),
+)
+def test_property_index_is_group_position(group):
+    """Whatever the group's processor numbers and order, copy j's index
+    parameter is j and it runs on group[j] (§3.3.1.2)."""
+    observed = {}
+    import threading
+
+    lock = threading.Lock()
+
+    def program(ctx, index):
+        with lock:
+            observed[index] = ctx.processor_number
+
+    result = distributed_call(_MACHINE, list(group), program, [Index()])
+    assert result.status is Status.OK
+    assert observed == {j: group[j] for j in range(len(group))}

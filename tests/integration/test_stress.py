@@ -1,0 +1,195 @@
+"""Stress and scale tests: many arrays, many calls, deep recursion of the
+problem-class helpers, concurrent mixed workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arrays import am_user, am_util
+from repro.arrays.local_section import TRACKER
+from repro.calls import Index, Local, Reduce, distributed_call
+from repro.core.runtime import IntegratedRuntime
+from repro.pcn.composition import par, par_for
+from repro.spmd import collectives
+from repro.status import Status
+from repro.vp.machine import Machine
+
+
+class TestManyArrays:
+    def test_create_use_free_many_arrays(self):
+        machine = Machine(4)
+        am_util.load_all(machine)
+        procs = am_util.node_array(0, 1, 4)
+        live_before = TRACKER.live
+        ids = []
+        for k in range(50):
+            aid, st = am_user.create_array(
+                machine, "double", (8,), procs, ["block"]
+            )
+            assert st is Status.OK
+            am_user.write_element(machine, aid, (k % 8,), float(k))
+            ids.append(aid)
+        assert len(set(ids)) == 50
+        for k, aid in enumerate(ids):
+            value, st = am_user.read_element(machine, aid, (k % 8,))
+            assert (value, st) == (float(k), Status.OK)
+            assert am_user.free_array(machine, aid) is Status.OK
+        assert TRACKER.live == live_before
+
+    def test_interleaved_lifetimes(self):
+        machine = Machine(4)
+        am_util.load_all(machine)
+        procs = am_util.node_array(0, 1, 4)
+        generations = []
+        for _ in range(10):
+            aid, _ = am_user.create_array(
+                machine, "double", (4,), procs, ["block"]
+            )
+            generations.append(aid)
+            if len(generations) > 3:
+                am_user.free_array(machine, generations.pop(0))
+        # Remaining arrays still valid.
+        for aid in generations:
+            assert am_user.read_element(machine, aid, (0,))[1] is Status.OK
+
+
+class TestManyCalls:
+    def test_hundred_sequential_calls(self):
+        machine = Machine(4)
+        am_util.load_all(machine)
+        procs = am_util.node_array(0, 1, 4)
+        counter = {"n": 0}
+        import threading
+
+        lock = threading.Lock()
+
+        def tick(ctx):
+            with lock:
+                counter["n"] += 1
+
+        for _ in range(100):
+            result = distributed_call(machine, procs, tick, [])
+            assert result.status is Status.OK
+        assert counter["n"] == 400
+
+    def test_many_concurrent_calls_disjoint_singleton_groups(self):
+        machine = Machine(8)
+        am_util.load_all(machine)
+
+        def job(group_start):
+            return distributed_call(
+                machine, [group_start], lambda ctx: None, []
+            ).status
+
+        results = par_for(8, job)
+        assert all(st is Status.OK for st in results)
+
+    def test_nested_parallel_compositions_of_calls(self):
+        rt = IntegratedRuntime(8)
+        groups = rt.split_processors(4)
+
+        def reducer(ctx, out):
+            out[0] = collectives.allreduce(ctx.comm, 1.0, op="sum")
+
+        def wave():
+            return par(
+                *[
+                    (lambda g=g: rt.call(
+                        g, reducer, [Reduce("double", 1, "max")]
+                    ))
+                    for g in groups
+                ]
+            )
+
+        for _ in range(5):
+            results = wave()
+            assert [r.reductions[0] for r in results] == [2.0] * 4
+
+
+class TestLargeData:
+    def test_large_vector_roundtrip(self):
+        rt = IntegratedRuntime(8)
+        n = 1 << 16
+        arr = rt.array("double", (n,), distrib=[("block", 8)])
+        data = np.random.default_rng(0).standard_normal(n)
+        arr.from_numpy(data)
+        assert np.array_equal(arr.to_numpy(), data)
+        arr.free()
+
+    def test_large_distributed_reduction(self):
+        rt = IntegratedRuntime(8)
+        n = 1 << 14
+        arr = rt.array("double", (n,), distrib=[("block", 8)])
+        arr.from_numpy(np.ones(n))
+
+        def summer(ctx, sec, out):
+            out[0] = collectives.allreduce(
+                ctx.comm, float(sec.interior().sum()), op="sum"
+            )
+
+        result = rt.call(
+            rt.all_processors(), summer, [arr, Reduce("double", 1, "max")]
+        )
+        assert result.reductions[0] == float(n)
+        arr.free()
+
+    def test_wide_machine(self):
+        """A 32-node machine: decomposition, calls, and reductions all
+        behave identically at width."""
+        machine = Machine(32)
+        am_util.load_all(machine)
+        procs = am_util.node_array(0, 1, 32)
+        aid, st = am_user.create_array(
+            machine, "double", (64,), procs, ["block"]
+        )
+        assert st is Status.OK
+
+        def program(ctx, index, sec, out):
+            sec.interior()[:] = float(index)
+            out[0] = collectives.allreduce(
+                ctx.comm, float(index), op="sum"
+            )
+
+        result = distributed_call(
+            machine, procs, program,
+            [Index(), Local(aid), Reduce("double", 1, "max")],
+        )
+        assert result.status is Status.OK
+        assert result.reductions[0] == sum(range(32))
+        assert am_user.read_element(machine, aid, (63,))[0] == 31.0
+        am_user.free_array(machine, aid)
+
+
+class TestMixedWorkload:
+    def test_pipeline_farm_and_calls_concurrently(self):
+        """Three §2.3 problem classes sharing one machine at once."""
+        from repro.core.farm import TaskFarm
+        from repro.core.pipeline import Pipeline, Stage
+
+        rt = IntegratedRuntime(8)
+        g_pipe, g_farm = rt.split_processors(2)
+
+        def pipe_work():
+            stages = [Stage("a", lambda x: x + 1), Stage("b", lambda x: x * 2)]
+            return Pipeline(stages).run(range(10)).outputs
+
+        def farm_work():
+            farm = TaskFarm([[int(p)] for p in g_farm])
+            return farm.run(
+                [lambda grp, j=j: j for j in range(12)]
+            ).results
+
+        def call_work():
+            return rt.call(
+                g_pipe,
+                lambda ctx, out: out.__setitem__(
+                    0, collectives.allreduce(ctx.comm, 1.0, op="sum")
+                ),
+                [Reduce("double", 1, "max")],
+            ).reductions[0]
+
+        outputs, farmed, called = par(pipe_work, farm_work, call_work)
+        assert outputs == [(x + 1) * 2 for x in range(10)]
+        assert farmed == list(range(12))
+        assert called == 4.0

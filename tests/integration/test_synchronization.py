@@ -1,0 +1,165 @@
+"""Synchronization issues (§3.4): message conflicts and shared variables.
+
+These tests reproduce the two §3.4 hazard analyses: typed selective
+receives prevent the task-parallel runtime and called data-parallel
+programs from intercepting each other's messages (§3.4.1), and the PCN
+sharing discipline prevents conflicting access to shared variables
+(§3.4.2).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.pcn.composition import par
+from repro.vp.machine import Machine
+from repro.vp.message import MessageType
+
+
+class TestMessageConflicts341:
+    """§3.4.1: 'Any such conflict can be avoided by requiring that both
+    ... use communication primitives based on typed messages and selective
+    receives, and ensuring that the sets of types ... are disjoint.'"""
+
+    def test_untyped_receive_intercepts_foreign_message(self):
+        """The failure mode: with untyped receives (the original Cosmic
+        Environment primitives), a PCN-level receive takes a data-parallel
+        message that arrived first."""
+        m = Machine(2)
+        m.send(0, 1, "dp-payload", mtype=MessageType.DATA_PARALLEL, tag="dp")
+        m.send(0, 1, "pcn-payload", mtype=MessageType.PCN, tag="pcn")
+        intercepted = m.processor(1).mailbox.recv_untyped()
+        assert intercepted.payload == "dp-payload"  # wrong layer's message
+
+    def test_typed_selective_receive_prevents_interception(self):
+        """The fix (§5.3): typed messages + selective receives, with the
+        PCN type and the data-parallel type disjoint."""
+        m = Machine(2)
+        m.send(0, 1, "dp-payload", mtype=MessageType.DATA_PARALLEL, tag="t")
+        m.send(0, 1, "pcn-payload", mtype=MessageType.PCN, tag="t")
+        pcn_view = m.processor(1).mailbox.recv(
+            mtype=MessageType.PCN, tag="t"
+        )
+        assert pcn_view.payload == "pcn-payload"
+        dp_view = m.processor(1).mailbox.recv(
+            mtype=MessageType.DATA_PARALLEL, tag="t"
+        )
+        assert dp_view.payload == "dp-payload"
+
+    def test_interleaved_layers_under_concurrency(self):
+        """Both layers exchange messages concurrently over the same pair
+        of processors; with typing, each layer sees exactly its own
+        sequence."""
+        m = Machine(2)
+        n_msgs = 25
+
+        def pcn_sender():
+            for i in range(n_msgs):
+                m.send(0, 1, ("pcn", i), mtype=MessageType.PCN, tag=i)
+
+        def dp_sender():
+            for i in range(n_msgs):
+                m.send(
+                    0, 1, ("dp", i), mtype=MessageType.DATA_PARALLEL, tag=i
+                )
+
+        def pcn_receiver():
+            return [
+                m.processor(1).mailbox.recv(mtype=MessageType.PCN, tag=i).payload
+                for i in range(n_msgs)
+            ]
+
+        def dp_receiver():
+            return [
+                m.processor(1)
+                .mailbox.recv(mtype=MessageType.DATA_PARALLEL, tag=i)
+                .payload
+                for i in range(n_msgs)
+            ]
+
+        _s1, _s2, pcn_got, dp_got = par(
+            pcn_sender, dp_sender, pcn_receiver, dp_receiver
+        )
+        assert pcn_got == [("pcn", i) for i in range(n_msgs)]
+        assert dp_got == [("dp", i) for i in range(n_msgs)]
+
+
+class TestSharedVariables342:
+    """§3.4.2: the program as a whole is free of conflicting accesses."""
+
+    def test_caller_and_callee_never_concurrent(self):
+        """'Conflicts between a data-parallel process and its caller do
+        not occur because the caller and the called program do not execute
+        concurrently' — the caller suspends for the call's duration."""
+        from repro.arrays import am_user, am_util
+        from repro.calls import Local, distributed_call
+
+        m = Machine(2)
+        am_util.load_all(m)
+        procs = am_util.node_array(0, 1, 2)
+        aid, _ = am_user.create_array(m, "double", (4,), procs, ["block"])
+
+        phases = []
+        lock = threading.Lock()
+
+        def program(ctx, sec):
+            with lock:
+                phases.append(("dp", ctx.index))
+            sec.interior()[:] = 1.0
+
+        with lock:
+            phases.append(("caller", "before"))
+        distributed_call(m, procs, program, [Local(aid)])
+        with lock:
+            phases.append(("caller", "after"))
+
+        assert phases[0] == ("caller", "before")
+        assert phases[-1] == ("caller", "after")
+        assert {p for p in phases[1:-1]} == {("dp", 0), ("dp", 1)}
+
+    def test_concurrent_pcn_processes_reading_shared_defvar(self):
+        """Single-assignment sharing is conflict-free by construction:
+        every reader obtains the same value (§3.1.1.4)."""
+        from repro.pcn.defvar import DefVar
+
+        x = DefVar("shared")
+        readers = [lambda: x.read() for _ in range(6)]
+
+        def writer():
+            x.define(123)
+
+        results = par(writer, *readers)
+        assert results[1:] == [123] * 6
+
+    def test_mutable_conflict_detected(self):
+        """The dynamic check for the §3.1.1.4 restriction."""
+        from repro.pcn.defvar import Mutable
+        from repro.status import SharedVariableConflictError
+
+        shared = Mutable(0)
+
+        def illegal_writer():
+            shared.set(1)
+
+        with pytest.raises(SharedVariableConflictError):
+            par(illegal_writer)
+
+    def test_disjoint_local_sections_no_conflicts(self):
+        """Copies of a DP program write concurrently, each to its own
+        local section — disjoint storage, no interference."""
+        from repro.arrays import am_user, am_util
+        from repro.calls import Index, Local, distributed_call
+
+        m = Machine(4)
+        am_util.load_all(m)
+        procs = am_util.node_array(0, 1, 4)
+        aid, _ = am_user.create_array(m, "double", (16,), procs, ["block"])
+
+        def program(ctx, index, sec):
+            sec.interior()[:] = float(index)
+
+        distributed_call(m, procs, program, [Index(), Local(aid)])
+        values = [am_user.read_element(m, aid, (i,))[0] for i in range(16)]
+        assert values == [float(i // 4) for i in range(16)]

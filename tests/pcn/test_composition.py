@@ -1,0 +1,218 @@
+"""Sequential, parallel, and choice composition (§A.1)."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.pcn.composition import (
+    GuardSuspend,
+    choice,
+    default,
+    need,
+    par,
+    par_for,
+    seq,
+)
+from repro.pcn.defvar import DefVar
+from repro.pcn.process import spawn
+
+
+class TestSeq:
+    def test_runs_in_order(self):
+        log = []
+        seq(lambda: log.append(1), lambda: log.append(2), lambda: log.append(3))
+        assert log == [1, 2, 3]
+
+    def test_returns_results(self):
+        assert seq(lambda: "a", lambda: "b") == ["a", "b"]
+
+    def test_empty_seq(self):
+        assert seq() == []
+
+    def test_exception_stops_sequence(self):
+        log = []
+
+        def boom():
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            seq(lambda: log.append(1), boom, lambda: log.append(2))
+        assert log == [1]
+
+
+class TestPar:
+    def test_all_statements_execute(self):
+        results = set()
+        lock = threading.Lock()
+
+        def make(i):
+            def body():
+                with lock:
+                    results.add(i)
+
+            return body
+
+        par(*[make(i) for i in range(10)])
+        assert results == set(range(10))
+
+    def test_par_waits_for_all(self):
+        """§3.1.1.1: parallel composition terminates only when every
+        process has terminated."""
+        done = []
+
+        def slow():
+            time.sleep(0.1)
+            done.append("slow")
+
+        par(slow, lambda: done.append("fast"))
+        assert sorted(done) == ["fast", "slow"]
+
+    def test_par_returns_results_in_statement_order(self):
+        assert par(lambda: 1, lambda: 2, lambda: 3) == [1, 2, 3]
+
+    def test_par_propagates_exceptions(self):
+        def boom():
+            raise ValueError("inside par")
+
+        with pytest.raises(ValueError, match="inside par"):
+            par(lambda: None, boom)
+
+    def test_par_statements_run_concurrently(self):
+        """Two statements that rendezvous via defvars must overlap."""
+        a, b = DefVar("a"), DefVar("b")
+
+        def left():
+            a.define(1)
+            return b.read()
+
+        def right():
+            b.define(2)
+            return a.read()
+
+        assert par(left, right) == [2, 1]
+
+    def test_par_for(self):
+        results = par_for(5, lambda i: i * i)
+        assert results == [0, 1, 4, 9, 16]
+
+    def test_nested_composition(self):
+        """{|| {; a, b}, {; c, d}} — the §A.1 nesting example."""
+        log = []
+        lock = threading.Lock()
+
+        def note(x):
+            with lock:
+                log.append(x)
+
+        par(
+            lambda: seq(lambda: note("a"), lambda: note("b")),
+            lambda: seq(lambda: note("c"), lambda: note("d")),
+        )
+        assert log.index("a") < log.index("b")
+        assert log.index("c") < log.index("d")
+        assert sorted(log) == ["a", "b", "c", "d"]
+
+
+class TestChoice:
+    def test_first_true_guard_wins(self):
+        result = choice(
+            (lambda: False, lambda: "first"),
+            (lambda: True, lambda: "second"),
+            (lambda: True, lambda: "third"),
+        )
+        assert result == "second"
+
+    def test_boolean_guards_accepted(self):
+        assert choice((False, lambda: "no"), (True, lambda: "yes")) == "yes"
+
+    def test_default_fires_when_all_false(self):
+        result = choice(
+            (lambda: False, lambda: "a"),
+            (default, lambda: "the default"),
+        )
+        assert result == "the default"
+
+    def test_no_default_all_false_is_noop(self):
+        """PCN semantics: choice with no true guard and no default does
+        nothing."""
+        assert choice((lambda: False, lambda: "x")) is None
+
+    def test_two_defaults_rejected(self):
+        with pytest.raises(ValueError):
+            choice((default, lambda: 1), (default, lambda: 2))
+
+    def test_guard_suspends_on_undefined_variable(self):
+        """A guard needing an undefined variable suspends the choice until
+        the variable is defined, then re-evaluates (PCN suspension)."""
+        x = DefVar("x")
+        log = []
+
+        def chooser():
+            result = choice(
+                (lambda: need(x) > 0, lambda: "positive"),
+                (lambda: need(x) <= 0, lambda: "non-positive"),
+            )
+            log.append(result)
+
+        proc = spawn(chooser)
+        time.sleep(0.05)
+        assert log == []  # still suspended
+        x.define(5)
+        proc.join(timeout=5)
+        assert log == ["positive"]
+
+    def test_default_not_taken_while_any_guard_suspended(self):
+        """default fires only when every guard is *definitely* false —
+        a suspended guard blocks it."""
+        x = DefVar("x")
+
+        def chooser():
+            return choice(
+                (lambda: need(x) == 1, lambda: "one"),
+                (default, lambda: "default"),
+            )
+
+        proc = spawn(chooser)
+        time.sleep(0.05)
+        x.define(1)
+        assert proc.join(timeout=5) == "one"
+
+    def test_default_taken_after_suspension_resolves_false(self):
+        x = DefVar("x")
+
+        def chooser():
+            return choice(
+                (lambda: need(x) == 1, lambda: "one"),
+                (default, lambda: "default"),
+            )
+
+        proc = spawn(chooser)
+        x.define(2)
+        assert proc.join(timeout=5) == "default"
+
+    def test_choice_timeout_when_never_defined(self):
+        x = DefVar("never")
+        with pytest.raises(TimeoutError):
+            choice(
+                (lambda: need(x) == 1, lambda: "one"),
+                timeout=0.05,
+            )
+
+
+class TestNeed:
+    def test_need_plain_value_passthrough(self):
+        assert need(5) == 5
+
+    def test_need_defined_var(self):
+        v = DefVar()
+        v.define(3)
+        assert need(v) == 3
+
+    def test_need_undefined_raises_suspend(self):
+        v = DefVar()
+        with pytest.raises(GuardSuspend) as info:
+            need(v)
+        assert info.value.variables == [v]

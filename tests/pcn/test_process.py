@@ -1,0 +1,76 @@
+"""Processes and dynamic process creation (§3.1.1.1)."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.pcn.process import Process, ProcessGroup, spawn
+
+
+class TestProcess:
+    def test_spawn_and_join_returns_result(self):
+        assert spawn(lambda: 42).join(timeout=5) == 42
+
+    def test_args_and_kwargs(self):
+        proc = spawn(lambda a, b=0: a + b, 1, b=2)
+        assert proc.join(timeout=5) == 3
+
+    def test_join_reraises_body_exception(self):
+        def boom():
+            raise KeyError("inside process")
+
+        with pytest.raises(KeyError):
+            spawn(boom).join(timeout=5)
+
+    def test_join_timeout(self):
+        proc = spawn(time.sleep, 2.0)
+        with pytest.raises(TimeoutError):
+            proc.join(timeout=0.05)
+
+    def test_is_alive_lifecycle(self):
+        proc = spawn(time.sleep, 0.1)
+        assert proc.is_alive()
+        proc.join(timeout=5)
+        assert not proc.is_alive()
+
+    def test_processor_tag(self):
+        proc = Process(lambda: None, processor=3)
+        assert proc.processor == 3
+
+    def test_names_unique(self):
+        a, b = Process(lambda: None), Process(lambda: None)
+        assert a.name != b.name
+
+
+class TestProcessGroup:
+    def test_join_all_collects_results(self):
+        group = ProcessGroup()
+        for i in range(5):
+            group.spawn(lambda i=i: i * 10)
+        assert group.join_all(timeout=5) == [0, 10, 20, 30, 40]
+
+    def test_join_all_raises_first_error_after_joining_all(self):
+        group = ProcessGroup()
+        finished = []
+
+        def boom():
+            raise RuntimeError("first error")
+
+        group.spawn(boom)
+        group.spawn(lambda: finished.append(True) or time.sleep(0.05))
+        with pytest.raises(RuntimeError, match="first error"):
+            group.join_all(timeout=5)
+        assert finished == [True]  # the healthy process still completed
+
+    def test_len(self):
+        group = ProcessGroup()
+        group.spawn(lambda: None)
+        group.spawn(lambda: None)
+        assert len(group) == 2
+
+    def test_add_external_process(self):
+        group = ProcessGroup()
+        group.add(spawn(lambda: "ext"))
+        assert group.join_all(timeout=5) == ["ext"]

@@ -1,0 +1,77 @@
+"""Property-based tests over the PTN transformation renderer: for any
+parameter mix, the generated artefacts keep the §F structural invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrays.record import ArrayID
+from repro.pcn.ptn import transform_distributed_call
+
+param_strategy = st.one_of(
+    st.integers(-100, 100),  # constants
+    st.just("index"),
+    st.tuples(st.just("local"), st.just(ArrayID(0, 1))),
+    st.tuples(
+        st.just("reduce"),
+        st.sampled_from(["double", "int"]),
+        st.integers(1, 16),
+        st.sampled_from(["sum", "max", "min"]),
+    ),
+)
+
+
+@st.composite
+def parameter_lists(draw):
+    params = draw(st.lists(param_strategy, max_size=6))
+    if draw(st.booleans()):
+        position = draw(st.integers(0, len(params)))
+        params.insert(position, "status")
+    return params
+
+
+@settings(max_examples=100, deadline=None)
+@given(parameter_lists())
+def test_property_tuple_arity_is_one_plus_reductions(params):
+    """The merged tuple always has 1 + #reduce slots (§F.6)."""
+    result = transform_distributed_call(list(params))
+    n_reduce = sum(
+        1 for p in params if isinstance(p, tuple) and p[0] == "reduce"
+    )
+    expected = 1 + n_reduce
+    assert f"make_tuple({expected},_l1)" in result.wrapper_second
+    assert f"length(C_in1)=={expected}" in result.combine
+    # the call block unpacks exactly that many slots
+    assert f"_l1[{expected - 1}]" in result.call_block
+    assert f"_l1[{expected}]" not in result.call_block
+
+
+@settings(max_examples=100, deadline=None)
+@given(parameter_lists())
+def test_property_structural_invariants(params):
+    result = transform_distributed_call(list(params))
+    has_status = "status" in params
+    n_local = sum(
+        1 for p in params if isinstance(p, tuple) and p[0] == "local"
+    )
+    # local sections: one find_local per Local parameter
+    assert result.wrapper_second.count("am_user:find_local") == n_local
+    # status declaration appears iff the call has a status parameter
+    assert ("int local_status" in result.wrapper_second) == has_status
+    # every generated program has the STATUS_INVALID default branch
+    for text in (result.wrapper_first, result.wrapper_second):
+        assert "_l1 = {1}" in text
+    assert "C_out = {1}" in result.combine
+    # the wrapper program names referenced by the call block exist
+    assert result.wrapper_name in result.call_block
+    assert result.combine_name in result.call_block
+
+
+@settings(max_examples=50, deadline=None)
+@given(parameter_lists(), parameter_lists())
+def test_property_distinct_transformations_do_not_collide(a, b):
+    ra = transform_distributed_call(list(a))
+    rb = transform_distributed_call(list(b))
+    assert ra.wrapper_name != rb.wrapper_name
+    assert ra.combine_name != rb.combine_name

@@ -1,0 +1,188 @@
+"""Definitional streams (§A.3)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pcn.process import spawn
+from repro.pcn.streams import (
+    EMPTY,
+    Stream,
+    StreamClosed,
+    StreamWriter,
+    merge_streams,
+    stream_from_iterable,
+    stream_pair,
+    stream_to_list,
+)
+
+
+class TestStreamBasics:
+    def test_put_then_get(self):
+        s = Stream()
+        tail = s.put("a")
+        head, rest = s.get()
+        assert head == "a"
+        assert rest is tail
+
+    def test_closed_stream_raises_on_get(self):
+        s = Stream()
+        s.close()
+        with pytest.raises(StreamClosed):
+            s.get()
+
+    def test_iteration_over_finite_stream(self):
+        s = stream_from_iterable([1, 2, 3])
+        assert list(s) == [1, 2, 3]
+
+    def test_empty_stream_iterates_to_nothing(self):
+        assert list(stream_from_iterable([])) == []
+
+    def test_try_get_on_undefined(self):
+        s = Stream()
+        assert s.try_get() is None
+
+    def test_try_get_on_defined(self):
+        s = Stream()
+        s.put(5)
+        head, _tail = s.try_get()
+        assert head == 5
+
+    def test_try_get_on_closed_raises(self):
+        s = Stream()
+        s.close()
+        with pytest.raises(StreamClosed):
+            s.try_get()
+
+    def test_closed_predicate(self):
+        s = Stream()
+        s.close()
+        assert s.closed()
+        assert s.is_definitely_closed()
+
+    def test_is_definitely_closed_nonblocking_on_undefined(self):
+        assert not Stream().is_definitely_closed()
+
+    def test_stream_reusable_by_multiple_consumers(self):
+        """Streams are definitional: two consumers see identical contents."""
+        s = stream_from_iterable(list(range(10)))
+        assert list(s) == list(s) == list(range(10))
+
+
+class TestStreamWriter:
+    def test_send_sequence(self):
+        s, w = stream_pair()
+        w.send_all("abc")
+        w.close()
+        assert list(s) == ["a", "b", "c"]
+
+    def test_send_after_close_raises(self):
+        _s, w = stream_pair()
+        w.close()
+        with pytest.raises(StreamClosed):
+            w.send(1)
+
+    def test_double_close_is_noop(self):
+        s, w = stream_pair()
+        w.close()
+        w.close()
+        assert list(s) == []
+
+    def test_splice_chains_streams(self):
+        """The §6.2 idiom Outstream = [..items..|Outstream_tail]."""
+        tail_stream = stream_from_iterable([3, 4])
+        s, w = stream_pair()
+        w.send(1)
+        w.send(2)
+        w.splice(tail_stream)
+        assert list(s) == [1, 2, 3, 4]
+
+    def test_splice_on_closed_raises(self):
+        _s, w = stream_pair()
+        w.close()
+        with pytest.raises(StreamClosed):
+            w.splice(Stream())
+
+
+class TestProducerConsumer:
+    def test_consumer_suspends_until_producer_sends(self):
+        s, w = stream_pair()
+        results = []
+
+        consumer = spawn(lambda: results.extend(s))
+        w.send(10)
+        w.send(20)
+        w.close()
+        consumer.join(timeout=5)
+        assert results == [10, 20]
+
+    def test_pipeline_of_stream_processes(self):
+        """producer -> doubler -> consumer, all concurrent."""
+        s1, w1 = stream_pair()
+        s2, w2 = stream_pair()
+
+        def doubler():
+            for item in s1:
+                w2.send(item * 2)
+            w2.close()
+
+        results = []
+        p1 = spawn(doubler)
+        p2 = spawn(lambda: results.extend(s2))
+        w1.send_all(range(5))
+        w1.close()
+        p1.join(timeout=5)
+        p2.join(timeout=5)
+        assert results == [0, 2, 4, 6, 8]
+
+    def test_stream_to_list_with_limit(self):
+        s, w = stream_pair()
+        w.send_all(range(100))
+        # No close needed: limit bounds the read.
+        assert stream_to_list(s, limit=5) == [0, 1, 2, 3, 4]
+
+
+class TestMerge:
+    def test_merge_two_streams_is_order_preserving_per_input(self):
+        a = stream_from_iterable([1, 2, 3])
+        b = stream_from_iterable(["x", "y"])
+        out, w = stream_pair()
+        merger = spawn(merge_streams, a, b, w)
+        merger.join(timeout=5)
+        merged = list(out)
+        assert [m for m in merged if isinstance(m, int)] == [1, 2, 3]
+        assert [m for m in merged if isinstance(m, str)] == ["x", "y"]
+        assert len(merged) == 5
+
+    def test_merge_with_one_empty(self):
+        a = stream_from_iterable([])
+        b = stream_from_iterable([1])
+        out, w = stream_pair()
+        spawn(merge_streams, a, b, w).join(timeout=5)
+        assert list(out) == [1]
+
+
+def test_empty_sentinel_is_singleton():
+    from repro.pcn.streams import _Empty
+
+    assert _Empty() is EMPTY
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(), max_size=30))
+def test_property_stream_roundtrip(values):
+    """send_all then iterate reproduces the exact sequence."""
+    assert stream_to_list(stream_from_iterable(values)) == values
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(), max_size=15), st.lists(st.integers(), max_size=15))
+def test_property_splice_concatenates(left, right):
+    s, w = stream_pair()
+    w.send_all(left)
+    w.splice(stream_from_iterable(right))
+    assert stream_to_list(s) == left + right

@@ -1,0 +1,238 @@
+"""Collective operations: both algorithm families, any associative op."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pcn.composition import par
+from repro.spmd import collectives
+from repro.spmd.comm import GroupComm
+from repro.vp.machine import Machine
+
+ALGORITHMS = ("linear", "tree")
+
+
+def run_spmd(n, body, machine=None):
+    """Run ``body(comm) -> result`` as n concurrent SPMD copies."""
+    m = machine if machine is not None else Machine(n)
+    comms = [GroupComm(m, list(range(n)), r, "test") for r in range(n)]
+    return par(*[lambda c=c: body(c) for c in comms]), m
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("n", [1, 2, 3, 4, 7, 8])
+class TestBarrierBcastAcrossSizes:
+    def test_barrier_completes(self, n, algorithm):
+        results, _ = run_spmd(
+            n, lambda c: collectives.barrier(c, algorithm=algorithm) or "done"
+        )
+        assert results == ["done"] * n
+
+    def test_bcast_from_root0(self, n, algorithm):
+        results, _ = run_spmd(
+            n,
+            lambda c: collectives.bcast(
+                c, "payload" if c.rank == 0 else None, algorithm=algorithm
+            ),
+        )
+        assert results == ["payload"] * n
+
+    def test_bcast_from_nonzero_root(self, n, algorithm):
+        root = n - 1
+        results, _ = run_spmd(
+            n,
+            lambda c: collectives.bcast(
+                c, c.rank if c.rank == root else None, root=root,
+                algorithm=algorithm,
+            ),
+        )
+        assert results == [root] * n
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("n", [1, 2, 3, 5, 8])
+class TestReduce:
+    def test_reduce_sum_at_root(self, n, algorithm):
+        results, _ = run_spmd(
+            n,
+            lambda c: collectives.reduce(
+                c, c.rank + 1, op="sum", algorithm=algorithm
+            ),
+        )
+        assert results[0] == n * (n + 1) // 2
+        assert all(r is None for r in results[1:])
+
+    def test_allreduce_max(self, n, algorithm):
+        results, _ = run_spmd(
+            n,
+            lambda c: collectives.allreduce(
+                c, (c.rank * 7) % 5, op="max", algorithm=algorithm
+            ),
+        )
+        expected = max((r * 7) % 5 for r in range(n))
+        assert results == [expected] * n
+
+    def test_reduce_non_commutative_rank_order(self, n, algorithm):
+        """§3.3.1.2 requires associativity only; concat (associative,
+        non-commutative) must fold in rank order."""
+        results, _ = run_spmd(
+            n,
+            lambda c: collectives.reduce(
+                c, [c.rank], op="concat", algorithm=algorithm
+            ),
+        )
+        assert results[0] == list(range(n))
+
+    def test_allreduce_arrays(self, n, algorithm):
+        results, _ = run_spmd(
+            n,
+            lambda c: collectives.allreduce(
+                c, np.full(3, float(c.rank)), op="sum", algorithm=algorithm
+            ),
+        )
+        expected = sum(range(n))
+        for r in results:
+            assert list(r) == [expected] * 3
+
+
+@pytest.mark.parametrize("n", [1, 2, 4, 6])
+class TestGatherScatter:
+    def test_gather_rank_order(self, n):
+        results, _ = run_spmd(
+            n, lambda c: collectives.gather(c, f"r{c.rank}")
+        )
+        assert results[0] == [f"r{i}" for i in range(n)]
+
+    def test_scatter(self, n):
+        results, _ = run_spmd(
+            n,
+            lambda c: collectives.scatter(
+                c, [i * i for i in range(n)] if c.rank == 0 else None
+            ),
+        )
+        assert results == [i * i for i in range(n)]
+
+    def test_allgather_both_algorithms(self, n):
+        for algorithm in ALGORITHMS:
+            results, _ = run_spmd(
+                n,
+                lambda c: collectives.allgather(
+                    c, c.rank * 2, algorithm=algorithm
+                ),
+            )
+            assert results == [[i * 2 for i in range(n)]] * n
+
+    def test_alltoall(self, n):
+        results, _ = run_spmd(
+            n,
+            lambda c: collectives.alltoall(
+                c, [(c.rank, dest) for dest in range(n)]
+            ),
+        )
+        for rank, received in enumerate(results):
+            assert received == [(src, rank) for src in range(n)]
+
+    def test_scan_inclusive_prefix(self, n):
+        results, _ = run_spmd(
+            n, lambda c: collectives.scan(c, c.rank + 1, op="sum")
+        )
+        assert results == [sum(range(1, r + 2)) for r in range(n)]
+
+
+class TestSequencesOfCollectives:
+    def test_back_to_back_collectives_do_not_crosstalk(self):
+        """Per-collective sequence tags keep successive operations apart
+        even when messages from the next operation arrive early."""
+
+        def body(comm):
+            a = collectives.allreduce(comm, comm.rank, op="sum")
+            b = collectives.allreduce(comm, comm.rank, op="max")
+            c = collectives.allgather(comm, comm.rank)
+            return (a, b, c)
+
+        results, _ = run_spmd(4, body)
+        assert results == [(6, 3, [0, 1, 2, 3])] * 4
+
+    def test_mixed_collectives_and_p2p(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.send(1, "direct", tag="p2p")
+            collectives.barrier(comm)
+            direct = comm.recv(source_rank=0, tag="p2p") if comm.rank == 1 else None
+            return collectives.bcast(comm, direct, root=1)
+
+        results, _ = run_spmd(3, body)
+        assert results == ["direct"] * 3
+
+
+class TestAlgorithmCosts:
+    """The ABL-2 claim: tree algorithms move fewer messages for bcast at
+    scale, and linear reduce costs ~P messages vs ~P for tree but with
+    O(log P) latency.  Here we pin the exact counts."""
+
+    def count_messages(self, n, body):
+        m = Machine(n)
+        m.reset_traffic()
+        comms = [GroupComm(m, list(range(n)), r, "cost") for r in range(n)]
+        par(*[lambda c=c: body(c) for c in comms])
+        return m.traffic_snapshot()["messages"]
+
+    def test_linear_barrier_message_count(self):
+        # 2*(P-1) for gather+release
+        count = self.count_messages(
+            8, lambda c: collectives.barrier(c, algorithm="linear")
+        )
+        assert count == 14
+
+    def test_tree_barrier_message_count(self):
+        # dissemination: P * ceil(log2 P)
+        count = self.count_messages(
+            8, lambda c: collectives.barrier(c, algorithm="tree")
+        )
+        assert count == 24
+
+    def test_linear_bcast_message_count(self):
+        count = self.count_messages(
+            8, lambda c: collectives.bcast(c, 1 if c.rank == 0 else None,
+                                           algorithm="linear")
+        )
+        assert count == 7
+
+    def test_tree_bcast_message_count(self):
+        count = self.count_messages(
+            8, lambda c: collectives.bcast(c, 1 if c.rank == 0 else None,
+                                           algorithm="tree")
+        )
+        assert count == 7  # binomial also sends P-1 total, but in log depth
+
+    def test_bad_algorithm_rejected(self):
+        m = Machine(1)
+        comm = GroupComm(m, [0], 0, "g")
+        with pytest.raises(ValueError):
+            collectives.barrier(comm, algorithm="quantum")
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(1, 6),
+    st.lists(st.integers(-100, 100), min_size=6, max_size=6),
+    st.sampled_from(["sum", "max", "min"]),
+    st.sampled_from(ALGORITHMS),
+)
+def test_property_allreduce_matches_python_fold(n, values, op, algorithm):
+    values = values[:n]
+    import functools
+
+    from repro.spmd.reduce_ops import resolve_op
+
+    expected = functools.reduce(resolve_op(op), values)
+    results, _ = run_spmd(
+        n,
+        lambda c: collectives.allreduce(
+            c, values[c.rank], op=op, algorithm=algorithm
+        ),
+    )
+    assert results == [expected] * n

@@ -1,0 +1,79 @@
+"""SPMDContext and OutCell (§3.3.1.2's call environment)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pcn.composition import par
+from repro.spmd.context import OutCell, SPMDContext
+from repro.vp.machine import Machine
+
+
+class TestOutCell:
+    def test_starts_unassigned(self):
+        cell = OutCell("x")
+        assert not cell.assigned
+        assert cell.value is None
+
+    def test_set_marks_assigned(self):
+        cell = OutCell("x", initial=7)
+        assert cell.value == 7
+        cell.set(9)
+        assert cell.assigned
+        assert cell.value == 9
+
+    def test_repr(self):
+        cell = OutCell("status")
+        cell.set(0)
+        assert "status" in repr(cell)
+
+
+class TestSPMDContext:
+    @pytest.fixture
+    def machine(self):
+        return Machine(8)
+
+    def test_basic_fields(self, machine):
+        ctx = SPMDContext(machine, [3, 5, 7], 1, "g")
+        assert ctx.num_procs == 3
+        assert ctx.processor_number == 5
+        assert ctx.index == 1
+        assert ctx.node is machine.processor(5)
+
+    def test_comm_is_group_scoped(self, machine):
+        ctx = SPMDContext(machine, [3, 5], 0, "mygroup")
+        assert ctx.comm.group == "mygroup"
+        assert ctx.comm.procs == (3, 5)
+        assert ctx.comm.rank == 0
+
+    def test_bad_index_rejected(self, machine):
+        with pytest.raises(ValueError):
+            SPMDContext(machine, [0, 1], 5, "g")
+
+    def test_subcontext_selects_ranks(self, machine):
+        ctx = SPMDContext(machine, [2, 4, 6, 7], 2, "g")
+        sub = ctx.subcontext([0, 2])
+        assert sub.procs == (2, 6)
+        assert sub.index == 1
+        assert sub.processor_number == 6
+
+    def test_subcontext_communication_isolated(self, machine):
+        """Subgroup traffic doesn't collide with the parent group's."""
+        parents = [SPMDContext(machine, [0, 1], r, "parent") for r in range(2)]
+
+        def body(ctx):
+            sub = ctx.subcontext([0, 1], group="child")
+            if ctx.index == 0:
+                ctx.comm.send(1, "parent-msg", tag="t")
+                sub.comm.send(1, "child-msg", tag="t")
+                return None
+            child = sub.comm.recv(source_rank=0, tag="t")
+            parent = ctx.comm.recv(source_rank=0, tag="t")
+            return (parent, child)
+
+        results = par(*[lambda c=c: body(c) for c in parents])
+        assert results[1] == ("parent-msg", "child-msg")
+
+    def test_repr(self, machine):
+        ctx = SPMDContext(machine, [0, 1], 0, "g")
+        assert "index=0/2" in repr(ctx)

@@ -1,0 +1,208 @@
+"""The analytic cost model, validated against exact routed-message
+counters — every formula must match what the machine actually moves."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pcn.composition import par
+from repro.spmd import collectives, costs
+from repro.spmd.comm import GroupComm
+from repro.spmd.context import SPMDContext
+from repro.spmd.fft import distributed_transpose
+from repro.vp.machine import Machine
+
+SIZES = [1, 2, 3, 4, 7, 8]
+ALGS = ["linear", "tree"]
+
+
+def measure(p, body):
+    """Run body(comm) on p concurrent ranks; return routed message count."""
+    machine = Machine(p)
+    comms = [GroupComm(machine, list(range(p)), r, "cost") for r in range(p)]
+    machine.reset_traffic()
+    par(*[lambda c=c: body(c) for c in comms])
+    return machine.traffic_snapshot()["messages"]
+
+
+class TestCollectiveFormulas:
+    @pytest.mark.parametrize("p", SIZES)
+    @pytest.mark.parametrize("alg", ALGS)
+    def test_barrier(self, p, alg):
+        measured = measure(
+            p, lambda c: collectives.barrier(c, algorithm=alg)
+        )
+        assert measured == costs.barrier_cost(p, alg).messages
+
+    @pytest.mark.parametrize("p", SIZES)
+    @pytest.mark.parametrize("alg", ALGS)
+    def test_bcast(self, p, alg):
+        measured = measure(
+            p,
+            lambda c: collectives.bcast(
+                c, "x" if c.rank == 0 else None, algorithm=alg
+            ),
+        )
+        assert measured == costs.bcast_cost(p, alg).messages
+
+    @pytest.mark.parametrize("p", SIZES)
+    @pytest.mark.parametrize("alg", ALGS)
+    def test_reduce(self, p, alg):
+        measured = measure(
+            p, lambda c: collectives.reduce(c, c.rank, op="sum", algorithm=alg)
+        )
+        assert measured == costs.reduce_cost(p, alg).messages
+
+    @pytest.mark.parametrize("p", SIZES)
+    @pytest.mark.parametrize("alg", ALGS)
+    def test_allreduce(self, p, alg):
+        measured = measure(
+            p,
+            lambda c: collectives.allreduce(
+                c, c.rank, op="sum", algorithm=alg
+            ),
+        )
+        assert measured == costs.allreduce_cost(p, alg).messages
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_gather_scatter(self, p):
+        measured = measure(p, lambda c: collectives.gather(c, c.rank))
+        assert measured == costs.gather_cost(p).messages
+        measured = measure(
+            p,
+            lambda c: collectives.scatter(
+                c, list(range(p)) if c.rank == 0 else None
+            ),
+        )
+        assert measured == costs.scatter_cost(p).messages
+
+    @pytest.mark.parametrize("p", SIZES)
+    @pytest.mark.parametrize("alg", ALGS)
+    def test_allgather(self, p, alg):
+        measured = measure(
+            p, lambda c: collectives.allgather(c, c.rank, algorithm=alg)
+        )
+        assert measured == costs.allgather_cost(p, alg).messages
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_alltoall(self, p):
+        measured = measure(
+            p, lambda c: collectives.alltoall(c, list(range(p)))
+        )
+        assert measured == costs.alltoall_cost(p).messages
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_scan(self, p):
+        measured = measure(p, lambda c: collectives.scan(c, c.rank))
+        assert measured == costs.scan_cost(p).messages
+
+
+class TestKernelFormulas:
+    @pytest.mark.parametrize("grid", [(1, 1), (2, 2), (4, 1), (1, 4), (4, 2)])
+    def test_halo_exchange(self, grid):
+        from repro.spmd.stencil import exchange_halos
+
+        gr, gc = grid
+        p = gr * gc
+        machine = Machine(p)
+        contexts = [
+            SPMDContext(machine, list(range(p)), r, "halo") for r in range(p)
+        ]
+        machine.reset_traffic()
+
+        def body(ctx):
+            full = np.zeros((4, 4))
+            exchange_halos(ctx, full, gr, gc)
+
+        par(*[lambda c=c: body(c) for c in contexts])
+        assert (
+            machine.traffic_snapshot()["messages"]
+            == costs.halo_exchange_cost(gr, gc).messages
+        )
+
+    @pytest.mark.parametrize("grid", [(2, 2), (4, 4), (16, 1)])
+    def test_halo_bytes_formula(self, grid):
+        n = 64
+        gr, gc = grid
+        model = costs.halo_exchange_bytes(n, n, gr, gc)
+        # internal perimeter argument: each cut crosses full strips
+        rows, cols = n // gr, n // gc
+        expected = ((gr - 1) * gc * cols + (gc - 1) * gr * rows) * 16
+        assert model == expected
+
+    @pytest.mark.parametrize("p,n", [(1, 8), (2, 16), (4, 16), (8, 32)])
+    def test_fft_exchange(self, p, n):
+        from repro.calls import Index, Local, distributed_call
+        from repro.arrays import am_user, am_util
+        from repro.spmd.fft import INVERSE, compute_roots, fft_reverse
+
+        machine = Machine(p)
+        am_util.load_all(machine)
+        procs = am_util.node_array(0, 1, p)
+        data, _ = am_user.create_array(
+            machine, "double", (2 * n,), procs, ["block"]
+        )
+        eps, _ = am_user.create_array(
+            machine, "double", (p, 2 * n), procs, ["block", "*"]
+        )
+        distributed_call(
+            machine, procs,
+            lambda ctx, nn, sec: compute_roots(ctx, nn, sec),
+            [n, Local(eps)],
+        )
+        machine.reset_traffic()
+        distributed_call(
+            machine, procs, fft_reverse,
+            [procs, p, Index(), n, INVERSE, Local(eps), Local(data)],
+        )
+        assert (
+            machine.traffic_snapshot()["messages"]
+            == costs.fft_exchange_cost(n, p).messages
+        )
+
+    @pytest.mark.parametrize("p", [2, 4])
+    def test_transpose(self, p):
+        n = 4 * p
+        machine = Machine(p)
+        contexts = [
+            SPMDContext(machine, list(range(p)), r, "tr") for r in range(p)
+        ]
+        machine.reset_traffic()
+
+        def body(ctx):
+            block = np.zeros((n // p, n), dtype=complex)
+            distributed_transpose(ctx, block)
+
+        par(*[lambda c=c: body(c) for c in contexts])
+        assert (
+            machine.traffic_snapshot()["messages"]
+            == costs.transpose_cost(p).messages
+        )
+
+
+class TestLatencyModel:
+    def test_rounds_drive_latency(self):
+        linear = costs.bcast_cost(8, "linear")
+        tree = costs.bcast_cost(8, "tree")
+        assert linear.messages == tree.messages  # same volume...
+        assert tree.rounds < linear.rounds  # ...shorter critical path
+        assert tree.latency(alpha=1.0) < linear.latency(alpha=1.0)
+
+    def test_latency_includes_bandwidth_term(self):
+        cost = costs.Cost(messages=4, rounds=2)
+        assert cost.latency(alpha=1.0, per_message_payload=100, beta=0.01) == (
+            2 * (1.0 + 1.0)
+        )
+
+    def test_singleton_groups_free(self):
+        for fn in (
+            costs.barrier_cost,
+            costs.bcast_cost,
+            costs.reduce_cost,
+            costs.allreduce_cost,
+            costs.allgather_cost,
+        ):
+            assert fn(1).messages == 0
+        assert costs.alltoall_cost(1).messages == 0
+        assert costs.scan_cost(1).messages == 0

@@ -1,0 +1,93 @@
+"""Reduction operators (§3.3.1.2: binary associative operators)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spmd.reduce_ops import (
+    NAMED_OPS,
+    op_concat,
+    op_max,
+    op_min,
+    op_prod,
+    op_sum,
+    resolve_op,
+)
+
+
+class TestScalars:
+    def test_max(self):
+        assert op_max(2, 9) == 9
+
+    def test_min(self):
+        assert op_min(2, 9) == 2
+
+    def test_sum(self):
+        assert op_sum(2, 9) == 11
+
+    def test_prod(self):
+        assert op_prod(2, 9) == 18
+
+    def test_concat_lists(self):
+        assert op_concat([1], [2, 3]) == [1, 2, 3]
+
+
+class TestArrays:
+    def test_max_elementwise(self):
+        out = op_max(np.array([1, 9]), np.array([5, 2]))
+        assert list(out) == [5, 9]
+
+    def test_min_elementwise(self):
+        out = op_min(np.array([1, 9]), np.array([5, 2]))
+        assert list(out) == [1, 2]
+
+    def test_sum_elementwise(self):
+        assert list(op_sum(np.array([1, 2]), np.array([10, 20]))) == [11, 22]
+
+    def test_concat_arrays(self):
+        out = op_concat(np.array([1]), np.array([2, 3]))
+        assert list(out) == [1, 2, 3]
+
+
+class TestResolve:
+    def test_by_name(self):
+        for name, fn in NAMED_OPS.items():
+            assert resolve_op(name) is fn
+
+    def test_callable_passthrough(self):
+        fn = lambda a, b: a  # noqa: E731
+        assert resolve_op(fn) is fn
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            resolve_op("median")
+
+    def test_non_callable_non_string(self):
+        with pytest.raises(ValueError):
+            resolve_op(42)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.sampled_from(["max", "min", "sum", "prod"]),
+    st.integers(-50, 50),
+    st.integers(-50, 50),
+    st.integers(-50, 50),
+)
+def test_property_named_ops_associative(name, a, b, c):
+    """§3.3.1.2 requires associativity; every named operator satisfies it."""
+    op = resolve_op(name)
+    assert op(op(a, b), c) == op(a, op(b, c))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.integers(), max_size=5),
+    st.lists(st.integers(), max_size=5),
+    st.lists(st.integers(), max_size=5),
+)
+def test_property_concat_associative(a, b, c):
+    assert op_concat(op_concat(a, b), c) == op_concat(a, op_concat(b, c))

@@ -1,0 +1,109 @@
+"""The simulated multicomputer: processors, routing, placement."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.vp.machine import Machine
+from repro.vp.message import Message, MessageType
+
+
+class TestTopology:
+    def test_num_nodes(self):
+        assert Machine(6).num_nodes == 6
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            Machine(0)
+
+    def test_processor_lookup(self):
+        m = Machine(4)
+        assert m.processor(2).number == 2
+
+    def test_processor_out_of_range(self):
+        m = Machine(4)
+        with pytest.raises(ValueError):
+            m.processor(4)
+
+    def test_processors_listing(self):
+        m = Machine(3)
+        assert [p.number for p in m.processors()] == [0, 1, 2]
+
+
+class TestRouting:
+    def test_send_delivers_to_dest_mailbox(self):
+        m = Machine(4)
+        m.send(source=0, dest=3, payload="hello", tag="t")
+        got = m.processor(3).mailbox.recv(tag="t")
+        assert got.payload == "hello"
+        assert got.source == 0
+
+    def test_self_send(self):
+        m = Machine(2)
+        m.send(source=1, dest=1, payload="me")
+        assert m.processor(1).mailbox.recv().payload == "me"
+
+    def test_send_to_invalid_dest(self):
+        m = Machine(2)
+        with pytest.raises(ValueError):
+            m.send(source=0, dest=9, payload=None)
+
+    def test_traffic_accounting(self):
+        m = Machine(2)
+        m.reset_traffic()
+        m.send(source=0, dest=1, payload=b"x" * 100)
+        m.send(source=1, dest=0, payload=b"y" * 50)
+        snap = m.traffic_snapshot()
+        assert snap["messages"] == 2
+        assert snap["bytes"] == 150
+
+    def test_reset_traffic_clears_node_counters(self):
+        m = Machine(2)
+        m.send(source=0, dest=1, payload="x")
+        m.processor(1).mailbox.recv()
+        m.reset_traffic()
+        assert m.traffic_snapshot() == {"messages": 0, "bytes": 0}
+        assert m.processor(0).sent_count == 0
+        assert m.processor(1).mailbox.received_count == 0
+
+
+class TestAddressSpaces:
+    def test_heaps_are_distinct(self):
+        """Each virtual processor has a distinct address space."""
+        m = Machine(3)
+        m.processor(0).store("key", "zero")
+        m.processor(1).store("key", "one")
+        assert m.processor(0).load("key") == "zero"
+        assert m.processor(1).load("key") == "one"
+        assert not m.processor(2).has("key")
+
+    def test_heap_delete(self):
+        m = Machine(1)
+        node = m.processor(0)
+        node.store("k", 1)
+        node.delete("k")
+        assert not node.has("k")
+        assert node.load_default("k", "fallback") == "fallback"
+
+
+class TestPlacement:
+    def test_run_on_executes_on_processor(self):
+        m = Machine(4)
+        result = m.run_on(2, lambda: threading.current_thread().name)
+        assert "vp2" in result
+
+    def test_spawn_tracks_live_processes(self):
+        m = Machine(1)
+        node = m.processor(0)
+        ev = threading.Event()
+        node.spawn(ev.wait)
+        assert node.live_process_count() >= 1
+        ev.set()
+
+    def test_processes_on_same_node_share_its_heap(self):
+        m = Machine(2)
+        node = m.processor(1)
+        node.run(lambda: node.store("written-by", "process"))
+        assert node.load("written-by") == "process"

@@ -1,0 +1,122 @@
+"""Mailboxes: selective typed receive (§3.4.1)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.vp.mailbox import Mailbox
+from repro.vp.message import Message, MessageType
+
+
+def msg(source=0, dest=1, payload="p", mtype=MessageType.PCN, tag=None, group=None):
+    return Message(
+        source=source, dest=dest, payload=payload, mtype=mtype, tag=tag,
+        group=group,
+    )
+
+
+class TestSelectiveReceive:
+    def test_fifo_within_matching_messages(self):
+        box = Mailbox(0)
+        box.deliver(msg(payload="first"))
+        box.deliver(msg(payload="second"))
+        assert box.recv().payload == "first"
+        assert box.recv().payload == "second"
+
+    def test_filter_by_type(self):
+        """The §3.4.1 requirement: a receive for PCN-typed messages must
+        not take a data-parallel message, whatever the arrival order."""
+        box = Mailbox(0)
+        box.deliver(msg(mtype=MessageType.DATA_PARALLEL, payload="dp"))
+        box.deliver(msg(mtype=MessageType.PCN, payload="pcn"))
+        assert box.recv(mtype=MessageType.PCN).payload == "pcn"
+        assert box.recv(mtype=MessageType.DATA_PARALLEL).payload == "dp"
+
+    def test_filter_by_tag(self):
+        box = Mailbox(0)
+        box.deliver(msg(tag="b", payload=2))
+        box.deliver(msg(tag="a", payload=1))
+        assert box.recv(tag="a").payload == 1
+        assert box.recv(tag="b").payload == 2
+
+    def test_filter_by_source(self):
+        box = Mailbox(0)
+        box.deliver(msg(source=5, payload="five"))
+        box.deliver(msg(source=3, payload="three"))
+        assert box.recv(source=3).payload == "three"
+
+    def test_filter_by_group(self):
+        """Concurrent distributed calls: group ids keep their traffic
+        apart even on a shared processor."""
+        box = Mailbox(0)
+        box.deliver(msg(group="callA", payload="a"))
+        box.deliver(msg(group="callB", payload="b"))
+        assert box.recv(group="callB").payload == "b"
+        assert box.recv(group="callA").payload == "a"
+
+    def test_match_any_tag(self):
+        box = Mailbox(0)
+        box.deliver(msg(tag=("x", 1), payload=9))
+        assert box.recv(match_any_tag=True).payload == 9
+
+    def test_mtype_none_matches_any_type(self):
+        box = Mailbox(0)
+        box.deliver(msg(mtype=MessageType.DATA_PARALLEL))
+        assert box.recv(mtype=None, match_any_group=True).payload == "p"
+
+    def test_recv_blocks_until_match_arrives(self):
+        box = Mailbox(0)
+        got = []
+
+        def receiver():
+            got.append(box.recv(tag="wanted", timeout=5).payload)
+
+        t = threading.Thread(target=receiver)
+        t.start()
+        box.deliver(msg(tag="unwanted", payload="no"))
+        box.deliver(msg(tag="wanted", payload="yes"))
+        t.join(timeout=5)
+        assert got == ["yes"]
+        assert box.pending() == 1  # the unwanted message stays buffered
+
+    def test_recv_timeout(self):
+        box = Mailbox(0)
+        with pytest.raises(TimeoutError):
+            box.recv(timeout=0.05)
+
+    def test_timeout_message_names_filter(self):
+        box = Mailbox(7)
+        with pytest.raises(TimeoutError, match="processor 7"):
+            box.recv(tag="t", timeout=0.01)
+
+
+class TestUntypedReceive:
+    def test_untyped_takes_oldest_regardless(self):
+        """The pre-fix Cosmic Environment behaviour: the receive takes
+        whatever arrived first — the interception hazard of §3.4.1."""
+        box = Mailbox(0)
+        box.deliver(msg(mtype=MessageType.DATA_PARALLEL, payload="dp-first"))
+        box.deliver(msg(mtype=MessageType.PCN, payload="pcn-second"))
+        assert box.recv_untyped().payload == "dp-first"
+
+    def test_untyped_timeout(self):
+        with pytest.raises(TimeoutError):
+            Mailbox(0).recv_untyped(timeout=0.05)
+
+
+class TestAccounting:
+    def test_counters(self):
+        box = Mailbox(0)
+        box.deliver(msg(payload=b"12345678"))
+        box.recv()
+        assert box.received_count == 1
+        assert box.received_bytes == 8
+
+    def test_drain(self):
+        box = Mailbox(0)
+        box.deliver(msg())
+        box.deliver(msg())
+        assert len(box.drain()) == 2
+        assert box.pending() == 0

@@ -1,0 +1,79 @@
+"""Property-based tests for the mailbox's selective-receive semantics."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vp.mailbox import Mailbox
+from repro.vp.message import Message, MessageType
+
+
+def deliver_all(box, descriptors):
+    for i, (mtype, tag) in enumerate(descriptors):
+        box.deliver(
+            Message(
+                source=0, dest=1, payload=i, mtype=mtype, tag=tag
+            )
+        )
+
+
+message_descriptor = st.tuples(
+    st.sampled_from([MessageType.PCN, MessageType.DATA_PARALLEL]),
+    st.sampled_from(["a", "b", None]),
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(message_descriptor, max_size=20))
+def test_property_selective_receive_is_per_filter_fifo(descriptors):
+    """For any delivery order, draining one (type, tag) filter yields that
+    filter's messages in arrival order, untouched by other traffic."""
+    box = Mailbox(owner=1)
+    deliver_all(box, descriptors)
+    for want_type in (MessageType.PCN, MessageType.DATA_PARALLEL):
+        for want_tag in ("a", "b", None):
+            expected = [
+                i
+                for i, (mtype, tag) in enumerate(descriptors)
+                if mtype is want_type and tag == want_tag
+            ]
+            got = []
+            for _ in expected:
+                got.append(
+                    box.recv(mtype=want_type, tag=want_tag, timeout=0.5)
+                    .payload
+                )
+            assert got == expected
+    assert box.pending() == 0
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(message_descriptor, min_size=1, max_size=20))
+def test_property_untyped_receive_is_global_fifo(descriptors):
+    """The untyped (pre-fix) receive drains strictly in arrival order."""
+    box = Mailbox(owner=1)
+    deliver_all(box, descriptors)
+    got = [box.recv_untyped(timeout=0.5).payload for _ in descriptors]
+    assert got == list(range(len(descriptors)))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(message_descriptor, max_size=12),
+    st.integers(0, 11),
+)
+def test_property_non_matching_messages_preserved(descriptors, take):
+    """Receiving on one filter never consumes or reorders the rest."""
+    box = Mailbox(owner=1)
+    deliver_all(box, descriptors)
+    pcn_a = [
+        i
+        for i, (mtype, tag) in enumerate(descriptors)
+        if mtype is MessageType.PCN and tag == "a"
+    ]
+    for _ in range(min(take, len(pcn_a))):
+        box.recv(mtype=MessageType.PCN, tag="a", timeout=0.5)
+    leftover = [m.payload for m in box.drain()]
+    taken = pcn_a[: min(take, len(pcn_a))]
+    assert leftover == [i for i in range(len(descriptors)) if i not in taken]

@@ -1,0 +1,88 @@
+"""The PCN server mechanism (§5.1.1)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.pcn.defvar import DefVar
+from repro.vp.machine import Machine
+from repro.vp.server import ServerRequestError
+
+
+class TestCapabilities:
+    def test_unknown_request_type_raises(self):
+        m = Machine(2)
+        with pytest.raises(ServerRequestError):
+            m.server.request("no_such_capability")
+
+    def test_load_adds_capabilities(self):
+        m = Machine(2)
+        log = []
+        m.server.load({"ping": lambda node: log.append(node.number)})
+        assert m.server.provides("ping")
+        m.server.request("ping")
+        assert log == [0]
+
+    def test_later_load_overrides(self):
+        m = Machine(1)
+        m.server.load({"cap": lambda node: "v1"})
+        results = []
+        m.server.load({"cap": lambda node: results.append("v2")})
+        m.server.request("cap")
+        assert results == ["v2"]
+
+
+class TestRouting:
+    def test_processor_annotation_routes_request(self):
+        """The @Processor_number annotation executes the request on the
+        named node (§5.1.1)."""
+        m = Machine(4)
+        seen = []
+        m.server.load({"where": lambda node: seen.append(node.number)})
+        m.server.request("where", processor=3)
+        m.server.request("where", processor=1)
+        assert seen == [3, 1]
+
+    def test_bidirectional_communication_via_defvar(self):
+        """A request parameter that is an undefined definitional variable
+        is defined by the server program — the §5.1.1 Status pattern."""
+        m = Machine(2)
+
+        def handler(node, out_var):
+            out_var.define(f"answered-on-{node.number}")
+
+        m.server.load({"ask": handler})
+        out = DefVar("answer")
+        m.server.request("ask", out, processor=1)
+        assert out.read() == "answered-on-1"
+
+    def test_asynchronous_request_completes_immediately(self):
+        """Raw server-request semantics: the statement completes at once;
+        the caller synchronises on a variable the handler defines
+        (§5.1.2's motivation for the library procedures)."""
+        m = Machine(1)
+        gate = threading.Event()
+        done = DefVar("done")
+
+        def handler(node, done_var):
+            gate.wait(timeout=5)
+            done_var.define(True)
+
+        m.server.load({"slow": handler})
+        m.server.request("slow", done, synchronous=False)
+        assert not done.data()  # returned before the handler finished
+        gate.set()
+        assert done.read() is True
+
+    def test_synchronous_request_waits(self):
+        m = Machine(1)
+        log = []
+
+        def handler(node):
+            log.append("ran")
+
+        m.server.load({"now": handler})
+        m.server.request("now", synchronous=True)
+        assert log == ["ran"]
