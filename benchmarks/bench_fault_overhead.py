@@ -1,0 +1,135 @@
+"""Fault-injection overhead and retry convergence (docs/fault_model.md).
+
+Claims reproduced:
+
+* an installed :class:`FaultyTransport` with a no-fault plan adds only
+  constant per-message bookkeeping (ordinal counters + one seeded RNG
+  construction) to ``Machine.route`` — the fault subsystem is pay-as-you-go
+  enough to leave installed in tests;
+* a supervised idempotent distributed call converges to ``Status.OK``
+  under seeded message drop, with attempt counts that are a deterministic
+  function of the plan seed (the §4.1.2 Status protocol plus re-execution
+  recovers what the transport loses).
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import report
+from repro.arrays import am_util
+from repro.calls import Index, Reduce
+from repro.faults import FaultPlan, FaultyTransport, RetryPolicy, supervised_call
+from repro.status import Status
+from repro.vp.machine import Machine
+from repro.vp.message import MessageType
+
+
+def _per_message_cost(machine: Machine, messages: int = 2000) -> float:
+    """Microseconds per routed+received message on channel 0 -> 1."""
+    box = machine.processor(1).mailbox
+    t0 = time.perf_counter()
+    for i in range(messages):
+        machine.send(0, 1, i, mtype=MessageType.DATA_PARALLEL, tag="bench")
+        box.recv(mtype=MessageType.DATA_PARALLEL, tag="bench")
+    return (time.perf_counter() - t0) / messages * 1e6
+
+
+def ring_sum(ctx, index, out):
+    right = (ctx.index + 1) % ctx.num_procs
+    left = (ctx.index - 1) % ctx.num_procs
+    total = float(ctx.index)
+    value = float(ctx.index)
+    for _ in range(ctx.num_procs - 1):
+        ctx.comm.send(right, value, tag="ring")
+        value = ctx.comm.recv(source_rank=left, tag="ring")
+        total += value
+    out[0] = total
+
+
+class TestFaultOverhead:
+    def test_noop_transport_overhead(self, benchmark):
+        """Per-message cost with the fault layer absent vs installed with a
+        plan that never fires."""
+        bare = Machine(2)
+        bare_cost = _per_message_cost(bare)
+
+        injected = Machine(2)
+        transport = FaultyTransport(injected, FaultPlan(seed=0))
+        transport.install()
+        injected_cost = _per_message_cost(injected)
+
+        factor = injected_cost / bare_cost
+        report(
+            "Fault-transport overhead, 2000-message 0->1 round trips",
+            [
+                ("configuration", "us/message"),
+                ("bare Machine.route", f"{bare_cost:.1f}"),
+                ("FaultyTransport, no-fault plan", f"{injected_cost:.1f}"),
+                ("overhead factor", f"{factor:.2f}x"),
+            ],
+        )
+        # Constant bookkeeping only: every message was delivered, none
+        # perturbed, and the slowdown stays within an order of magnitude.
+        assert transport.stats.routed == 2000
+        assert transport.stats.delivered == 2000
+        assert transport.stats.dropped == 0
+        assert factor < 25.0
+
+        def injected_roundtrip():
+            injected.send(
+                0, 1, "x", mtype=MessageType.DATA_PARALLEL, tag="bench"
+            )
+            return injected.processor(1).mailbox.recv(
+                mtype=MessageType.DATA_PARALLEL, tag="bench"
+            )
+
+        benchmark(injected_roundtrip)
+
+    def test_retry_convergence_under_drop(self, benchmark):
+        """Supervised ring-reduction under increasing seeded drop rates:
+        the call keeps returning OK; only the attempt count grows."""
+        procs = am_util.node_array(0, 1, 4)
+        policy = RetryPolicy(max_attempts=6, base_delay=0.001, seed=42)
+        rows = [("drop rate", "attempts", "messages dropped", "status")]
+
+        def converge(drop: float):
+            machine = Machine(4, default_recv_timeout=0.4)
+            am_util.load_all(machine)
+            plan = FaultPlan(
+                seed=15, drop=drop, mtypes=(MessageType.DATA_PARALLEL,)
+            )
+            with FaultyTransport(machine, plan) as ft:
+                result = supervised_call(
+                    machine,
+                    procs,
+                    ring_sum,
+                    [Index(), Reduce("double", 1, "max")],
+                    policy,
+                    timeout=5.0,
+                )
+            return result, ft.stats.dropped
+
+        outcomes = []
+        for drop in (0.0, 0.05, 0.10):
+            result, dropped = converge(drop)
+            outcomes.append((drop, result, dropped))
+            rows.append(
+                (
+                    f"{drop:.0%}",
+                    len(result.attempts),
+                    dropped,
+                    result.status.name,
+                )
+            )
+        report("Retry convergence under seeded DP message drop", rows)
+
+        for drop, result, dropped in outcomes:
+            assert result.status is Status.OK
+            assert result.reductions[0] == 6.0
+        clean = outcomes[0]
+        assert len(clean[1].attempts) == 1 and clean[2] == 0
+
+        benchmark.pedantic(
+            lambda: converge(0.10), rounds=3, warmup_rounds=0
+        )

@@ -36,9 +36,11 @@ from repro.status import (
     ReproError,
     InvalidParameterError,
     ArrayNotFoundError,
+    DeadlockError,
+    ProcessorFailedError,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "IntegratedRuntime",
@@ -47,5 +49,7 @@ __all__ = [
     "ReproError",
     "InvalidParameterError",
     "ArrayNotFoundError",
+    "DeadlockError",
+    "ProcessorFailedError",
     "__version__",
 ]

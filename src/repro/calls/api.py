@@ -39,10 +39,18 @@ from repro.vp.machine import Machine
 
 @dataclass
 class CallResult:
-    """Outcome of a distributed call."""
+    """Outcome of a distributed call.
+
+    ``attempts`` records the supervision history when the call ran under a
+    :class:`~repro.faults.retry.RetryPolicy` (None for unsupervised calls);
+    ``error`` carries the final attempt's exception when supervision was
+    exhausted by machine-level failures rather than non-OK statuses.
+    """
 
     status: Status
     reductions: list = field(default_factory=list)
+    attempts: Optional[list] = None
+    error: Optional[BaseException] = None
 
     def __iter__(self):
         yield self.status
@@ -57,6 +65,8 @@ def distributed_call(
     combine: Optional[Any] = None,
     status_out: Optional[DefVar] = None,
     timeout: Optional[float] = None,
+    retry: Optional[Any] = None,
+    idempotent: bool = False,
 ) -> CallResult:
     """Call ``program`` concurrently on every processor in ``processors``.
 
@@ -69,6 +79,14 @@ def distributed_call(
     is present; with no status parameter the call's Status is OK provided
     every wrapper completed cleanly (the wrapper reports find_local and
     program failures through the status slot regardless).
+
+    ``retry`` supervises the call with a
+    :class:`~repro.faults.retry.RetryPolicy`: non-OK statuses, timeouts,
+    and VP deaths are mapped to ``Status.ERROR`` between attempts and the
+    whole call is re-executed.  Because re-execution repeats side effects,
+    the caller must declare the call ``idempotent``.  With supervision the
+    final machine-level failure is returned as a ``Status.ERROR`` result
+    (failure-as-value, §4.1.2) rather than raised.
     """
     specs = normalize_parameters(parameters)
     procs = [int(p) for p in processors]
@@ -78,6 +96,17 @@ def distributed_call(
         raise ValueError("processor group contains duplicates")
     for p in procs:
         machine.processor(p)  # validate range
+    if retry is not None and not idempotent:
+        raise ValueError(
+            "retry supervision re-executes the program; the call must be "
+            "declared idempotent=True"
+        )
+    if timeout is None and machine.default_recv_timeout is not None:
+        # Inherit the machine's receive deadline as the call bound, with
+        # margin: the copies' blocked receives fire at the deadline and
+        # the wrapper still needs to fold their ERROR statuses — an equal
+        # join bound would race them.
+        timeout = machine.default_recv_timeout + 30.0
 
     reduces = reduce_specs(specs)
     if combine is not None and status_position(specs) is None:
@@ -87,27 +116,46 @@ def distributed_call(
             "combine program supplied but no 'status' parameter in the call"
         )
 
-    group = next_call_group()
-    wrapper = build_wrapper(machine, program, specs, procs, group)
-    combiner = make_combine_program(combine, [r.combine for r in reduces])
-    parms = bundle_parameters(specs)
+    def attempt() -> CallResult:
+        # A fresh call group per attempt: stale messages from a failed
+        # attempt can never be intercepted by the re-execution (§3.4.1).
+        group = next_call_group()
+        wrapper = build_wrapper(machine, program, specs, procs, group)
+        combiner = make_combine_program(combine, [r.combine for r in reduces])
+        parms = bundle_parameters(specs)
 
-    folded = do_all(
-        machine, procs, wrapper, parms, combiner, timeout=timeout
-    )
-    # Per-copy statuses are plain integers assigned by the called program
-    # (§4.3.1); the merged value is mapped onto the Status enum when it is
-    # one of the §4.1.2 codes and kept as an int otherwise.
-    raw_status = int(folded[0])
-    try:
-        status = Status(raw_status)
-    except ValueError:
-        status = raw_status  # type: ignore[assignment]
-    reductions = list(folded[1:])
+        folded = do_all(
+            machine, procs, wrapper, parms, combiner, timeout=timeout
+        )
+        # Per-copy statuses are plain integers assigned by the called
+        # program (§4.3.1); the merged value is mapped onto the Status enum
+        # when it is one of the §4.1.2 codes and kept as an int otherwise.
+        raw_status = int(folded[0])
+        try:
+            status = Status(raw_status)
+        except ValueError:
+            status = raw_status  # type: ignore[assignment]
+        return CallResult(status=status, reductions=list(folded[1:]))
+
+    if retry is None:
+        result = attempt()
+    else:
+        from repro.faults.retry import run_with_retry
+
+        last, history = run_with_retry(
+            attempt, retry, classify=lambda r: r.status
+        )
+        if isinstance(last, BaseException):
+            result = CallResult(
+                status=Status.ERROR, reductions=[], error=last
+            )
+        else:
+            result = last
+        result.attempts = history
 
     if status_out is not None:
-        status_out.define(status)
-    for spec, value in zip(reduces, reductions):
+        status_out.define(result.status)
+    for spec, value in zip(reduces, result.reductions):
         if spec.out is not None:
             spec.out.define(value)
-    return CallResult(status=status, reductions=reductions)
+    return result

@@ -41,6 +41,9 @@ def do_all(
     procs = [int(p) for p in processors]
     if not procs:
         raise ValueError("do_all over an empty processor group")
+    # Refuse to start on a group containing a dead VP: placement would
+    # fail partway through the spawn loop, stranding the earlier copies.
+    machine.check_alive(procs)
     statuses = [DefVar(f"do_all_status[{i}]") for i in range(len(procs))]
     processes = []
     for i, p in enumerate(procs):

@@ -39,7 +39,7 @@ from repro.calls.params import (
 )
 from repro.pcn.defvar import DefVar
 from repro.spmd.context import OutCell, SPMDContext
-from repro.status import Status
+from repro.status import ProcessorFailedError, Status
 from repro.vp.machine import Machine
 
 _call_ids = itertools.count()
@@ -127,6 +127,13 @@ def build_wrapper(
 
         try:
             program(ctx, *new_parameters)
+        except ProcessorFailedError:
+            # Machine-level failure (a VP died under this call): propagate
+            # as an exception so supervision/failover layers can react,
+            # but still define the status tuple so sibling copies folding
+            # on it never hang.
+            status_var.define(failure_tuple(Status.ERROR))
+            raise
         except Exception:  # noqa: BLE001 - a failed copy poisons the call
             status_var.define(failure_tuple(Status.ERROR))
             return

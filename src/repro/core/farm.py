@@ -11,16 +11,25 @@ groups: one PCN worker process per group pulls jobs from a shared queue and
 runs each job's distributed call(s) on its group.  With G groups the farm
 exposes G-way concurrency — the FIG-2.4 benchmark measures the ~linear
 scaling.
+
+Failure semantics: a group whose processors die mid-farm (its job raises
+:class:`~repro.status.ProcessorFailedError`) is retired and its in-flight
+job is requeued onto the surviving groups, so the farm completes every job
+with degraded concurrency — the failure-resilience-by-re-execution posture
+of Chunks and Tasks (arXiv:1210.7427).  Only when *every* group has died
+does the farm raise.
 """
 
 from __future__ import annotations
 
-import queue
+import collections
+import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
 from repro.pcn.process import ProcessGroup
+from repro.status import ProcessorFailedError
 
 Job = Callable[[Sequence[int]], Any]
 
@@ -30,6 +39,8 @@ class FarmResult:
     results: list
     wall_time: float
     jobs_per_group: list[int]
+    dead_groups: list[int] = field(default_factory=list)
+    requeued_jobs: int = 0
 
     def load_imbalance(self) -> float:
         """max/mean jobs per group (1.0 = perfectly balanced)."""
@@ -61,26 +72,57 @@ class TaskFarm:
         """Run every job; each ``job(group_processors)`` returns a result.
 
         Results are returned in job order regardless of which group ran
-        which job.
+        which job.  A job that raises ``ProcessorFailedError`` retires its
+        group and is requeued for a surviving group; any other exception
+        propagates unchanged.
         """
-        work: "queue.Queue[Optional[tuple[int, Job]]]" = queue.Queue()
-        for item in enumerate(jobs):
-            work.put(item)
-        for _ in self.groups:
-            work.put(None)  # one poison pill per worker
-
+        pending: collections.deque = collections.deque(enumerate(jobs))
+        lock = threading.Lock()
+        cond = threading.Condition(lock)
+        state = {
+            "unfinished": len(jobs),
+            "alive_workers": len(self.groups),
+            "requeued": 0,
+        }
         results: list[Any] = [None] * len(jobs)
         counts = [0] * len(self.groups)
+        dead_groups: list[int] = []
 
         def worker(group_index: int) -> None:
             group = self.groups[group_index]
             while True:
-                item = work.get()
-                if item is None:
-                    return
+                with cond:
+                    while not pending and state["unfinished"] > 0:
+                        cond.wait(timeout=0.02)
+                    if state["unfinished"] == 0 or not pending:
+                        if state["unfinished"] == 0:
+                            return
+                        continue
+                    item = pending.popleft()
                 job_index, job = item
-                results[job_index] = job(group)
-                counts[group_index] += 1
+                try:
+                    result = job(group)
+                except ProcessorFailedError:
+                    # This group's processors died: give the job back and
+                    # retire the group so survivors pick up the slack.
+                    with cond:
+                        pending.append(item)
+                        state["alive_workers"] -= 1
+                        state["requeued"] += 1
+                        dead_groups.append(group_index)
+                        last_alive = state["alive_workers"] == 0
+                        cond.notify_all()
+                    if last_alive:
+                        raise ProcessorFailedError(
+                            "every task-farm group failed with "
+                            f"{state['unfinished']} job(s) unfinished"
+                        )
+                    return
+                results[job_index] = result
+                with cond:
+                    counts[group_index] += 1
+                    state["unfinished"] -= 1
+                    cond.notify_all()
 
         pg = ProcessGroup()
         started = time.perf_counter()
@@ -89,5 +131,9 @@ class TaskFarm:
         pg.join_all(timeout=timeout)
         wall = time.perf_counter() - started
         return FarmResult(
-            results=results, wall_time=wall, jobs_per_group=counts
+            results=results,
+            wall_time=wall,
+            jobs_per_group=counts,
+            dead_groups=sorted(dead_groups),
+            requeued_jobs=state["requeued"],
         )

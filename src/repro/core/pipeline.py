@@ -27,6 +27,28 @@ from repro.pcn.process import ProcessGroup
 from repro.pcn.streams import Stream, StreamWriter, stream_pair
 
 
+@dataclass(frozen=True)
+class StagePoison:
+    """Typed poison value a crashed stage emits downstream.
+
+    When a stage body raises, the failure must not strand consumers on an
+    undefined stream cell; the stage sends this marker so every downstream
+    stage (and the output collector) *sees* the crash as a value — the
+    §4.1.2 failure-as-value discipline applied to streams.  Downstream
+    stages forward a poison untouched rather than applying ``work`` to it.
+    """
+
+    stage: str
+    error: BaseException
+    item_index: int
+
+    def __str__(self) -> str:
+        return (
+            f"<poison from stage {self.stage!r} at item {self.item_index}: "
+            f"{self.error!r}>"
+        )
+
+
 @dataclass
 class Stage:
     """One pipeline stage.
@@ -146,12 +168,24 @@ class Pipeline:
         record: StageRecord,
         upstream: Stream,
         downstream: StreamWriter,
+        on_error: str,
     ) -> None:
         index = 0
         try:
             for item in upstream:
+                if isinstance(item, StagePoison):
+                    # A crash upstream: forward the typed poison without
+                    # applying work, so the failure travels to the sink.
+                    downstream.send(item)
+                    continue
                 start = time.perf_counter()
-                result = stage.work(item)
+                try:
+                    result = stage.work(item)
+                except Exception as exc:  # noqa: BLE001
+                    downstream.send(StagePoison(stage.name, exc, index))
+                    if on_error == "raise":
+                        raise
+                    return
                 end = time.perf_counter()
                 record.intervals.append((index, start, end))
                 downstream.send(result)
@@ -160,14 +194,30 @@ class Pipeline:
             # Close downstream even when the stage body raises, so the
             # rest of the pipeline drains and terminates instead of
             # suspending on an undefined stream cell; the error itself
-            # propagates through the process join.
+            # propagates through the process join (or, under
+            # on_error="poison", only as the StagePoison value).
             downstream.close()
 
     def run(
-        self, items: Iterable[Any], timeout: Optional[float] = None
+        self,
+        items: Iterable[Any],
+        timeout: Optional[float] = None,
+        on_error: str = "raise",
     ) -> PipelineResult:
         """Feed ``items`` through the pipeline; all stages run concurrently
-        as PCN processes connected by streams."""
+        as PCN processes connected by streams.
+
+        A crashing stage always sends a :class:`StagePoison` downstream so
+        consumers terminate instead of stranding.  ``on_error`` selects how
+        the crash surfaces to the caller: ``"raise"`` re-raises the original
+        exception after the pipeline drains (poisons are filtered from
+        ``outputs``); ``"poison"`` returns normally with the poison value(s)
+        present in ``outputs`` for the caller to inspect.
+        """
+        if on_error not in ("raise", "poison"):
+            raise ValueError(
+                f"on_error must be 'raise' or 'poison', not {on_error!r}"
+            )
         records = [StageRecord(s.name) for s in self.stages]
         head, feed = stream_pair()
         upstream = head
@@ -175,7 +225,8 @@ class Pipeline:
         for stage, record in zip(self.stages, records):
             out_stream, out_writer = stream_pair()
             group.spawn(
-                self._stage_process, stage, record, upstream, out_writer
+                self._stage_process, stage, record, upstream, out_writer,
+                on_error,
             )
             upstream = out_stream
         tail = upstream
@@ -185,6 +236,8 @@ class Pipeline:
 
         def consume() -> None:
             for item in tail:
+                if isinstance(item, StagePoison) and on_error == "raise":
+                    continue
                 outputs.append(item)
 
         group.spawn(consume)

@@ -27,10 +27,33 @@ class IntegratedRuntime:
     """Machine + array manager + distributed calls, ready to use."""
 
     def __init__(
-        self, num_nodes: int, trace_arrays: bool = False
+        self,
+        num_nodes: int,
+        trace_arrays: bool = False,
+        default_recv_timeout: Optional[float] = None,
+        dead_send_policy: str = "raise",
     ) -> None:
-        self.machine = Machine(num_nodes)
+        self.machine = Machine(
+            num_nodes,
+            default_recv_timeout=default_recv_timeout,
+            dead_send_policy=dead_send_policy,
+        )
         load_all(self.machine, "am_debug" if trace_arrays else "am")
+
+    def inject_faults(self, plan) -> "Any":
+        """Install a :class:`~repro.faults.plan.FaultPlan` on the machine.
+
+        Returns the installed
+        :class:`~repro.faults.transport.FaultyTransport` (also usable as a
+        context manager via ``with rt.inject_faults(plan): ...``).
+        """
+        from repro.faults.transport import FaultyTransport
+
+        return FaultyTransport(self.machine, plan).install()
+
+    def diagnostics(self) -> dict:
+        """Machine-health snapshot (dead VPs, pending messages, blockers)."""
+        return self.machine.diagnostics()
 
     @property
     def num_nodes(self) -> int:

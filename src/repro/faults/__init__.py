@@ -1,0 +1,43 @@
+"""Fault injection, failure semantics, and supervision.
+
+The thesis' Status protocol (§4.1.2) makes partial failure a *value*; this
+package makes partial failure an *input*.  It provides:
+
+* :class:`~repro.faults.plan.FaultPlan` / :class:`~repro.faults.plan.KillSpec`
+  — a seeded, deterministic description of message faults (drop, delay,
+  duplicate, reorder) and scheduled VP deaths;
+* :class:`~repro.faults.transport.FaultyTransport` — installs a plan on a
+  machine's transport hook, composable with every existing workload;
+* :class:`~repro.faults.retry.RetryPolicy` — bounded re-execution with
+  deterministic backoff for idempotent distributed calls (the
+  Chunks-and-Tasks resilience posture, arXiv:1210.7427);
+* :class:`~repro.faults.watchdog.Watchdog` — wait-graph construction over
+  suspended DefVar reads and empty-mailbox receives, raising
+  :class:`~repro.status.DeadlockError` on collective suspension.
+
+See ``docs/fault_model.md`` for the taxonomy and a cookbook.
+"""
+
+from repro.faults.plan import FaultDecision, FaultPlan, KillSpec
+from repro.faults.retry import (
+    AttemptRecord,
+    RetryPolicy,
+    run_with_retry,
+    supervised_call,
+)
+from repro.faults.transport import FaultStats, FaultyTransport
+from repro.faults.watchdog import WaitEdge, Watchdog
+
+__all__ = [
+    "AttemptRecord",
+    "FaultDecision",
+    "FaultPlan",
+    "FaultStats",
+    "FaultyTransport",
+    "KillSpec",
+    "RetryPolicy",
+    "WaitEdge",
+    "Watchdog",
+    "run_with_retry",
+    "supervised_call",
+]

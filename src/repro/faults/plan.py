@@ -1,0 +1,109 @@
+"""Deterministic fault plans (§3.4.1 interference, made injectable).
+
+A :class:`FaultPlan` describes *which* message-level faults a run should
+experience: drop / duplicate / delay / reorder probabilities, an optional
+message-type filter (e.g. perturb only ``DATA_PARALLEL`` traffic, leaving
+the task-parallel control plane intact — the §3.4.1 separation in reverse),
+and :class:`KillSpec` entries that kill a named virtual processor after its
+Nth send or receive.
+
+Determinism: the decision for a message is a pure function of the plan
+seed, the (source, dest) channel, and the message's ordinal *on that
+channel*.  Per-channel ordinals are stable regardless of how the OS
+interleaves different senders, so two runs with the same seed perturb the
+same logical messages — the property the retry-convergence acceptance test
+relies on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.vp.message import Message, MessageType
+
+
+@dataclass(frozen=True)
+class KillSpec:
+    """Kill ``processor`` after its ``after``-th observed event (1-based).
+
+    ``on`` selects the event counted: ``"send"`` (messages routed from the
+    processor) or ``"recv"`` (messages delivered to it).
+    """
+
+    processor: int
+    after: int
+    on: str = "send"
+
+    def __post_init__(self) -> None:
+        if self.on not in ("send", "recv"):
+            raise ValueError(f"KillSpec.on must be 'send' or 'recv', not {self.on!r}")
+        if self.after < 1:
+            raise ValueError("KillSpec.after is 1-based and must be >= 1")
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """The faults one message suffers (mutually composable)."""
+
+    drop: bool = False
+    duplicate: bool = False
+    delay: bool = False
+    reorder: bool = False
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded description of message-level faults to inject.
+
+    All probabilities are independent per message; ``mtypes`` restricts
+    faults to the listed message types (None = all traffic is eligible).
+    """
+
+    seed: int = 0
+    drop: float = 0.0
+    duplicate: float = 0.0
+    delay: float = 0.0
+    delay_seconds: float = 0.002
+    reorder: float = 0.0
+    mtypes: Optional[Tuple[MessageType, ...]] = None
+    kills: Tuple[KillSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "duplicate", "delay", "reorder"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} probability {p} outside [0, 1]")
+        # Allow lists/sets at the call site; store as tuples so the plan
+        # stays hashable and immutable.
+        if self.mtypes is not None and not isinstance(self.mtypes, tuple):
+            object.__setattr__(self, "mtypes", tuple(self.mtypes))
+        if not isinstance(self.kills, tuple):
+            object.__setattr__(self, "kills", tuple(self.kills))
+
+    def applies_to(self, message: Message) -> bool:
+        """Is this message's type eligible for fault injection?"""
+        return self.mtypes is None or message.mtype in self.mtypes
+
+    def decide(self, message: Message, channel_ordinal: int) -> FaultDecision:
+        """Deterministic fault decision for one message.
+
+        ``channel_ordinal`` is the message's 0-based position among all
+        messages routed on its (source, dest) channel so far.
+        """
+        if not self.applies_to(message):
+            return FaultDecision()
+        rng = random.Random(
+            f"{self.seed}:{message.source}:{message.dest}:{channel_ordinal}"
+        )
+        # Draw in a fixed order so each fault class sees a stable stream.
+        return FaultDecision(
+            drop=rng.random() < self.drop,
+            duplicate=rng.random() < self.duplicate,
+            delay=rng.random() < self.delay,
+            reorder=rng.random() < self.reorder,
+        )
+
+    def kills_for(self, processor: int) -> Sequence[KillSpec]:
+        return [k for k in self.kills if k.processor == processor]

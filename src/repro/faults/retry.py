@@ -1,0 +1,122 @@
+"""Supervised retry of distributed calls (failure-resilience-by-re-execution).
+
+The Chunks-and-Tasks line of work (arXiv:1210.7427) recovers from node
+failure by re-executing idempotent work; the thesis' Status protocol
+(§4.1.2) already turns partial failure into a value.  :class:`RetryPolicy`
+combines the two: a distributed call declared *idempotent* may be
+re-executed until it yields ``Status.OK``, with exponential backoff and
+deterministic jitter between attempts.
+
+VP death (:class:`~repro.status.ProcessorFailedError`), timeouts, and
+non-OK statuses are all mapped to ``Status.ERROR`` between attempts; only
+the final attempt's failure escapes to the caller.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence
+
+from repro.status import ProcessorFailedError, Status
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded re-execution with exponential backoff + deterministic jitter.
+
+    ``delay(attempt)`` for attempt 0, 1, 2, ... is
+    ``base_delay * multiplier**attempt * (1 + jitter * u)`` where ``u`` is
+    a uniform [0, 1) draw seeded by ``(seed, attempt)`` — the same policy
+    object produces the same backoff schedule on every run.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.01
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.jitter < 0 or self.multiplier <= 0:
+            raise ValueError("backoff parameters must be non-negative")
+
+    def delay(self, attempt: int) -> float:
+        u = random.Random(f"{self.seed}:{attempt}").random()
+        return self.base_delay * (self.multiplier ** attempt) * (
+            1.0 + self.jitter * u
+        )
+
+
+@dataclass
+class AttemptRecord:
+    """What one attempt of a supervised call produced."""
+
+    attempt: int
+    status: Any
+    error: Optional[str] = None
+
+
+def run_with_retry(
+    attempt_fn: Callable[[], Any],
+    policy: RetryPolicy,
+    classify: Callable[[Any], Any],
+    sleep: Callable[[float], None] = time.sleep,
+) -> tuple[Any, list[AttemptRecord]]:
+    """Drive ``attempt_fn`` under ``policy``.
+
+    ``classify(result)`` returns the attempt's Status; a retryable
+    exception (``ProcessorFailedError``/``TimeoutError``) counts as
+    ``Status.ERROR``.  Returns ``(last_result_or_exception, history)``;
+    the caller decides how to surface the final failure.
+    """
+    history: list[AttemptRecord] = []
+    last: Any = None
+    for attempt in range(policy.max_attempts):
+        try:
+            result = attempt_fn()
+        except (ProcessorFailedError, TimeoutError) as exc:
+            history.append(
+                AttemptRecord(attempt, Status.ERROR, error=str(exc))
+            )
+            last = exc
+        else:
+            status = classify(result)
+            history.append(AttemptRecord(attempt, status))
+            last = result
+            if status is Status.OK or status == int(Status.OK):
+                return result, history
+        if attempt + 1 < policy.max_attempts:
+            sleep(policy.delay(attempt))
+    return last, history
+
+
+def supervised_call(
+    machine,
+    processors: Sequence[int],
+    program: Callable[..., Any],
+    parameters: Sequence[Any],
+    policy: RetryPolicy,
+    combine: Optional[Any] = None,
+    timeout: Optional[float] = None,
+):
+    """An idempotent :func:`~repro.calls.api.distributed_call` under retry.
+
+    Convenience wrapper equivalent to
+    ``distributed_call(..., retry=policy, idempotent=True)``.
+    """
+    from repro.calls.api import distributed_call
+
+    return distributed_call(
+        machine,
+        processors,
+        program,
+        parameters,
+        combine=combine,
+        timeout=timeout,
+        retry=policy,
+        idempotent=True,
+    )

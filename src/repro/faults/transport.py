@@ -1,0 +1,208 @@
+"""Fault-injecting transport wrapper around :meth:`Machine.route`.
+
+:class:`FaultyTransport` interposes on the machine's pluggable transport
+hook: every routed message passes through :meth:`__call__`, which consults
+the :class:`~repro.faults.plan.FaultPlan` and then drops, duplicates,
+delays, or reorders the message — or delivers it untouched.  Kill specs
+fire here too: after a processor's Nth observed send (routed from it) or
+receive (delivered to it), the transport calls :meth:`Machine.fail` on it.
+
+The wrapper is composable with every existing benchmark and test: install
+it (or use the context-manager form) and run unchanged workloads.
+
+Implementation notes:
+
+* *reorder* holds a message back and releases it after the next routed
+  message; a short fallback timer flushes a held message when traffic
+  stops, so no message is ever lost to reordering.
+* *delay* re-delivers on a timer thread; :meth:`flush` forces all pending
+  delayed/held messages through (uninstall does this automatically).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.faults.plan import FaultPlan
+from repro.vp.machine import Machine
+from repro.vp.message import Message
+
+_REORDER_FLUSH_SECONDS = 0.05
+
+
+@dataclass
+class FaultStats:
+    """Counts of injected faults (exact, lock-protected)."""
+
+    routed: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    duplicated: int = 0
+    delayed: int = 0
+    reordered: int = 0
+    killed: list = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "routed": self.routed,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "duplicated": self.duplicated,
+            "delayed": self.delayed,
+            "reordered": self.reordered,
+            "killed": list(self.killed),
+        }
+
+
+class FaultyTransport:
+    """Wraps a machine's transport with plan-driven fault injection."""
+
+    def __init__(self, machine: Machine, plan: FaultPlan) -> None:
+        self.machine = machine
+        self.plan = plan
+        self.stats = FaultStats()
+        self._lock = threading.Lock()
+        self._channel_ordinals: dict[tuple[int, int], int] = {}
+        self._send_counts: dict[int, int] = {}
+        self._recv_counts: dict[int, int] = {}
+        self._fired_kills: set = set()
+        self._held: Optional[Message] = None
+        self._held_timer: Optional[threading.Timer] = None
+        self._pending_delays: dict[int, tuple[Message, threading.Timer]] = {}
+        self._delay_ids = itertools.count()
+        self._previous = None
+        self._installed = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def install(self) -> "FaultyTransport":
+        if not self._installed:
+            self._previous = self.machine.install_transport(self)
+            self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        if self._installed:
+            self.machine.install_transport(self._previous)
+            self._installed = False
+        self.flush()
+
+    def __enter__(self) -> "FaultyTransport":
+        return self.install()
+
+    def __exit__(self, *exc_info) -> None:
+        self.uninstall()
+
+    # -- transport hook ------------------------------------------------------
+
+    def __call__(self, message: Message) -> None:
+        plan = self.plan
+        with self._lock:
+            self.stats.routed += 1
+            channel = (message.source, message.dest)
+            ordinal = self._channel_ordinals.get(channel, 0)
+            self._channel_ordinals[channel] = ordinal + 1
+            decision = plan.decide(message, ordinal)
+            held, self._held = self._held, None
+            if self._held_timer is not None:
+                self._held_timer.cancel()
+                self._held_timer = None
+
+        kills: list[int] = []
+        deliver_now: list[Message] = []
+
+        if decision.drop:
+            with self._lock:
+                self.stats.dropped += 1
+        elif decision.delay:
+            with self._lock:
+                self.stats.delayed += 1
+            self._schedule_delay(message)
+        elif decision.reorder:
+            # Hold this message; it will follow the next routed message
+            # (or the flush timer, whichever comes first).
+            with self._lock:
+                self.stats.reordered += 1
+                self._held = message
+                self._held_timer = threading.Timer(
+                    _REORDER_FLUSH_SECONDS, self._flush_held
+                )
+                self._held_timer.daemon = True
+                self._held_timer.start()
+        else:
+            deliver_now.append(message)
+            if decision.duplicate:
+                with self._lock:
+                    self.stats.duplicated += 1
+                deliver_now.append(message)
+
+        if held is not None:
+            deliver_now.append(held)
+
+        for msg in deliver_now:
+            self._deliver(msg)
+
+        # Kill bookkeeping happens after delivery: "dies after its Nth
+        # send/receive" means the Nth event completes, then the VP is dead.
+        with self._lock:
+            sends = self._send_counts.get(message.source, 0) + 1
+            self._send_counts[message.source] = sends
+            recvs = self._recv_counts.get(message.dest, 0) + 1
+            self._recv_counts[message.dest] = recvs
+            for spec in plan.kills:
+                if spec in self._fired_kills:
+                    continue
+                if spec.on == "send" and spec.processor == message.source:
+                    if sends >= spec.after:
+                        self._fired_kills.add(spec)
+                        kills.append(spec.processor)
+                elif spec.on == "recv" and spec.processor == message.dest:
+                    if recvs >= spec.after:
+                        self._fired_kills.add(spec)
+                        kills.append(spec.processor)
+        for proc in kills:
+            with self._lock:
+                self.stats.killed.append(proc)
+            self.machine.fail(proc)
+
+    # -- delivery helpers ----------------------------------------------------
+
+    def _deliver(self, message: Message) -> None:
+        with self._lock:
+            self.stats.delivered += 1
+        self.machine.deliver(message)
+
+    def _schedule_delay(self, message: Message) -> None:
+        delay_id = next(self._delay_ids)
+
+        def fire() -> None:
+            with self._lock:
+                entry = self._pending_delays.pop(delay_id, None)
+            if entry is not None:
+                self._deliver(entry[0])
+
+        timer = threading.Timer(self.plan.delay_seconds, fire)
+        timer.daemon = True
+        with self._lock:
+            self._pending_delays[delay_id] = (message, timer)
+        timer.start()
+
+    def _flush_held(self) -> None:
+        with self._lock:
+            held, self._held = self._held, None
+            self._held_timer = None
+        if held is not None:
+            self._deliver(held)
+
+    def flush(self) -> None:
+        """Force every held/delayed message through immediately."""
+        with self._lock:
+            pending = list(self._pending_delays.values())
+            self._pending_delays.clear()
+        for message, timer in pending:
+            timer.cancel()
+            self._deliver(message)
+        self._flush_held()

@@ -1,0 +1,138 @@
+"""Deadlock detection over suspended processes (§3.1.1.2 semantics).
+
+A PCN program deadlocks when every live process is suspended — blocked
+reading an undefined definitional variable or in an empty-mailbox selective
+receive — and no one remains to define/send what they wait for.  The seed
+code *defined* :class:`~repro.status.DeadlockError` but nothing ever raised
+it; blocked programs simply died on the 30-second recv deadline.
+
+:class:`Watchdog` closes that gap.  It joins a set of processes while
+sampling two registries:
+
+* :func:`repro.pcn.defvar.blocked_reads` — threads suspended in
+  ``DefVar.read``;
+* each mailbox's ``blocked_receivers()`` — threads suspended in selective
+  or untyped receive.
+
+When *every* live watched process stays suspended for a full ``grace``
+window, the watchdog builds the wait-graph (one :class:`WaitEdge` per
+suspended process, naming the resource it waits on) and raises
+``DeadlockError`` with the graph attached — well before any recv deadline.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.pcn import defvar as _defvar
+from repro.pcn.process import Process
+from repro.status import DeadlockError
+from repro.vp.machine import Machine
+
+
+@dataclass(frozen=True)
+class WaitEdge:
+    """One edge of the wait-graph: ``waiter`` is suspended on ``resource``."""
+
+    waiter: str
+    resource: str
+
+    def __str__(self) -> str:
+        return f"{self.waiter} -> {self.resource}"
+
+
+class Watchdog:
+    """Joins processes, converting collective suspension into DeadlockError."""
+
+    def __init__(
+        self,
+        machine: Optional[Machine] = None,
+        poll: float = 0.02,
+        grace: float = 0.2,
+    ) -> None:
+        if poll <= 0 or grace <= 0:
+            raise ValueError("poll and grace must be positive")
+        self.machine = machine
+        self.poll = poll
+        self.grace = grace
+
+    # -- sampling ------------------------------------------------------------
+
+    def _blocked_map(self) -> dict[int, str]:
+        """thread ident -> description of the resource it is suspended on."""
+        blocked = {
+            ident: f"defvar:{name}"
+            for ident, name in _defvar.blocked_reads().items()
+        }
+        if self.machine is not None:
+            for node in self.machine.processors():
+                for ident, describe in node.mailbox.blocked_receivers().items():
+                    blocked[ident] = f"mailbox:vp{node.number} {describe}"
+        return blocked
+
+    def wait_graph(self, processes: Sequence[Process]) -> list[WaitEdge]:
+        """The current wait-graph restricted to ``processes``."""
+        blocked = self._blocked_map()
+        edges = []
+        for proc in processes:
+            if proc.is_alive() and proc.ident in blocked:
+                edges.append(WaitEdge(proc.name, blocked[proc.ident]))
+        return edges
+
+    # -- joining -------------------------------------------------------------
+
+    def join(
+        self, processes: Sequence[Process], timeout: Optional[float] = None
+    ) -> list:
+        """Join every process, watching for collective suspension.
+
+        Returns the processes' results (re-raising the first captured
+        error, like ``ProcessGroup.join_all``).  Raises ``DeadlockError``
+        with the wait-graph attached if every live process stays suspended
+        for a full grace window.
+        """
+        procs = list(processes)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        suspended_since: Optional[float] = None
+        while True:
+            alive = [p for p in procs if p.is_alive()]
+            if not alive:
+                break
+            blocked = self._blocked_map()
+            if all(p.ident in blocked for p in alive):
+                now = time.monotonic()
+                if suspended_since is None:
+                    suspended_since = now
+                elif now - suspended_since >= self.grace:
+                    edges = [
+                        WaitEdge(p.name, blocked[p.ident]) for p in alive
+                    ]
+                    graph = "; ".join(str(e) for e in edges)
+                    raise DeadlockError(
+                        f"all {len(alive)} live process(es) suspended for "
+                        f">= {self.grace}s: {graph}",
+                        wait_graph=edges,
+                    )
+            else:
+                suspended_since = None
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"watchdog join timed out with {len(alive)} process(es) "
+                    "still running"
+                )
+            time.sleep(self.poll)
+
+        results = []
+        first_error: Optional[BaseException] = None
+        for proc in procs:
+            try:
+                results.append(proc.join(timeout=0))
+            except BaseException as exc:  # noqa: BLE001
+                if first_error is None:
+                    first_error = exc
+                results.append(None)
+        if first_error is not None:
+            raise first_error
+        return results

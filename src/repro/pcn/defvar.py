@@ -22,6 +22,19 @@ _UNDEFINED = object()
 # hang into a diagnosable failure, which matters for a test suite.
 DEFAULT_TIMEOUT: float = 30.0
 
+# Registry of threads currently suspended inside DefVar.read, keyed by
+# thread ident.  The deadlock watchdog (repro.faults.watchdog) reads this
+# to build the wait-graph; registration is scoped strictly to the blocking
+# wait so entries never outlive the suspension.
+_blocked_lock = threading.Lock()
+_blocked_reads: dict[int, str] = {}
+
+
+def blocked_reads() -> dict[int, str]:
+    """Snapshot: thread ident -> name of the DefVar it is suspended on."""
+    with _blocked_lock:
+        return dict(_blocked_reads)
+
 
 class DefVar:
     """A single-assignment variable.
@@ -64,9 +77,17 @@ class DefVar:
         limit = DEFAULT_TIMEOUT if timeout is None else timeout
         with self._cond:
             if self._value is _UNDEFINED:
-                ok = self._cond.wait_for(
-                    lambda: self._value is not _UNDEFINED, timeout=limit
-                )
+                ident = threading.get_ident()
+                label = self.name or f"0x{id(self):x}"
+                with _blocked_lock:
+                    _blocked_reads[ident] = label
+                try:
+                    ok = self._cond.wait_for(
+                        lambda: self._value is not _UNDEFINED, timeout=limit
+                    )
+                finally:
+                    with _blocked_lock:
+                        _blocked_reads.pop(ident, None)
                 if not ok:
                     raise TimeoutError(
                         f"read of undefined variable {self.name or id(self)} "

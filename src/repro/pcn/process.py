@@ -67,6 +67,11 @@ class Process:
         return self._thread.is_alive()
 
     @property
+    def ident(self) -> Optional[int]:
+        """The underlying thread's ident (None before :meth:`start`)."""
+        return self._thread.ident
+
+    @property
     def result(self) -> Any:
         return self._result
 

@@ -9,6 +9,7 @@ the exceptions defined here.
 from __future__ import annotations
 
 import enum
+from typing import Optional
 
 
 class Status(enum.IntEnum):
@@ -64,9 +65,33 @@ class SharedVariableConflictError(ReproError):
 
 
 class DeadlockError(ReproError):
-    """The runtime detected that every live process is suspended."""
+    """The runtime detected that every live process is suspended.
+
+    Raised by the fault subsystem's watchdog with the observed wait-graph
+    attached (a list of :class:`repro.faults.watchdog.WaitEdge`), so the
+    circular dependency can be reported rather than merely suspected.
+    """
 
     status = Status.ERROR
+
+    def __init__(self, message: str = "", wait_graph: Optional[list] = None):
+        super().__init__(message)
+        self.wait_graph: list = wait_graph or []
+
+
+class ProcessorFailedError(ReproError):
+    """A virtual processor died (§4.1.2 failure-as-value discipline).
+
+    Raised immediately by any receive blocked on a dead processor's
+    mailbox, by sends addressed to a dead processor (under the ``"raise"``
+    policy), and by attempts to place processes on a dead processor.
+    """
+
+    status = Status.ERROR
+
+    def __init__(self, message: str = "", processor: Optional[int] = None):
+        super().__init__(message)
+        self.processor = processor
 
 
 _EXCEPTION_FOR_STATUS = {
@@ -81,14 +106,22 @@ def check_status(status: int, context: str = "") -> None:
 
     User programs may report arbitrary integer statuses (§4.3.1); any
     nonzero value outside the §4.1.2 codes raises :class:`SystemError_`.
+    The raised exception's ``status`` attribute preserves the original
+    value (the enum member for §4.1.2 codes, the raw integer otherwise),
+    and the raw value always appears in the message.
     """
+    raw = int(status)
     try:
-        st = Status(int(status))
+        st: Optional[Status] = Status(raw)
     except ValueError:
-        raise SystemError_(
-            context or f"operation failed with status {status!r}"
-        ) from None
+        st = None
     if st is Status.OK:
         return
-    exc = _EXCEPTION_FOR_STATUS.get(st, SystemError_)
-    raise exc(context or f"operation failed with status {st.name}")
+    cls = _EXCEPTION_FOR_STATUS.get(st, SystemError_)
+    label = st.name if st is not None else repr(raw)
+    exc = cls(
+        (context or f"operation failed with status {label}")
+        + f" (status={raw})"
+    )
+    exc.status = st if st is not None else raw
+    raise exc

@@ -4,6 +4,19 @@
 their mailboxes, and hosts the server registry (§5.1.1).  It substitutes for
 the Symult s2010 / Cosmic Environment of the thesis' testbed; see DESIGN.md
 for the substitution argument.
+
+Failure semantics (§4.1.2 discipline): a processor can be marked dead with
+:meth:`Machine.fail`.  Its mailbox is poisoned so blocked receivers raise
+:class:`~repro.status.ProcessorFailedError` immediately, sends *from* it
+raise (a dead node cannot transmit), and sends *to* it follow the machine's
+``dead_send_policy`` — ``"raise"`` surfaces the failure at the sender,
+``"drop"`` silently discards, modelling a network that keeps accepting
+packets for a crashed node.
+
+The transport is pluggable: :meth:`install_transport` interposes a delivery
+function between routing and the destination mailbox, which is how the
+fault-injection subsystem (:mod:`repro.faults`) drops, delays, duplicates,
+or reorders messages without touching any user code.
 """
 
 from __future__ import annotations
@@ -11,22 +24,40 @@ from __future__ import annotations
 import threading
 from typing import Any, Callable, Hashable, Optional
 
+from repro.status import ProcessorFailedError
 from repro.vp.message import Message, MessageType
 from repro.vp.processor import VirtualProcessor
 from repro.vp.server import ServerRegistry
+
+Transport = Callable[[Message], None]
 
 
 class Machine:
     """A multicomputer of ``num_nodes`` virtual processors."""
 
-    def __init__(self, num_nodes: int) -> None:
+    def __init__(
+        self,
+        num_nodes: int,
+        default_recv_timeout: Optional[float] = None,
+        dead_send_policy: str = "raise",
+    ) -> None:
         if num_nodes < 1:
             raise ValueError("a machine needs at least one processor")
+        if dead_send_policy not in ("raise", "drop"):
+            raise ValueError(
+                f"dead_send_policy must be 'raise' or 'drop', "
+                f"not {dead_send_policy!r}"
+            )
+        self.default_recv_timeout = default_recv_timeout
+        self.dead_send_policy = dead_send_policy
         self._processors = [VirtualProcessor(i, self) for i in range(num_nodes)]
         self.server = ServerRegistry(self)
         self._lock = threading.Lock()
+        self._failed: set[int] = set()
+        self._transport: Transport = self._deliver
         self.routed_count = 0
         self.routed_bytes = 0
+        self.dropped_to_dead = 0
 
     # -- topology ------------------------------------------------------------
 
@@ -46,15 +77,114 @@ class Machine:
     def processors(self) -> list[VirtualProcessor]:
         return list(self._processors)
 
+    # -- failure semantics ----------------------------------------------------
+
+    def fail(self, number: int) -> None:
+        """Mark processor ``number`` dead.
+
+        Poisons its mailbox so every blocked receiver raises
+        :class:`ProcessorFailedError` immediately (no hang until the recv
+        deadline); later sends/receives/placements involving the node fail
+        per the machine's policy.  Idempotent.
+        """
+        node = self.processor(number)
+        with self._lock:
+            self._failed.add(number)
+        node.mailbox.poison(
+            ProcessorFailedError(
+                f"processor {number} failed", processor=number
+            )
+        )
+        # Fail-fast for peers: wake any receiver elsewhere that is
+        # suspended waiting specifically on the dead node.
+        for other in self._processors:
+            if other.number != number:
+                other.mailbox.mark_source_dead(number)
+
+    def revive(self, number: int) -> None:
+        """Bring a failed processor back (fresh mailbox state is *not*
+        restored — buffered messages survive; only the dead flag clears)."""
+        node = self.processor(number)
+        with self._lock:
+            self._failed.discard(number)
+        node.mailbox.unpoison()
+        for other in self._processors:
+            if other.number != number:
+                other.mailbox.mark_source_alive(number)
+
+    def is_failed(self, number: int) -> bool:
+        with self._lock:
+            return number in self._failed
+
+    def failed_processors(self) -> list[int]:
+        with self._lock:
+            return sorted(self._failed)
+
+    def check_alive(self, processors) -> None:
+        """Raise :class:`ProcessorFailedError` if any listed VP is dead."""
+        with self._lock:
+            dead = [int(p) for p in processors if int(p) in self._failed]
+        if dead:
+            raise ProcessorFailedError(
+                f"processor(s) {dead} failed", processor=dead[0]
+            )
+
     # -- transport -----------------------------------------------------------
+
+    def install_transport(self, transport: Transport) -> Transport:
+        """Interpose ``transport`` between routing and delivery.
+
+        Returns the previous transport so it can be restored; the
+        transport receives each routed message and is responsible for
+        calling :meth:`deliver` (or not) on it.
+        """
+        with self._lock:
+            previous = self._transport
+            self._transport = transport
+        return previous
+
+    def uninstall_transport(self) -> None:
+        """Restore the direct (perfect) transport."""
+        with self._lock:
+            self._transport = self._deliver
+
+    def deliver(self, message: Message) -> None:
+        """Final delivery into the destination mailbox.
+
+        Messages addressed to a dead processor vanish here regardless of
+        policy — the destination can never consume them.
+        """
+        self._deliver(message)
+
+    def _deliver(self, message: Message) -> None:
+        if self.is_failed(message.dest):
+            with self._lock:
+                self.dropped_to_dead += 1
+            return
+        self.processor(message.dest).mailbox.deliver(message)
 
     def route(self, message: Message) -> None:
         """Deliver ``message`` to the destination processor's mailbox."""
-        dest = self.processor(message.dest)
+        self.processor(message.dest)  # validate range
+        if self.is_failed(message.source):
+            raise ProcessorFailedError(
+                f"send from failed processor {message.source}",
+                processor=message.source,
+            )
+        if self.is_failed(message.dest):
+            if self.dead_send_policy == "raise":
+                raise ProcessorFailedError(
+                    f"send to failed processor {message.dest}",
+                    processor=message.dest,
+                )
+            with self._lock:
+                self.dropped_to_dead += 1
+            return
         with self._lock:
             self.routed_count += 1
             self.routed_bytes += message.nbytes()
-        dest.mailbox.deliver(message)
+            transport = self._transport
+        transport(message)
 
     def send(
         self,
@@ -96,6 +226,45 @@ class Machine:
             node.sent_bytes = 0
             node.mailbox.received_count = 0
             node.mailbox.received_bytes = 0
+
+    # -- diagnostics -----------------------------------------------------------
+
+    def diagnostics(self) -> dict[str, Any]:
+        """A snapshot of machine health for operators and tests.
+
+        Reports dead processors, per-node pending (undelivered-to-user)
+        message counts, currently-blocked receivers, and live process
+        counts — the §4.1.2 goal of making partial failure observable.
+        """
+        pending = {}
+        blocked = []
+        live = {}
+        for node in self._processors:
+            count = node.mailbox.pending()
+            if count:
+                pending[node.number] = count
+            for ident, describe in node.mailbox.blocked_receivers().items():
+                blocked.append(
+                    {
+                        "processor": node.number,
+                        "thread": ident,
+                        "waiting_for": describe,
+                    }
+                )
+            alive = node.live_process_count()
+            if alive:
+                live[node.number] = alive
+        with self._lock:
+            return {
+                "num_nodes": self.num_nodes,
+                "failed": sorted(self._failed),
+                "pending_messages": pending,
+                "blocked_receivers": blocked,
+                "live_processes": live,
+                "routed_messages": self.routed_count,
+                "routed_bytes": self.routed_bytes,
+                "dropped_to_dead": self.dropped_to_dead,
+            }
 
     # -- program placement -----------------------------------------------------
 

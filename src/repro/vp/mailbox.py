@@ -7,25 +7,59 @@ thesis requires to keep task-parallel and data-parallel traffic disjoint.
 
 ``recv_untyped`` takes the oldest message regardless of filters, modelling
 the original Cosmic Environment behaviour whose conflicts §3.4.1 analyses.
+
+A mailbox can be *poisoned* (its owner processor died): every blocked
+receiver wakes immediately and raises the poison exception instead of
+waiting out its deadline — the §4.1.2 discipline of surfacing partial
+failure as a value/error rather than a hang.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 from typing import Hashable, Optional
 
 from repro.vp.message import Message, MessageType
 
+# Fallback receive deadline; overridable machine-wide via
+# ``Machine(default_recv_timeout=...)`` or the REPRO_RECV_TIMEOUT env var.
 _RECV_TIMEOUT = 30.0
+
+
+def default_recv_timeout() -> float:
+    """The process-wide default receive deadline.
+
+    ``REPRO_RECV_TIMEOUT`` overrides the built-in 30 s; a malformed value
+    is ignored rather than crashing the transport.
+    """
+    raw = os.environ.get("REPRO_RECV_TIMEOUT")
+    if raw:
+        try:
+            value = float(raw)
+            if value > 0:
+                return value
+        except ValueError:
+            pass
+    return _RECV_TIMEOUT
 
 
 class Mailbox:
     """An in-order buffer of messages with selective receive."""
 
-    def __init__(self, owner: int) -> None:
+    def __init__(
+        self, owner: int, default_timeout: Optional[float] = None
+    ) -> None:
         self.owner = owner
+        self.default_timeout = default_timeout
         self._buffer: list[Message] = []
         self._cond = threading.Condition()
+        self._poison: Optional[BaseException] = None
+        self._dead_sources: set[int] = set()
+        # Currently-blocked receivers: thread ident -> human-readable filter
+        # description.  Read by Machine.diagnostics() and the deadlock
+        # watchdog's wait-graph builder.
+        self._waiting: dict[int, str] = {}
         # Traffic accounting for the simulated-cost model (DESIGN.md
         # "Fidelity notes"): counts are exact and GIL-independent.
         self.received_count = 0
@@ -36,6 +70,95 @@ class Mailbox:
         with self._cond:
             self._buffer.append(message)
             self._cond.notify_all()
+
+    # -- failure semantics ---------------------------------------------------
+
+    def poison(self, exc: BaseException) -> None:
+        """Mark the mailbox dead: blocked and future receives raise ``exc``."""
+        with self._cond:
+            self._poison = exc
+            self._cond.notify_all()
+
+    def unpoison(self) -> None:
+        """Clear a previous poisoning (processor revived)."""
+        with self._cond:
+            self._poison = None
+
+    @property
+    def poisoned(self) -> bool:
+        with self._cond:
+            return self._poison is not None
+
+    def mark_source_dead(self, source: int) -> None:
+        """A peer died: wake receivers waiting *specifically* on it.
+
+        Already-buffered messages from the dead peer stay receivable (they
+        arrived before the death); only a receive that would otherwise
+        suspend on the dead source raises.
+        """
+        with self._cond:
+            self._dead_sources.add(source)
+            self._cond.notify_all()
+
+    def mark_source_alive(self, source: int) -> None:
+        with self._cond:
+            self._dead_sources.discard(source)
+
+    def _limit(self, timeout: Optional[float]) -> float:
+        if timeout is not None:
+            return timeout
+        if self.default_timeout is not None:
+            return self.default_timeout
+        return default_recv_timeout()
+
+    def _wait_for_match(
+        self,
+        find,
+        limit: float,
+        describe: str,
+        source: Optional[int] = None,
+    ) -> None:
+        """Block until ``find()`` matches, or raise on poison / dead
+        source / timeout; the condition lock must be held."""
+        from repro.status import ProcessorFailedError
+
+        def source_dead() -> bool:
+            return source is not None and source in self._dead_sources
+
+        if self._poison is not None:
+            raise self._poison
+        if find() is None:
+            ident = threading.get_ident()
+            self._waiting[ident] = describe
+            try:
+                ok = self._cond.wait_for(
+                    lambda: self._poison is not None
+                    or source_dead()
+                    or find() is not None,
+                    timeout=limit,
+                )
+            finally:
+                self._waiting.pop(ident, None)
+            if self._poison is not None:
+                raise self._poison
+            if find() is None:
+                if source_dead():
+                    raise ProcessorFailedError(
+                        f"processor {self.owner}: {describe} can never be "
+                        f"satisfied — source processor {source} failed",
+                        processor=source,
+                    )
+                raise TimeoutError(
+                    f"processor {self.owner}: {describe} timed out after "
+                    f"{limit}s"
+                )
+
+    def blocked_receivers(self) -> dict[int, str]:
+        """Snapshot of currently-blocked receives (ident -> description)."""
+        with self._cond:
+            return dict(self._waiting)
+
+    # -- receive -------------------------------------------------------------
 
     def recv(
         self,
@@ -51,7 +174,7 @@ class Mailbox:
 
         Suspends until a match arrives.  ``mtype=None`` matches any type.
         """
-        limit = _RECV_TIMEOUT if timeout is None else timeout
+        limit = self._limit(timeout)
 
         def find() -> Optional[int]:
             for i, msg in enumerate(self._buffer):
@@ -66,20 +189,14 @@ class Mailbox:
                     return i
             return None
 
+        describe = (
+            f"selective recv (type={mtype}, tag={tag!r}, source={source}, "
+            f"group={group!r})"
+        )
         with self._cond:
+            self._wait_for_match(find, limit, describe, source=source)
             index = find()
-            if index is None:
-                ok = self._cond.wait_for(
-                    lambda: find() is not None, timeout=limit
-                )
-                if not ok:
-                    raise TimeoutError(
-                        f"processor {self.owner}: selective recv "
-                        f"(type={mtype}, tag={tag!r}, source={source}, "
-                        f"group={group!r}) timed out after {limit}s"
-                    )
-                index = find()
-                assert index is not None
+            assert index is not None
             message = self._buffer.pop(index)
             self.received_count += 1
             self.received_bytes += message.nbytes()
@@ -91,13 +208,13 @@ class Mailbox:
         Models the original untyped message-passing whose interception
         hazard §3.4.1 describes; used only by the conflict experiments.
         """
-        limit = _RECV_TIMEOUT if timeout is None else timeout
+        limit = self._limit(timeout)
+
+        def find() -> Optional[int]:
+            return 0 if self._buffer else None
+
         with self._cond:
-            ok = self._cond.wait_for(lambda: bool(self._buffer), timeout=limit)
-            if not ok:
-                raise TimeoutError(
-                    f"processor {self.owner}: untyped recv timed out"
-                )
+            self._wait_for_match(find, limit, "untyped recv")
             message = self._buffer.pop(0)
             self.received_count += 1
             self.received_bytes += message.nbytes()

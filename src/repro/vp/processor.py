@@ -25,7 +25,10 @@ class VirtualProcessor:
     def __init__(self, number: int, machine: "Machine") -> None:  # noqa: F821
         self.number = number
         self.machine = machine
-        self.mailbox = Mailbox(owner=number)
+        self.mailbox = Mailbox(
+            owner=number,
+            default_timeout=getattr(machine, "default_recv_timeout", None),
+        )
         # The node's private address space.  Only code executing "on" this
         # processor may touch it; cross-node access must use messages or
         # server requests.
@@ -41,7 +44,18 @@ class VirtualProcessor:
     def spawn(
         self, target: Callable[..., Any], *args: Any, name: str = "", **kwargs: Any
     ) -> Process:
-        """Create and start a process assigned to this processor."""
+        """Create and start a process assigned to this processor.
+
+        Placement on a dead processor fails immediately: a crashed node
+        cannot host new processes (§4.1.2 failure-as-value discipline).
+        """
+        if self.machine is not None and self.machine.is_failed(self.number):
+            from repro.status import ProcessorFailedError
+
+            raise ProcessorFailedError(
+                f"cannot spawn on failed processor {self.number}",
+                processor=self.number,
+            )
         proc = Process(
             target,
             args=args,

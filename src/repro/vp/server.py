@@ -53,7 +53,8 @@ class ServerRegistry:
         *parameters: Any,
         processor: Optional[int] = None,
         synchronous: bool = True,
-    ) -> None:
+        timeout: Optional[float] = None,
+    ) -> Optional[Any]:
         """Issue a server request.
 
         ``processor`` is the ``@Processor_number`` annotation: the request
@@ -64,7 +65,15 @@ class ServerRegistry:
         library procedure waits for its request to be serviced.  With
         ``synchronous=False`` the request completes immediately as a
         statement and the handler runs as a separate process, which is the
-        raw server-request semantics of §5.1.1.
+        raw server-request semantics of §5.1.1 — the spawned
+        :class:`~repro.pcn.process.Process` is returned so callers can
+        join it with the machine's receive deadline.
+
+        ``timeout`` bounds the synchronous case by joining the handler as
+        a process instead of running it inline; None inherits the
+        machine's ``default_recv_timeout`` behaviour (inline execution).
+        Requests addressed to a dead processor raise
+        :class:`~repro.status.ProcessorFailedError` immediately.
         """
         with self._lock:
             handler = self._capabilities.get(request_type)
@@ -72,8 +81,19 @@ class ServerRegistry:
             raise ServerRequestError(
                 f"no capability registered for request type {request_type!r}"
             )
-        node = self._machine.processor(0 if processor is None else processor)
+        number = 0 if processor is None else processor
+        self._machine.check_alive([number])
+        node = self._machine.processor(number)
         if synchronous:
+            if timeout is not None:
+                proc = node.spawn(
+                    handler, node, *parameters,
+                    name=f"server-{request_type}",
+                )
+                proc.join(timeout=timeout)
+                return None
             handler(node, *parameters)
-        else:
-            node.spawn(handler, node, *parameters, name=f"server-{request_type}")
+            return None
+        return node.spawn(
+            handler, node, *parameters, name=f"server-{request_type}"
+        )

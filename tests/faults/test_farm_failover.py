@@ -1,0 +1,127 @@
+"""TaskFarm graceful degradation when a group's processors die."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.arrays import am_util
+from repro.calls import Index, Reduce, distributed_call
+from repro.core.farm import TaskFarm
+from repro.status import ProcessorFailedError, Status
+from repro.vp.machine import Machine
+
+
+def make_machine(nodes=4):
+    machine = Machine(nodes, default_recv_timeout=2.0)
+    am_util.load_all(machine)
+    return machine
+
+
+def sum_indices(ctx, index, out):
+    out[0] = float(index + 1)
+
+
+class TestFarmFailover:
+    def test_acceptance_kill_one_vp_mid_farm_all_jobs_complete(self):
+        """Killing a VP mid-farm retires its group; survivors finish every
+        job (degraded concurrency, no lost work)."""
+        machine = make_machine(4)
+        farm = TaskFarm([(0, 1), (2, 3)])
+        kill_after = threading.Event()
+
+        def job_factory(i):
+            def job(group):
+                if group == (2, 3) and not kill_after.is_set():
+                    kill_after.set()
+                    machine.fail(2)
+                result = distributed_call(
+                    machine,
+                    list(group),
+                    sum_indices,
+                    [Index(), Reduce("double", 1, "sum")],
+                )
+                return (i, result.reductions[0])
+            return job
+
+        result = farm.run([job_factory(i) for i in range(8)], timeout=30.0)
+        assert [r[0] for r in result.results] == list(range(8))
+        assert all(r[1] == 3.0 for r in result.results)  # 1 + 2 per group
+        assert result.dead_groups == [1]
+        assert result.requeued_jobs == 1
+        # Every completed job was counted for the surviving group(s).
+        assert result.jobs_per_group[0] == 8
+        assert result.jobs_per_group[1] == 0
+
+    def test_group_dead_before_farm_starts(self):
+        machine = make_machine(4)
+        machine.fail(3)
+        farm = TaskFarm([(0, 1), (2, 3)])
+        dead_group_tried = threading.Event()
+
+        def job(group):
+            if group == (2, 3):
+                dead_group_tried.set()
+            else:
+                # Hold the healthy group until the dead group has claimed a
+                # job, so its failure is always observed (not racy on which
+                # worker drains the queue first).
+                dead_group_tried.wait(5.0)
+            result = distributed_call(
+                machine,
+                list(group),
+                sum_indices,
+                [Index(), Reduce("double", 1, "sum")],
+            )
+            return result.status
+
+        result = farm.run([job] * 4, timeout=30.0)
+        assert result.results == [Status.OK] * 4
+        assert result.dead_groups == [1]
+        assert result.requeued_jobs == 1
+
+    def test_all_groups_dead_raises(self):
+        machine = make_machine(4)
+        machine.fail(0)
+        machine.fail(2)
+        farm = TaskFarm([(0, 1), (2, 3)])
+
+        def job(group):
+            return distributed_call(
+                machine,
+                list(group),
+                sum_indices,
+                [Index(), Reduce("double", 1, "sum")],
+            )
+
+        with pytest.raises(ProcessorFailedError, match="every task-farm"):
+            farm.run([job] * 3, timeout=30.0)
+
+    def test_non_machine_errors_still_propagate(self):
+        farm = TaskFarm([(0,), (1,)])
+
+        def bad_job(group):
+            raise ValueError("job bug, not a machine fault")
+
+        with pytest.raises(ValueError, match="job bug"):
+            farm.run([bad_job], timeout=10.0)
+
+    def test_healthy_farm_unchanged(self):
+        machine = make_machine(4)
+        farm = TaskFarm([(0, 1), (2, 3)])
+
+        def job(group):
+            result = distributed_call(
+                machine,
+                list(group),
+                sum_indices,
+                [Index(), Reduce("double", 1, "sum")],
+            )
+            return result.reductions[0]
+
+        result = farm.run([job] * 6, timeout=30.0)
+        assert result.results == [3.0] * 6
+        assert result.dead_groups == []
+        assert result.requeued_jobs == 0
+        assert sum(result.jobs_per_group) == 6

@@ -1,0 +1,84 @@
+"""Pipeline stage crashes propagate as typed poison values."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import Pipeline, Stage, StagePoison
+
+
+def crashing_on(value):
+    def work(item):
+        if item == value:
+            raise RuntimeError(f"stage choked on {value}")
+        return item * 10
+    return work
+
+
+class TestPoisonMode:
+    def test_poison_value_reaches_outputs(self):
+        pipe = Pipeline([
+            Stage("first", lambda x: x + 1),
+            Stage("second", crashing_on(3)),
+            Stage("third", lambda x: x + 7),
+        ])
+        result = pipe.run(range(4), timeout=10.0, on_error="poison")
+        poisons = [o for o in result.outputs if isinstance(o, StagePoison)]
+        clean = [o for o in result.outputs if not isinstance(o, StagePoison)]
+        assert len(poisons) == 1
+        poison = poisons[0]
+        assert poison.stage == "second"
+        assert isinstance(poison.error, RuntimeError)
+        assert "choked on 3" in str(poison.error)
+        # Items before the crash flowed through every stage untouched by
+        # the failure; the third stage forwarded the poison unmodified.
+        assert clean == [17, 27]  # (0+1)*10+7, (1+1)*10+7
+        assert "second" in str(poison)
+
+    def test_downstream_stage_does_not_apply_work_to_poison(self):
+        seen = []
+
+        def observer(item):
+            seen.append(item)
+            return item
+
+        pipe = Pipeline([
+            Stage("bad", crashing_on(0)),
+            Stage("observer", observer),
+        ])
+        result = pipe.run([0], timeout=10.0, on_error="poison")
+        assert seen == []  # poison bypassed the stage body
+        assert isinstance(result.outputs[0], StagePoison)
+
+    def test_consumers_terminate_promptly(self):
+        """No consumer is stranded waiting on an undefined stream cell."""
+        pipe = Pipeline([
+            Stage("bad", crashing_on(0)),
+            Stage("mid", lambda x: x),
+            Stage("tail", lambda x: x),
+        ])
+        result = pipe.run(range(5), timeout=5.0, on_error="poison")
+        assert len(result.outputs) == 1  # single poison, nothing hangs
+
+
+class TestRaiseMode:
+    def test_default_still_raises_original_error(self):
+        pipe = Pipeline([
+            Stage("ok", lambda x: x),
+            Stage("bad", crashing_on(3)),
+        ])
+        with pytest.raises(RuntimeError, match="choked on 3"):
+            pipe.run(range(6), timeout=10.0)
+
+    def test_invalid_on_error_rejected(self):
+        pipe = Pipeline([Stage("ok", lambda x: x)])
+        with pytest.raises(ValueError, match="on_error"):
+            pipe.run([1], on_error="ignore")
+
+    def test_healthy_pipeline_unaffected_by_poison_mode(self):
+        pipe = Pipeline([
+            Stage("inc", lambda x: x + 1),
+            Stage("dbl", lambda x: x * 2),
+        ])
+        result = pipe.run(range(5), timeout=10.0, on_error="poison")
+        assert result.outputs == [2, 4, 6, 8, 10]

@@ -1,0 +1,82 @@
+"""FaultPlan determinism and filtering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import FaultPlan, KillSpec
+from repro.vp.message import Message, MessageType
+
+
+def msg(src=0, dst=1, mtype=MessageType.DATA_PARALLEL):
+    return Message(source=src, dest=dst, payload=0, mtype=mtype)
+
+
+class TestFaultPlanDecisions:
+    def test_same_seed_same_decisions(self):
+        a = FaultPlan(seed=7, drop=0.3, duplicate=0.2, reorder=0.1)
+        b = FaultPlan(seed=7, drop=0.3, duplicate=0.2, reorder=0.1)
+        for n in range(200):
+            assert a.decide(msg(), n) == b.decide(msg(), n)
+
+    def test_different_seed_different_stream(self):
+        a = FaultPlan(seed=1, drop=0.5)
+        b = FaultPlan(seed=2, drop=0.5)
+        decisions_a = [a.decide(msg(), n).drop for n in range(100)]
+        decisions_b = [b.decide(msg(), n).drop for n in range(100)]
+        assert decisions_a != decisions_b
+
+    def test_decision_independent_of_other_channels(self):
+        """The (0,1) channel's Nth decision must not depend on traffic
+        interleaved on other channels — the determinism contract."""
+        plan = FaultPlan(seed=3, drop=0.4)
+        direct = [plan.decide(msg(0, 1), n).drop for n in range(50)]
+        again = [plan.decide(msg(0, 1), n).drop for n in range(50)]
+        other = [plan.decide(msg(2, 3), n).drop for n in range(50)]
+        assert direct == again
+        assert direct != other  # overwhelmingly likely with 50 draws
+
+    def test_drop_rate_roughly_matches_probability(self):
+        plan = FaultPlan(seed=11, drop=0.1)
+        drops = sum(
+            plan.decide(msg(s, d), n).drop
+            for s in range(4)
+            for d in range(4)
+            for n in range(100)
+        )
+        assert 0.05 * 1600 < drops < 0.15 * 1600
+
+    def test_zero_probabilities_never_fault(self):
+        plan = FaultPlan(seed=5)
+        for n in range(100):
+            d = plan.decide(msg(), n)
+            assert not (d.drop or d.duplicate or d.delay or d.reorder)
+
+    def test_mtype_filter_exempts_other_traffic(self):
+        plan = FaultPlan(
+            seed=9, drop=1.0, mtypes=(MessageType.DATA_PARALLEL,)
+        )
+        assert plan.decide(msg(mtype=MessageType.DATA_PARALLEL), 0).drop
+        assert not plan.decide(msg(mtype=MessageType.PCN), 0).drop
+        assert not plan.applies_to(msg(mtype=MessageType.PCN))
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(drop=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(reorder=-0.1)
+
+
+class TestKillSpec:
+    def test_kill_spec_validation(self):
+        with pytest.raises(ValueError):
+            KillSpec(0, after=0)
+        with pytest.raises(ValueError):
+            KillSpec(0, after=1, on="route")
+
+    def test_kills_for_filters_by_processor(self):
+        plan = FaultPlan(
+            kills=(KillSpec(1, after=3), KillSpec(2, after=5, on="recv"))
+        )
+        assert [k.processor for k in plan.kills_for(1)] == [1]
+        assert plan.kills_for(0) == []
