@@ -12,8 +12,7 @@ import threading
 import time
 
 from benchmarks.conftest import report
-from repro.calls import Index, Local
-from repro.core.runtime import IntegratedRuntime
+from repro.calls import Index
 
 
 class TestFig32ControlFlow:

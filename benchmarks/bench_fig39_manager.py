@@ -15,7 +15,6 @@ import time
 import numpy as np
 
 from benchmarks.conftest import report
-from repro.calls import Local
 
 
 N = 32

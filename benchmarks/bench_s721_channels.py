@@ -13,7 +13,7 @@ from __future__ import annotations
 import time
 
 from benchmarks.conftest import report
-from repro.calls import Index, Local, Reduce
+from repro.calls import Index, Reduce
 from repro.core.channels import Channel
 from repro.core.runtime import IntegratedRuntime
 from repro.pcn.composition import par

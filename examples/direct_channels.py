@@ -18,10 +18,9 @@ Run:  python examples/direct_channels.py [items] [chunk]
 import sys
 import time
 
-import numpy as np
 
 from repro import IntegratedRuntime
-from repro.calls import Index, Local, Reduce
+from repro.calls import Index, Reduce
 from repro.core.channels import Channel
 from repro.pcn import par
 from repro.status import Status

@@ -14,7 +14,7 @@ import sys
 import numpy as np
 
 from repro import IntegratedRuntime
-from repro.calls import Index, Local, Reduce
+from repro.calls import Reduce
 from repro.spmd import collectives
 from repro.spmd.linalg import interior
 
@@ -56,8 +56,13 @@ def main() -> None:
     print(f"expected:      {expected:g}")
     assert result.reductions[0] == expected
 
-    # The task-parallel level can also touch single elements globally.
+    # The task-parallel level can also touch single elements globally...
     print(f"V1[5] = {v1[5]:g} (should be 6)")
+
+    # ...or fetch a whole region with one message per owning processor.
+    head = v1.read_region([(0, 2 * local_m)])  # spans two processors
+    print(f"V1[0:{2 * local_m}] = {head} (region read, 2 messages)")
+    assert np.array_equal(head, np.arange(2 * local_m, dtype=float) + 1.0)
 
     v1.free()
     v2.free()

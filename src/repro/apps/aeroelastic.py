@@ -30,14 +30,12 @@ the fixed-point loop is the task-parallel top level of Fig 2.1.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
 from repro.calls.params import Local, Reduce
 from repro.core.runtime import IntegratedRuntime
 from repro.pcn.composition import par
-from repro.spmd import collectives
 from repro.spmd.linalg import (
     conjugate_gradient,
     interior,

@@ -103,21 +103,21 @@ def _exchange_interface(
     coupling: float,
 ) -> None:
     """TP-level boundary exchange: relax both interface rows toward their
-    average (flux matching), writing through global element indices."""
+    average (flux matching), moving each row as one region — one message
+    per processor owning a piece of the interface, not one per element."""
     o_dims = ocean.array.dims
     a_dims = atmosphere.array.dims
     assert o_dims[1] == a_dims[1], "interface widths must match"
     width = o_dims[1]
-    ocean_top = np.array([ocean.array[0, j] for j in range(width)])
-    atmos_bottom = np.array(
-        [atmosphere.array[a_dims[0] - 1, j] for j in range(width)]
-    )
+    ocean_row = [(0, 1), (0, width)]
+    atmos_row = [(a_dims[0] - 1, a_dims[0]), (0, width)]
+    ocean_top = ocean.array.read_region(ocean_row)[0]
+    atmos_bottom = atmosphere.array.read_region(atmos_row)[0]
     mean = 0.5 * (ocean_top + atmos_bottom)
     new_ocean = (1 - coupling) * ocean_top + coupling * mean
     new_atmos = (1 - coupling) * atmos_bottom + coupling * mean
-    for j in range(width):
-        ocean.array[0, j] = float(new_ocean[j])
-        atmosphere.array[a_dims[0] - 1, j] = float(new_atmos[j])
+    ocean.array.write_region(ocean_row, new_ocean[np.newaxis, :])
+    atmosphere.array.write_region(atmos_row, new_atmos[np.newaxis, :])
 
 
 @dataclass

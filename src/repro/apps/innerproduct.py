@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.calls.params import Index, Local, Reduce
+from repro.calls.params import Index, Reduce
 from repro.core.runtime import IntegratedRuntime
 from repro.spmd import collectives
 from repro.spmd.context import SPMDContext

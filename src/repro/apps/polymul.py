@@ -22,12 +22,11 @@ which is numerically identical and far faster.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import Iterable
 
 import numpy as np
 
 from repro.calls.params import Index, Local
-from repro.core.darray import DistributedArray
 from repro.core.pipeline import Pipeline, PipelineResult, Stage
 from repro.core.runtime import IntegratedRuntime
 from repro.pcn.composition import par

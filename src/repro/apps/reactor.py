@@ -20,7 +20,6 @@ event cascade.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
 
 import numpy as np
 
@@ -30,7 +29,6 @@ from repro.core.reactive import Event, ReactiveGraph, ReactiveResult
 from repro.core.runtime import IntegratedRuntime
 from repro.spmd import collectives
 from repro.spmd.linalg import jacobi_iterate, mat_diagonally_dominant, vec_fill
-from repro.spmd.stencil import heat_steps
 from repro.spmd.linalg import interior
 from repro.status import check_status
 

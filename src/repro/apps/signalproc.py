@@ -17,7 +17,7 @@ pipeline with zero padding folded into phase 1.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable
 
 import numpy as np
 

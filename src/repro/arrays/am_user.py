@@ -111,6 +111,71 @@ def write_element(
     return Status(status.read())
 
 
+def read_region(
+    machine: Machine,
+    array_id: ArrayID,
+    region: Sequence[Sequence[int]],
+    processor: int = 0,
+    data_out: Optional[DefVar] = None,
+    status_out: Optional[DefVar] = None,
+) -> tuple[Any, Status]:
+    """am_user:read_region — region-granular read (extension).
+
+    ``region`` gives one half-open ``(start, stop)`` pair per dimension;
+    the result is a dense NumPy array of the region's shape.  Costs one
+    message per owning processor instead of one per element.
+    """
+    data = _out(data_out, "Region")
+    status = _out(status_out, "Status")
+    machine.server.request(
+        "read_region",
+        array_id,
+        tuple(tuple(b) for b in region),
+        data,
+        status,
+        processor=processor,
+    )
+    return data.read(), Status(status.read())
+
+
+def write_region(
+    machine: Machine,
+    array_id: ArrayID,
+    region: Sequence[Sequence[int]],
+    data: Any,
+    processor: int = 0,
+    status_out: Optional[DefVar] = None,
+) -> Status:
+    """am_user:write_region — region-granular write (extension)."""
+    status = _out(status_out, "Status")
+    machine.server.request(
+        "write_region",
+        array_id,
+        tuple(tuple(b) for b in region),
+        data,
+        status,
+        processor=processor,
+    )
+    return Status(status.read())
+
+
+def get_local_block(
+    machine: Machine,
+    array_id: ArrayID,
+    processor: int,
+    block_out: Optional[DefVar] = None,
+    status_out: Optional[DefVar] = None,
+) -> tuple[Any, Status]:
+    """am_user:get_local_block — ``(global origin, interior copy)`` of the
+    section held by ``processor`` (extension; local view like find_local)."""
+    block = _out(block_out, "Block")
+    status = _out(status_out, "Status")
+    machine.server.request(
+        "get_local_block", array_id, block, status, processor=processor
+    )
+    return block.read(), Status(status.read())
+
+
 def find_local(
     machine: Machine,
     array_id: ArrayID,

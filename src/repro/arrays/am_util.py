@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import sys
 import threading
-from typing import Any, Iterable, Optional, Sequence
+from typing import Any, Iterable, Optional
 
 import numpy as np
 

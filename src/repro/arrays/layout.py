@@ -19,8 +19,9 @@ bijectivity invariants of the decomposition.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Iterator, Sequence
 
 ROW_MAJOR = "row"
 COLUMN_MAJOR = "column"
@@ -192,6 +193,57 @@ class ArrayLayout:
         return tuple(
             c * ld + li for c, ld, li in zip(coords, self.local_dims, local)
         )
+
+    # -- regions ---------------------------------------------------------------
+
+    def validate_region(self, region: Sequence[Sequence[int]]) -> None:
+        """Check a rectangular region: one half-open ``(start, stop)`` pair
+        per dimension, non-empty and within the array bounds."""
+        if len(region) != self.rank:
+            raise ValueError(
+                f"region rank {len(region)} != array rank {self.rank}"
+            )
+        for i, ((start, stop), dim) in enumerate(zip(region, self.dims)):
+            if not 0 <= start < stop <= dim:
+                raise IndexError(
+                    f"region ({start}, {stop}) invalid for dimension {i} "
+                    f"of size {dim}"
+                )
+
+    def region_shape(
+        self, region: Sequence[Sequence[int]]
+    ) -> tuple[int, ...]:
+        return tuple(stop - start for start, stop in region)
+
+    def region_sections(
+        self, region: Sequence[Sequence[int]]
+    ) -> Iterator[tuple[int, tuple[slice, ...], tuple[slice, ...]]]:
+        """Decompose a rectangular region over the owning local sections.
+
+        Yields one ``(section, local_slices, region_slices)`` triple per
+        local section the region intersects: ``local_slices`` select the
+        intersection inside that section's interior, ``region_slices``
+        select where it lands in a dense array of :meth:`region_shape`.
+        This is the geometry behind region-granular RPC — one message per
+        yielded section instead of one per element.
+        """
+        self.validate_region(region)
+        per_dim = []
+        for (start, stop), ld in zip(region, self.local_dims):
+            entries = []
+            for c in range(start // ld, (stop - 1) // ld + 1):
+                lo, hi = max(start, c * ld), min(stop, (c + 1) * ld)
+                entries.append(
+                    (c, slice(lo - c * ld, hi - c * ld), slice(lo - start, hi - start))
+                )
+            per_dim.append(entries)
+        for combo in itertools.product(*per_dim):
+            coords = tuple(entry[0] for entry in combo)
+            yield (
+                self.section_index(coords),
+                tuple(entry[1] for entry in combo),
+                tuple(entry[2] for entry in combo),
+            )
 
     # -- local indices -> storage offset ----------------------------------------
 

@@ -15,7 +15,7 @@ element access goes through the interior view (§3.2.1.3 last paragraph).
 from __future__ import annotations
 
 import threading
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -28,6 +28,8 @@ from __future__ import annotations
 import threading
 from typing import Any, Optional, Sequence
 
+import numpy as np
+
 from repro.arrays.borders import BorderSpecError, resolve_borders
 from repro.arrays.decomposition import DecompositionError, compute_grid
 from repro.arrays.layout import ArrayLayout, normalize_indexing
@@ -96,6 +98,11 @@ class ArrayManager:
             "verify_array": self.verify_array,
             "read_section_local": self.read_section_local,
             "write_section_local": self.write_section_local,
+            "read_region": self.read_region,
+            "read_region_local": self.read_region_local,
+            "write_region": self.write_region,
+            "write_region_local": self.write_region_local,
+            "get_local_block": self.get_local_block,
         }
 
     # -- helpers ---------------------------------------------------------------
@@ -433,6 +440,180 @@ class ArrayManager:
             _define(status, Status.INVALID)
             return
         interior[...] = data
+        _define(status, Status.OK)
+
+    # -- region access -----------------------------------------------------------------
+
+    def _validated_region(
+        self, record: ArrayRecord, region: Sequence
+    ) -> Optional[tuple[tuple[int, int], ...]]:
+        try:
+            bounds = tuple((int(a), int(b)) for a, b in region)
+            record.layout.validate_region(bounds)
+        except (ValueError, IndexError, TypeError):
+            return None
+        return bounds
+
+    def read_region(
+        self,
+        node: VirtualProcessor,
+        array_id: Any,
+        region: Sequence,
+        data_out: DefVar,
+        status: DefVar,
+    ) -> None:
+        """Read a rectangular region via global bounds (region-granular RPC).
+
+        ``region`` is one half-open ``(start, stop)`` pair per dimension.
+        The handler decomposes the region over the owning local sections
+        and issues **one** ``read_region_local`` peer request per owner —
+        O(owners) messages where the per-element path costs O(elements) —
+        then assembles the pieces into a dense array of the region's shape.
+        """
+        self._note("read_region", node.number, array_id)
+        record = self._lookup(node, array_id) if isinstance(
+            array_id, ArrayID
+        ) else None
+        if record is None:
+            _define(data_out, None)
+            _define(status, Status.NOT_FOUND)
+            return
+        bounds = self._validated_region(record, region)
+        if bounds is None:
+            _define(data_out, None)
+            _define(status, Status.INVALID)
+            return
+        out = np.zeros(
+            record.layout.region_shape(bounds), dtype=dtype_for(record.type_name)
+        )
+        pieces = []
+        for section, local_slices, out_slices in record.layout.region_sections(
+            bounds
+        ):
+            owner = record.processors[section]
+            part = DefVar(f"read_region@{owner}")
+            st = DefVar(f"read_region_status@{owner}")
+            self._peer_request(
+                "read_region_local", owner, array_id, local_slices, part, st
+            )
+            pieces.append((out_slices, part, st))
+        for out_slices, part, st in pieces:
+            if Status(st.read()) is not Status.OK:
+                _define(data_out, None)
+                _define(status, Status.ERROR)
+                return
+            out[out_slices] = part.read()
+        _define(data_out, out)
+        _define(status, Status.OK)
+
+    def read_region_local(
+        self,
+        node: VirtualProcessor,
+        array_id: ArrayID,
+        local_slices: tuple,
+        data_out: DefVar,
+        status: DefVar,
+    ) -> None:
+        """Copy one section's share of a region (interior slices)."""
+        self._note("read_region_local", node.number, array_id)
+        record = self._lookup(node, array_id)
+        if record is None or record.section is None:
+            _define(data_out, None)
+            _define(status, Status.NOT_FOUND)
+            return
+        _define(data_out, record.section.interior()[tuple(local_slices)].copy())
+        _define(status, Status.OK)
+
+    def write_region(
+        self,
+        node: VirtualProcessor,
+        array_id: Any,
+        region: Sequence,
+        data: Any,
+        status: DefVar,
+    ) -> None:
+        """Write a rectangular region via global bounds (region-granular RPC).
+
+        ``data`` must match the region's shape; each owning section gets
+        one ``write_region_local`` peer request carrying only its share.
+        """
+        self._note("write_region", node.number, array_id)
+        record = self._lookup(node, array_id) if isinstance(
+            array_id, ArrayID
+        ) else None
+        if record is None:
+            _define(status, Status.NOT_FOUND)
+            return
+        bounds = self._validated_region(record, region)
+        if bounds is None:
+            _define(status, Status.INVALID)
+            return
+        data = np.asarray(data, dtype=dtype_for(record.type_name))
+        if tuple(data.shape) != record.layout.region_shape(bounds):
+            _define(status, Status.INVALID)
+            return
+        statuses = []
+        for section, local_slices, out_slices in record.layout.region_sections(
+            bounds
+        ):
+            owner = record.processors[section]
+            st = DefVar(f"write_region_status@{owner}")
+            statuses.append(st)
+            self._peer_request(
+                "write_region_local",
+                owner,
+                array_id,
+                local_slices,
+                data[out_slices].copy(),
+                st,
+            )
+        bad = any(Status(st.read()) is not Status.OK for st in statuses)
+        _define(status, Status.ERROR if bad else Status.OK)
+
+    def write_region_local(
+        self,
+        node: VirtualProcessor,
+        array_id: ArrayID,
+        local_slices: tuple,
+        data: Any,
+        status: DefVar,
+    ) -> None:
+        """Overwrite one section's share of a region (interior slices)."""
+        self._note("write_region_local", node.number, array_id)
+        record = self._lookup(node, array_id)
+        if record is None or record.section is None:
+            _define(status, Status.NOT_FOUND)
+            return
+        record.section.interior()[tuple(local_slices)] = data
+        _define(status, Status.OK)
+
+    def get_local_block(
+        self,
+        node: VirtualProcessor,
+        array_id: Any,
+        block_out: DefVar,
+        status: DefVar,
+    ) -> None:
+        """This processor's block of the global index space.
+
+        Defines ``block_out`` with ``(origin, data)``: the global indices
+        of the section's first interior element and a copy of the interior
+        data.  Like ``find_local`` it needs the local view, so it fails on
+        processors holding no section (§5.1.4).
+        """
+        self._note("get_local_block", node.number, array_id)
+        record = self._lookup(node, array_id) if isinstance(
+            array_id, ArrayID
+        ) else None
+        if record is None or record.section is None:
+            _define(block_out, None)
+            _define(status, Status.NOT_FOUND)
+            return
+        section_number = record.processors.index(node.number)
+        origin = record.layout.global_indices(
+            section_number, (0,) * record.layout.rank
+        )
+        _define(block_out, (origin, record.section.interior().copy()))
         _define(status, Status.OK)
 
     def copy_local(

@@ -18,6 +18,7 @@ from typing import Any, Callable, Optional, Sequence
 
 from repro.pcn.defvar import DefVar
 from repro.status import Status
+from repro.vp import fabric
 from repro.vp.machine import Machine
 
 
@@ -46,11 +47,17 @@ def do_all(
     machine.check_alive(procs)
     statuses = [DefVar(f"do_all_status[{i}]") for i in range(len(procs))]
     processes = []
-    for i, p in enumerate(procs):
-        node = machine.processor(p)
-        processes.append(
-            node.spawn(program, i, parms, statuses[i], name=f"do_all[{i}]@{p}")
-        )
+    # One trace scope per call: every copy inherits the same trace id, so
+    # all wrapper traffic (find_local hops, SPMD messages) of one
+    # distributed call is reconstructible from the trace interceptor.
+    with fabric.execution_context(trace_id=fabric.new_trace_id("dcall")):
+        for i, p in enumerate(procs):
+            node = machine.processor(p)
+            processes.append(
+                node.spawn(
+                    program, i, parms, statuses[i], name=f"do_all[{i}]@{p}"
+                )
+            )
 
     # Join every copy; a copy that raised poisons the whole call with
     # STATUS_ERROR rather than hanging the caller.

@@ -23,7 +23,7 @@ accepted; :func:`normalize_parameters` canonicalises.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional, Sequence, Union
+from typing import Any, Optional, Sequence, Union
 
 from repro.arrays.record import ArrayID
 from repro.pcn.defvar import DefVar

@@ -16,8 +16,7 @@ import numpy as np
 from repro.arrays import am_user
 from repro.arrays.layout import ArrayLayout
 from repro.arrays.record import ArrayID
-from repro.pcn.defvar import DefVar
-from repro.status import ArrayNotFoundError, Status, check_status
+from repro.status import ArrayNotFoundError, check_status
 from repro.vp.machine import Machine
 
 
@@ -113,6 +112,37 @@ class DistributedArray:
         )
         check_status(status, f"write_element{indices} failed")
 
+    # -- region access ----------------------------------------------------------------
+
+    def read_region(self, region: Sequence[Sequence[int]]) -> np.ndarray:
+        """Dense copy of a rectangular region (one half-open ``(start,
+        stop)`` pair per dimension) — one message per owning processor."""
+        self._check_live()
+        data, status = am_user.read_region(
+            self.machine, self.array_id, region
+        )
+        check_status(status, f"read_region{tuple(region)} failed")
+        return data
+
+    def write_region(
+        self, region: Sequence[Sequence[int]], values: Any
+    ) -> None:
+        """Overwrite a rectangular region from a dense array of its shape."""
+        self._check_live()
+        status = am_user.write_region(
+            self.machine, self.array_id, region, values
+        )
+        check_status(status, f"write_region{tuple(region)} failed")
+
+    def local_block(self, processor: int) -> tuple[tuple[int, ...], np.ndarray]:
+        """``(global origin, interior copy)`` of one processor's section."""
+        self._check_live()
+        block, status = am_user.get_local_block(
+            self.machine, self.array_id, processor
+        )
+        check_status(status, f"get_local_block@{processor} failed")
+        return block
+
     # -- info ---------------------------------------------------------------------------
 
     @property
@@ -175,46 +205,23 @@ class DistributedArray:
         )
 
     def to_numpy(self) -> np.ndarray:
-        """Assemble the global array on the caller (one section copy per
-        processor; data crosses address spaces by message copy)."""
-        self._check_live()
-        out = np.empty(self.layout.dims, dtype=np.dtype(
-            {"int": np.int64, "double": np.float64, "complex": np.complex128}[
-                self.type_name
-            ]
-        ))
-        for section, proc in enumerate(self.processors):
-            data_out = DefVar("section_data")
-            status = DefVar("section_status")
-            self.machine.server.request(
-                "read_section_local",
-                self.array_id,
-                data_out,
-                status,
-                processor=proc,
-            )
-            check_status(Status(status.read()), "read_section_local failed")
-            out[self._section_slices(section)] = data_out.read()
-        return out
+        """Assemble the global array on the caller.
+
+        A whole-array region read: one section copy per owning processor,
+        with data crossing address spaces by message copy.
+        """
+        return self.read_region([(0, d) for d in self.layout.dims])
 
     def from_numpy(self, values: np.ndarray) -> None:
-        """Scatter a global NumPy array into the local sections."""
+        """Scatter a global NumPy array into the local sections (a
+        whole-array region write — one message per owning processor)."""
         self._check_live()
         values = np.asarray(values)
         if tuple(values.shape) != self.layout.dims:
             raise ValueError(
                 f"shape {values.shape} != array dims {self.layout.dims}"
             )
-        for section, proc in enumerate(self.processors):
-            status = DefVar("section_status")
-            self.machine.server.request(
-                "write_section_local",
-                self.array_id,
-                values[self._section_slices(section)].copy(),
-                status,
-                processor=proc,
-            )
-            check_status(Status(status.read()), "write_section_local failed")
+        self.write_region([(0, d) for d in self.layout.dims], values)
 
     def __repr__(self) -> str:
         return (

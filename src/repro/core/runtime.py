@@ -12,7 +12,7 @@ program holds an :class:`IntegratedRuntime` and uses the §2.1 repertoire:
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional, Sequence, Union
+from typing import Any, Callable, Optional, Sequence
 
 import numpy as np
 

@@ -1,14 +1,20 @@
-"""Fault-injecting transport wrapper around :meth:`Machine.route`.
+"""Fault-injecting interceptor for the machine's transport stack.
 
-:class:`FaultyTransport` interposes on the machine's pluggable transport
-hook: every routed message passes through :meth:`__call__`, which consults
-the :class:`~repro.faults.plan.FaultPlan` and then drops, duplicates,
-delays, or reorders the message — or delivers it untouched.  Kill specs
-fire here too: after a processor's Nth observed send (routed from it) or
-receive (delivered to it), the transport calls :meth:`Machine.fail` on it.
+:class:`FaultyTransport` is one layer of the machine's interceptor stack
+(:class:`~repro.vp.fabric.TransportStack`): every routed message passes
+through :meth:`__call__`, which consults the
+:class:`~repro.faults.plan.FaultPlan` and then drops, duplicates, delays,
+or reorders the message — or forwards it untouched to the layers below.
+Kill specs fire here too: after a processor's Nth observed send (routed
+from it) or receive (delivered to it), the transport calls
+:meth:`Machine.fail` on it.
 
-The wrapper is composable with every existing benchmark and test: install
-it (or use the context-manager form) and run unchanged workloads.
+The interceptor is composable with every existing benchmark and test —
+and with other interceptors: install it (or use the context-manager form)
+alongside a :class:`~repro.vp.fabric.TraceInterceptor` or
+:class:`~repro.vp.fabric.TrafficMeter` and run unchanged workloads;
+uninstalling removes only this layer, leaving the rest of the stack as
+it was.
 
 Implementation notes:
 
@@ -58,7 +64,7 @@ class FaultStats:
 
 
 class FaultyTransport:
-    """Wraps a machine's transport with plan-driven fault injection."""
+    """Stack interceptor applying plan-driven fault injection."""
 
     def __init__(self, machine: Machine, plan: FaultPlan) -> None:
         self.machine = machine
@@ -73,20 +79,19 @@ class FaultyTransport:
         self._held_timer: Optional[threading.Timer] = None
         self._pending_delays: dict[int, tuple[Message, threading.Timer]] = {}
         self._delay_ids = itertools.count()
-        self._previous = None
         self._installed = False
 
     # -- lifecycle ----------------------------------------------------------
 
     def install(self) -> "FaultyTransport":
         if not self._installed:
-            self._previous = self.machine.install_transport(self)
+            self.machine.transport_stack.push(self)
             self._installed = True
         return self
 
     def uninstall(self) -> None:
         if self._installed:
-            self.machine.install_transport(self._previous)
+            self.machine.transport_stack.remove(self)
             self._installed = False
         self.flush()
 
@@ -98,7 +103,7 @@ class FaultyTransport:
 
     # -- transport hook ------------------------------------------------------
 
-    def __call__(self, message: Message) -> None:
+    def __call__(self, message: Message, forward=None) -> None:
         plan = self.plan
         with self._lock:
             self.stats.routed += 1
@@ -171,9 +176,13 @@ class FaultyTransport:
     # -- delivery helpers ----------------------------------------------------
 
     def _deliver(self, message: Message) -> None:
+        # All deliveries (immediate and timer-driven) go through the
+        # layers *below* this interceptor, resolved at delivery time —
+        # so a meter beneath us counts surviving messages even when the
+        # stack changed between hold and release.
         with self._lock:
             self.stats.delivered += 1
-        self.machine.deliver(message)
+        self.machine.transport_stack.forward_from(self, message)
 
     def _schedule_delay(self, message: Message) -> None:
         delay_id = next(self._delay_ids)

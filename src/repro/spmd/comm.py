@@ -42,6 +42,9 @@ class GroupComm:
             raise ValueError(
                 f"rank {rank} out of range for group of {len(self.procs)}"
             )
+        # Processor -> rank, precomputed: rank lookups happen once per
+        # received message, so they must not scan the whole group.
+        self._rank_of_proc = {p: r for r, p in enumerate(self.procs)}
 
     @property
     def size(self) -> int:
@@ -115,7 +118,12 @@ class GroupComm:
 
     def rank_of_source(self, message: Message) -> int:
         """Physical source processor -> group-relative rank."""
-        return self.procs.index(message.source)
+        try:
+            return self._rank_of_proc[message.source]
+        except KeyError:
+            raise ValueError(
+                f"{message.source} is not in tuple"
+            ) from None
 
     def dup(self, subgroup: Sequence[int], group: Hashable) -> "GroupComm":
         """Communicator for a subgroup (ranks into this group's procs).
@@ -124,5 +132,11 @@ class GroupComm:
         ``subgroup``.
         """
         procs = tuple(self.procs[r] for r in subgroup)
-        new_rank = procs.index(self.processor_number)
+        lookup = {p: r for r, p in enumerate(procs)}
+        try:
+            new_rank = lookup[self.processor_number]
+        except KeyError:
+            raise ValueError(
+                f"{self.processor_number} is not in tuple"
+            ) from None
         return GroupComm(self.machine, procs, new_rank, group)

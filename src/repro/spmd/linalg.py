@@ -27,7 +27,7 @@ convention of §4.3.1 examples (constants, index, locals, outputs).
 
 from __future__ import annotations
 
-from typing import Any, Optional, Union
+from typing import Optional, Union
 
 import numpy as np
 

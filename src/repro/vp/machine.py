@@ -13,23 +13,30 @@ raise (a dead node cannot transmit), and sends *to* it follow the machine's
 ``"drop"`` silently discards, modelling a network that keeps accepting
 packets for a crashed node.
 
-The transport is pluggable: :meth:`install_transport` interposes a delivery
-function between routing and the destination mailbox, which is how the
-fault-injection subsystem (:mod:`repro.faults`) drops, delays, duplicates,
-or reorders messages without touching any user code.
+The transport is a layered fabric: every routed message descends an
+ordered **interceptor stack** (``machine.transport_stack``, a
+:class:`~repro.vp.fabric.TransportStack`) before final delivery, which is
+how fault injection (:mod:`repro.faults`), tracing
+(:class:`~repro.vp.fabric.TraceInterceptor`), and traffic metering
+(:class:`~repro.vp.fabric.TrafficMeter`) compose without touching user
+code or displacing one another.  :meth:`Machine.route` is the single
+choke point — mailbox sends, SPMD group traffic, and cross-processor
+server requests all pass through it carrying the shared envelope
+(``kind``/``trace_id``/``hop`` on :class:`~repro.vp.message.Message`).
 """
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 from typing import Any, Callable, Hashable, Optional
 
 from repro.status import ProcessorFailedError
+from repro.vp import fabric
+from repro.vp.fabric import TransportStack
 from repro.vp.message import Message, MessageType
 from repro.vp.processor import VirtualProcessor
 from repro.vp.server import ServerRegistry
-
-Transport = Callable[[Message], None]
 
 
 class Machine:
@@ -54,7 +61,7 @@ class Machine:
         self.server = ServerRegistry(self)
         self._lock = threading.Lock()
         self._failed: set[int] = set()
-        self._transport: Transport = self._deliver
+        self.transport_stack = TransportStack(self._deliver)
         self.routed_count = 0
         self.routed_bytes = 0
         self.dropped_to_dead = 0
@@ -131,25 +138,8 @@ class Machine:
 
     # -- transport -----------------------------------------------------------
 
-    def install_transport(self, transport: Transport) -> Transport:
-        """Interpose ``transport`` between routing and delivery.
-
-        Returns the previous transport so it can be restored; the
-        transport receives each routed message and is responsible for
-        calling :meth:`deliver` (or not) on it.
-        """
-        with self._lock:
-            previous = self._transport
-            self._transport = transport
-        return previous
-
-    def uninstall_transport(self) -> None:
-        """Restore the direct (perfect) transport."""
-        with self._lock:
-            self._transport = self._deliver
-
     def deliver(self, message: Message) -> None:
-        """Final delivery into the destination mailbox.
+        """Final delivery — beneath the interceptor stack.
 
         Messages addressed to a dead processor vanish here regardless of
         policy — the destination can never consume them.
@@ -161,10 +151,14 @@ class Machine:
             with self._lock:
                 self.dropped_to_dead += 1
             return
+        if message.kind == "server_request":
+            self.server._execute(message)
+            return
         self.processor(message.dest).mailbox.deliver(message)
 
     def route(self, message: Message) -> None:
-        """Deliver ``message`` to the destination processor's mailbox."""
+        """The single routing choke point: validate, stamp the envelope,
+        account, and dispatch down the interceptor stack to delivery."""
         self.processor(message.dest)  # validate range
         if self.is_failed(message.source):
             raise ProcessorFailedError(
@@ -180,11 +174,17 @@ class Machine:
             with self._lock:
                 self.dropped_to_dead += 1
             return
+        if message.trace_id is None:
+            trace_id, hop = fabric.current_trace()
+            message = dataclasses.replace(
+                message,
+                trace_id=trace_id if trace_id is not None else fabric.new_trace_id(),
+                hop=hop,
+            )
         with self._lock:
             self.routed_count += 1
             self.routed_bytes += message.nbytes()
-            transport = self._transport
-        transport(message)
+        self.transport_stack.dispatch(message)
 
     def send(
         self,
@@ -222,10 +222,7 @@ class Machine:
             self.routed_count = 0
             self.routed_bytes = 0
         for node in self._processors:
-            node.sent_count = 0
-            node.sent_bytes = 0
-            node.mailbox.received_count = 0
-            node.mailbox.received_bytes = 0
+            node.reset_traffic_counters()
 
     # -- diagnostics -----------------------------------------------------------
 

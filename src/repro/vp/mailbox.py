@@ -220,6 +220,12 @@ class Mailbox:
             self.received_bytes += message.nbytes()
             return message
 
+    def reset_traffic_counters(self) -> None:
+        """Zero the receive-side traffic accounting."""
+        with self._cond:
+            self.received_count = 0
+            self.received_bytes = 0
+
     def pending(self) -> int:
         with self._cond:
             return len(self._buffer)

@@ -40,6 +40,15 @@ class Message:
     the SPMD layer); ``group`` identifies which distributed call's copies
     are communicating, so concurrent distributed calls sharing a processor
     cannot intercept each other's traffic.
+
+    The last three fields are the *fabric envelope*, shared by every
+    message regardless of which layer produced it: ``kind`` names the
+    routing discipline (``"user"`` mailbox traffic vs ``"server_request"``
+    RPC hops), ``trace_id`` ties the message to the logical operation that
+    caused it, and ``hop`` counts how many causally-chained messages
+    preceded it within that trace.  :meth:`repro.vp.machine.Machine.route`
+    stamps ``trace_id``/``hop`` from the sender's execution context when
+    the sender did not set them explicitly.
     """
 
     source: int
@@ -49,6 +58,9 @@ class Message:
     tag: Hashable = None
     group: Optional[Hashable] = None
     seq: int = field(default_factory=lambda: next(_sequence))
+    kind: str = "user"
+    trace_id: Optional[str] = None
+    hop: int = 0
 
     def matches(
         self,

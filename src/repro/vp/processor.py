@@ -13,9 +13,10 @@ underlying OS threads share one real address space.
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable, Optional
+from typing import Any, Callable
 
 from repro.pcn.process import Process
+from repro.vp import fabric
 from repro.vp.mailbox import Mailbox
 
 
@@ -56,8 +57,19 @@ class VirtualProcessor:
                 f"cannot spawn on failed processor {self.number}",
                 processor=self.number,
             )
+        # The child runs under this processor's fabric context, inheriting
+        # the spawner's trace envelope so causally-related messages share a
+        # trace id across process boundaries.
+        _, trace_id, hop = fabric.snapshot_context()
+
+        def placed(*a: Any, **kw: Any) -> Any:
+            with fabric.execution_context(
+                processor=self.number, trace_id=trace_id, hop=hop
+            ):
+                return target(*a, **kw)
+
         proc = Process(
-            target,
+            placed,
             args=args,
             kwargs=kwargs,
             name=name or f"vp{self.number}-proc",
@@ -106,6 +118,12 @@ class VirtualProcessor:
         self.sent_count += 1
         self.sent_bytes += message.nbytes()
         self.machine.route(message)
+
+    def reset_traffic_counters(self) -> None:
+        """Zero this node's traffic accounting (send side + mailbox)."""
+        self.sent_count = 0
+        self.sent_bytes = 0
+        self.mailbox.reset_traffic_counters()
 
     def __repr__(self) -> str:
         return f"<VirtualProcessor {self.number}>"

@@ -32,7 +32,7 @@ class TestRun:
     def test_postcondition_vector_contents(self, rt4):
         """§6.1.3 postcondition: V1[i] == V2[i] == i+1.  Verified by
         driving test_iprdv directly on arrays we keep."""
-        from repro.calls.params import Index, Local, Reduce
+        from repro.calls.params import Index, Reduce
 
         procs = rt4.all_processors()
         m = 8

@@ -2,10 +2,9 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.calls import Index, Local, Reduce
+from repro.calls import Index, Reduce
 from repro.core.channels import Channel
 from repro.pcn.composition import par
 from repro.status import Status

@@ -8,12 +8,11 @@ under that load (per-processor serials, record tables, section storage).
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.arrays import am_user, am_util
 from repro.arrays.local_section import TRACKER
-from repro.calls import Index, Local, Reduce, distributed_call
+from repro.calls import Local, Reduce, distributed_call
 from repro.pcn.composition import par, par_for
 from repro.spmd import collectives
 from repro.status import Status

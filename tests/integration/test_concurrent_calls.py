@@ -6,7 +6,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.calls import Index, Local, Reduce
+from repro.calls import Index, Reduce
 from repro.core.runtime import IntegratedRuntime
 from repro.pcn.composition import par
 from repro.spmd import collectives

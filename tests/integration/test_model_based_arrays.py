@@ -10,12 +10,11 @@ cross-operation interactions no example-based test enumerates.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.arrays import am_user, am_util
-from repro.calls import Index, Local, distributed_call
+from repro.calls import Local, distributed_call
 from repro.status import Status
 from repro.vp.machine import Machine
 

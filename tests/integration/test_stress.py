@@ -4,7 +4,6 @@ problem-class helpers, concurrent mixed workloads."""
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.arrays import am_user, am_util
 from repro.arrays.local_section import TRACKER

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.arrays import am_user, am_util
-from repro.calls import Index, Local, Reduce, distributed_call
+from repro.calls import Local, Reduce, distributed_call
 from repro.spmd import linalg
 from repro.spmd.context import OutCell
 from repro.status import Status
@@ -238,9 +238,9 @@ class TestLU:
         )
         assert res.status is Status.OK
         lu = gather_matrix(m4, a, n)
-        l = np.tril(lu, -1) + np.eye(n)
-        u = np.triu(lu)
-        assert np.allclose(l @ u, a_vals, atol=1e-9)
+        lower = np.tril(lu, -1) + np.eye(n)
+        upper = np.triu(lu)
+        assert np.allclose(lower @ upper, a_vals, atol=1e-9)
 
     def test_lu_solve_matches_numpy(self, m4):
         n = 8

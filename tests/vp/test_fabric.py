@@ -1,0 +1,170 @@
+"""The fabric envelope: trace ids and hop counts stamped by Machine.route
+and propagated through spawns and server-request hops."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pcn.defvar import DefVar
+from repro.vp import fabric
+from repro.vp.fabric import TraceInterceptor
+from repro.vp.machine import Machine
+
+
+class TestExecutionContext:
+    def test_top_level_thread_has_no_context(self):
+        assert fabric.current_processor() is None
+        trace, hop = fabric.current_trace()
+        assert trace is None
+        assert hop == 0
+
+    def test_context_scopes_and_restores(self):
+        with fabric.execution_context(processor=3, trace_id="t-x", hop=2):
+            assert fabric.current_processor() == 3
+            assert fabric.current_trace() == ("t-x", 2)
+            with fabric.execution_context(trace_id="t-y"):
+                # Unset fields inherit from the enclosing scope.
+                assert fabric.current_processor() == 3
+                assert fabric.current_trace() == ("t-y", 2)
+            assert fabric.current_trace() == ("t-x", 2)
+        assert fabric.current_processor() is None
+
+    def test_spawned_process_runs_under_its_processor(self):
+        m = Machine(2)
+        seen = DefVar("seen")
+        m.processor(1).spawn(lambda: seen.define(fabric.current_processor()))
+        assert seen.read(timeout=5.0) == 1
+
+    def test_spawn_inherits_trace(self):
+        m = Machine(2)
+        seen = DefVar("seen")
+        with fabric.execution_context(trace_id="t-parent", hop=4):
+            m.processor(0).spawn(lambda: seen.define(fabric.current_trace()))
+        assert seen.read(timeout=5.0) == ("t-parent", 4)
+
+    def test_trace_ids_are_unique(self):
+        assert fabric.new_trace_id() != fabric.new_trace_id()
+
+
+class TestEnvelopeStamping:
+    def test_route_stamps_fresh_trace_on_unscoped_send(self):
+        m = Machine(2)
+        tracer = TraceInterceptor(m).install()
+        m.send(0, 1, "a", tag="t")
+        m.send(0, 1, "b", tag="t")
+        spans = tracer.spans()
+        assert all(s["trace"] is not None for s in spans)
+        assert spans[0]["trace"] != spans[1]["trace"]  # unrelated sends
+
+    def test_route_preserves_ambient_trace(self):
+        m = Machine(2)
+        tracer = TraceInterceptor(m).install()
+        with fabric.execution_context(trace_id="t-op", hop=7):
+            m.send(0, 1, "a", tag="t")
+        (span,) = tracer.spans()
+        assert span["trace"] == "t-op"
+        assert span["hop"] == 7
+        assert span["kind"] == "user"
+
+    def test_received_message_carries_envelope(self):
+        m = Machine(2)
+        with fabric.execution_context(trace_id="t-env"):
+            m.send(0, 1, "payload", tag="t")
+        msg = m.processor(1).mailbox.recv(tag="t", timeout=2.0)
+        assert msg.trace_id == "t-env"
+        assert msg.hop == 0
+
+
+class TestServerHops:
+    def test_cross_processor_request_is_one_traced_message(self):
+        m = Machine(3)
+        hits = []
+        m.server.load({"mark": lambda node, st: (hits.append(node.number),
+                                                 st.define("ok"))})
+        tracer = TraceInterceptor(m).install()
+        st = DefVar("st")
+        m.server.request("mark", st, processor=2, source=0)
+        assert st.read(timeout=5.0) == "ok"
+        assert hits == [2]
+        (span,) = tracer.spans()
+        assert span["kind"] == "server_request"
+        assert span["source"] == 0
+        assert span["dest"] == 2
+
+    def test_nested_requests_share_trace_and_count_hops(self):
+        m = Machine(3)
+
+        def relay(node, depth, done):
+            if depth == 0:
+                done.define(node.number)
+                return
+            m.server.request(
+                "relay", depth - 1, done, processor=node.number + 1
+            )
+
+        m.server.load({"relay": relay})
+        tracer = TraceInterceptor(m).install()
+        done = DefVar("done")
+        # Runs locally on node 0 (no origin), then hops 0->1->2.
+        m.server.request("relay", 2, done, processor=0)
+        assert done.read(timeout=5.0) == 2
+        spans = tracer.spans()
+        assert len(spans) == 2
+        assert spans[0]["trace"] == spans[1]["trace"]
+        assert [s["hop"] for s in spans] == [0, 1]
+        assert [(s["source"], s["dest"]) for s in spans] == [(0, 1), (1, 2)]
+
+    def test_same_node_request_costs_no_message(self):
+        m = Machine(2)
+        m.server.load({"noop": lambda node, st: st.define("ok")})
+        m.reset_traffic()
+        st = DefVar("st")
+        m.server.request("noop", st, processor=1, source=1)
+        assert st.read(timeout=5.0) == "ok"
+        assert m.traffic_snapshot()["messages"] == 0
+
+    def test_request_error_propagates_across_hop(self):
+        m = Machine(2)
+
+        def boom(node):
+            raise RuntimeError("handler exploded")
+
+        m.server.load({"boom": boom})
+        with pytest.raises(RuntimeError, match="handler exploded"):
+            m.server.request("boom", processor=1, source=0)
+
+    def test_async_cross_request_returns_process(self):
+        m = Machine(2)
+        done = DefVar("done")
+        m.server.load({"slow": lambda node, out: out.define(node.number)})
+        proc = m.server.request(
+            "slow", done, processor=1, source=0, synchronous=False
+        )
+        proc.join(timeout=5.0)
+        assert done.read(timeout=5.0) == 1
+
+
+class TestDistributedCallTrace:
+    def test_one_call_one_trace(self):
+        """Every message of one distributed call shares its trace id."""
+        from repro.arrays import am_util
+        from repro.calls import Index, Reduce, distributed_call
+        from repro.spmd import collectives
+
+        m = Machine(4)
+        am_util.load_all(m)
+        procs = am_util.node_array(0, 1, 4)
+        tracer = TraceInterceptor(m).install()
+
+        def program(ctx, index, out):
+            out[0] = collectives.allreduce(ctx.comm, float(index), op="sum")
+
+        result = distributed_call(
+            m, procs, program, [Index(), Reduce("double", 1, "sum")]
+        )
+        assert result.reductions[0] == 4 * 6.0  # folded sum of allreduce
+        dp_spans = [s for s in tracer.spans() if s["group"] is not None]
+        assert dp_spans, "the collective must have produced group traffic"
+        traces = {s["trace"] for s in dp_spans}
+        assert len(traces) == 1
+        assert next(iter(traces)).startswith("dcall")

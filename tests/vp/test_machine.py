@@ -7,7 +7,6 @@ import threading
 import pytest
 
 from repro.vp.machine import Machine
-from repro.vp.message import Message, MessageType
 
 
 class TestTopology:
