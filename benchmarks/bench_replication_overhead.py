@@ -1,0 +1,86 @@
+"""Write-path cost of section replication (docs/fault_model.md §6).
+
+Claims reproduced:
+
+* a ``replication=k`` array ships exactly ``k`` extra ``replica_update``
+  messages per section write — overhead is proportional to the chain
+  length, not to array size bookkeeping;
+* the wall-clock write-path overhead of ``replication=1`` over
+  ``replication=0`` stays a small constant factor (the mirror apply is
+  one lock + one ndarray assignment, no serialisation).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import report
+from repro.arrays import am_user, am_util
+from repro.arrays.durability import REPLICA_UPDATE_KIND
+from repro.status import Status
+from repro.vp.fabric import TrafficMeter
+from repro.vp.machine import Machine
+
+DIMS = (16, 16)
+DISTRIB = (("block", 2), ("block", 2))
+ROWS_PER_PASS = DIMS[0]
+PASSES = 4
+
+
+def _write_pass(machine: Machine, array_id) -> None:
+    for row in range(ROWS_PER_PASS):
+        data = np.full((1, DIMS[1]), float(row))
+        status = am_user.write_region(
+            machine, array_id, [(row, row + 1), (0, DIMS[1])], data
+        )
+        assert status is Status.OK
+
+
+def _measure(replication: int) -> tuple[float, int]:
+    """(seconds per full-array write pass, replica messages per pass)."""
+    machine = Machine(6, default_recv_timeout=30)
+    am_util.load_all(machine)
+    array_id, status = am_user.create_array(
+        machine, "double", DIMS, [0, 1, 2, 3], DISTRIB,
+        replication=replication,
+    )
+    assert status is Status.OK
+    meter = TrafficMeter()
+    machine.transport_stack.push(meter)
+    _write_pass(machine, array_id)  # warm caches outside the timed window
+    before = meter.snapshot()["by_kind"].get(REPLICA_UPDATE_KIND, (0, 0))[0]
+    t0 = time.perf_counter()
+    for _ in range(PASSES):
+        _write_pass(machine, array_id)
+    elapsed = (time.perf_counter() - t0) / PASSES
+    after = meter.snapshot()["by_kind"].get(REPLICA_UPDATE_KIND, (0, 0))[0]
+    machine.transport_stack.remove(meter)
+    return elapsed, (after - before) // PASSES
+
+
+class TestReplicationOverhead:
+    def test_write_path_overhead_ratio(self, benchmark):
+        """Seconds/pass and replica traffic for replication 0, 1, 2."""
+        results = {k: _measure(k) for k in (0, 1, 2)}
+        benchmark(_measure, 1)
+
+        base, _ = results[0]
+        rows = [("replication", "sec/pass", "replica msgs/pass", "ratio")]
+        for k, (elapsed, msgs) in results.items():
+            rows.append(
+                (k, f"{elapsed * 1e3:.2f}ms", msgs, f"{elapsed / base:.2f}x")
+            )
+        report("Replicated write-path overhead (16x16, 2x2 grid)", rows)
+        benchmark.extra_info["overhead_ratio_r1"] = results[1][0] / base
+        benchmark.extra_info["overhead_ratio_r2"] = results[2][0] / base
+
+        # Message counts are deterministic: each row write touches two
+        # sections, and each section write ships k replica updates.
+        assert results[0][1] == 0
+        assert results[1][1] == 2 * ROWS_PER_PASS * 1
+        assert results[2][1] == 2 * ROWS_PER_PASS * 2
+        # Wall clock: replication must not blow the write path up by an
+        # order of magnitude (GIL-attenuated; shape, not absolute, claim).
+        assert results[2][0] / base < 10.0

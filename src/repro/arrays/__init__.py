@@ -16,6 +16,14 @@ from repro.arrays.decomposition import (
     compute_grid,
     normalize_distrib,
 )
+from repro.arrays.durability import (
+    ArraySnapshot,
+    DurabilityState,
+    RecoveryCoordinator,
+    ReplicaMap,
+    ReplicaUpdate,
+    install_recovery,
+)
 from repro.arrays.layout import ArrayLayout
 from repro.arrays.record import ArrayID, ArrayRecord
 from repro.arrays.local_section import LocalSection
@@ -23,6 +31,12 @@ from repro.arrays.manager import ArrayManager, install_array_manager
 from repro.arrays import am_user, am_util
 
 __all__ = [
+    "ArraySnapshot",
+    "DurabilityState",
+    "RecoveryCoordinator",
+    "ReplicaMap",
+    "ReplicaUpdate",
+    "install_recovery",
     "BLOCK",
     "STAR",
     "Block",

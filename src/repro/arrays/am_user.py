@@ -42,10 +42,16 @@ def create_array(
     border_info: Any = None,
     indexing_type: str = "row",
     processor: int = 0,
+    replication: int = 0,
     array_id_out: Optional[DefVar] = None,
     status_out: Optional[DefVar] = None,
 ) -> tuple[Optional[ArrayID], Status]:
-    """am_user:create_array (§4.2.1)."""
+    """am_user:create_array (§4.2.1).
+
+    ``replication=k`` makes the array durable: each section gets ``k``
+    deterministic backup mirrors, maintained by ``replica_update``
+    messages on every write (see ``docs/fault_model.md``, Durable arrays).
+    """
     get_array_manager(machine)
     array_id = _out(array_id_out, "Array_ID")
     status = _out(status_out, "Status")
@@ -59,6 +65,7 @@ def create_array(
         border_info,
         indexing_type,
         status,
+        replication,
         processor=processor,
     )
     return array_id.read(), Status(status.read())
@@ -233,6 +240,43 @@ def verify_array(
         indexing_type,
         status,
         processor=processor,
+    )
+    return Status(status.read())
+
+
+def checkpoint_array(
+    machine: Machine,
+    array_id: ArrayID,
+    processor: int = 0,
+    snapshot_out: Optional[DefVar] = None,
+    status_out: Optional[DefVar] = None,
+) -> tuple[Any, Status]:
+    """am_user:checkpoint_array — epoch-consistent snapshot (extension).
+
+    Quiesces writers at an epoch barrier and returns an
+    :class:`~repro.arrays.durability.ArraySnapshot`, which also becomes
+    the array's latest checkpoint for replication-free recovery.
+    """
+    snapshot = _out(snapshot_out, "Snapshot")
+    status = _out(status_out, "Status")
+    machine.server.request(
+        "checkpoint_array", array_id, snapshot, status, processor=processor
+    )
+    return snapshot.read(), Status(status.read())
+
+
+def restore_array(
+    machine: Machine,
+    array_id: ArrayID,
+    snapshot: Any,
+    processor: int = 0,
+    status_out: Optional[DefVar] = None,
+) -> Status:
+    """am_user:restore_array — write a snapshot back under a fresh epoch
+    (extension)."""
+    status = _out(status_out, "Status")
+    machine.server.request(
+        "restore_array", array_id, snapshot, status, processor=processor
     )
     return Status(status.read())
 

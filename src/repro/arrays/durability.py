@@ -1,0 +1,492 @@
+"""Durable distributed arrays: replication, checkpoints, and recovery.
+
+PR 1 made distributed *calls* survive VP death; this module makes
+distributed *array state* survive it.  Three cooperating mechanisms, all
+riding the PR 2 message fabric so tracing, metering, and fault injection
+see every byte they move:
+
+* **Section replication** — ``create_array(..., replication=k)`` assigns
+  each local section a deterministic backup chain (a :class:`ReplicaMap`
+  computed by :meth:`~repro.arrays.layout.ArrayLayout.replica_chains`).
+  Every manager-mediated write ships one routed ``kind="replica_update"``
+  message per backup, stamped with the array's current **epoch**; backups
+  keep a mirror of the section interior in their own address space.
+
+* **Checkpoint/restore** — ``ArrayManager.checkpoint`` quiesces writers
+  at an epoch barrier (one :class:`~repro.spmd.comm.GroupComm` barrier
+  with every owner's write lock held) and serializes each section into an
+  :class:`ArraySnapshot`; ``restore`` writes a snapshot back under a
+  fresh epoch.
+
+* **Recovery** — a :class:`RecoveryCoordinator` subscribed to the
+  machine's failure notifications rebuilds the dead processor's sections
+  onto a spare VP from the surviving replicas (or the latest checkpoint
+  when ``replication=0``), rewrites the replica map, and bumps the array
+  epoch so stale in-flight replica updates from the dead attempt are
+  rejected rather than resurrected.
+
+Epoch rules (the consistency contract):
+
+1. epochs are per-array, start at 0, and never decrease;
+2. every replica update carries the writing owner's current epoch; a
+   backup rejects updates older than its mirror's epoch;
+3. checkpoint, restore, and recovery each bump the epoch, so data from
+   before the cut / the dead attempt is identifiable and refusable.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.arrays.layout import ArrayLayout
+from repro.arrays.local_section import dtype_for
+from repro.arrays.record import ArrayID
+from repro.pcn.defvar import DefVar
+from repro.status import Status
+from repro.vp import fabric
+
+REPLICA_UPDATE_KIND = "replica_update"
+RECOVERY_KIND = "recovery"
+
+
+# -- replica placement --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ReplicaMap:
+    """Deterministic backup chain per section.
+
+    ``chains[section]`` lists the processors mirroring that section, in
+    chain order — the next ``replication`` distinct owners after the
+    section's own processor in the array's processor ring, so the same
+    ``(processors, replication)`` pair always yields the same placement.
+    """
+
+    chains: Tuple[Tuple[int, ...], ...]
+
+    @classmethod
+    def assign(
+        cls,
+        layout: ArrayLayout,
+        processors: Tuple[int, ...],
+        replication: int,
+    ) -> "ReplicaMap":
+        return cls(tuple(layout.replica_chains(processors, replication)))
+
+    def backups_for(self, section: int) -> Tuple[int, ...]:
+        return self.chains[section]
+
+    def hosts(self) -> set:
+        """Every processor that mirrors at least one section."""
+        return {proc for chain in self.chains for proc in chain}
+
+
+@dataclass(frozen=True)
+class ReplicaUpdate:
+    """One epoch-stamped mutation shipped to a section's backups.
+
+    ``op`` is ``"element"``/``"region"``/``"section"``; ``target`` holds
+    the local indices (element) or interior slices (region), ``data`` the
+    written value(s).  ``shape``/``type_name`` let a backup materialise
+    the mirror lazily on first contact.
+    """
+
+    array_id: ArrayID
+    section: int
+    epoch: int
+    op: str
+    shape: Tuple[int, ...]
+    type_name: str
+    data: Any
+    target: Optional[tuple] = None
+
+    @property
+    def nbytes(self) -> int:
+        data = self.data
+        if hasattr(data, "nbytes"):
+            return int(data.nbytes)
+        return 8
+
+
+class _ReplicaEntry:
+    __slots__ = ("epoch", "data")
+
+    def __init__(self, epoch: int, data: np.ndarray) -> None:
+        self.epoch = epoch
+        self.data = data
+
+
+class ReplicaStore:
+    """Per-processor storage for section mirrors (lives in the node heap,
+    so replicas occupy the backup's address space like any other data)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: Dict[Tuple[ArrayID, int], _ReplicaEntry] = {}
+
+    def apply(self, update: ReplicaUpdate) -> bool:
+        """Apply one update; returns False when it is stale (older epoch
+        than the mirror — e.g. an in-flight write from a dead attempt
+        arriving after recovery bumped the array epoch)."""
+        key = (update.array_id, update.section)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                entry = _ReplicaEntry(
+                    update.epoch,
+                    np.zeros(update.shape, dtype=dtype_for(update.type_name)),
+                )
+                self._entries[key] = entry
+            if update.epoch < entry.epoch:
+                return False
+            entry.epoch = update.epoch
+            if update.op == "section":
+                entry.data[...] = update.data
+            else:  # "element" and "region" both assign through target
+                entry.data[tuple(update.target)] = update.data
+            return True
+
+    def fetch(
+        self, array_id: ArrayID, section: int
+    ) -> Optional[Tuple[int, np.ndarray]]:
+        with self._lock:
+            entry = self._entries.get((array_id, section))
+            if entry is None:
+                return None
+            return entry.epoch, entry.data.copy()
+
+    def sections_for(self, array_id: ArrayID) -> List[int]:
+        with self._lock:
+            return sorted(
+                s for (aid, s) in self._entries if aid == array_id
+            )
+
+    def drop_array(self, array_id: ArrayID) -> None:
+        with self._lock:
+            for key in [k for k in self._entries if k[0] == array_id]:
+                del self._entries[key]
+
+
+_REPLICA_STORE_KEY = "am.replicas"
+
+
+def replica_store_for(node) -> ReplicaStore:
+    store = node.load_default(_REPLICA_STORE_KEY)
+    if store is None:
+        store = ReplicaStore()
+        node.store(_REPLICA_STORE_KEY, store)
+    return store
+
+
+# -- snapshots ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ArraySnapshot:
+    """A consistent cut of one distributed array at ``epoch``.
+
+    ``sections[s]`` is a dense copy of section ``s``'s interior; the
+    snapshot carries enough geometry to restore after the processor set
+    changed (recovery remaps owners, sections are stable).
+    """
+
+    array_id: ArrayID
+    epoch: int
+    type_name: str
+    layout: ArrayLayout
+    processors: Tuple[int, ...]
+    replication: int
+    sections: Dict[int, np.ndarray]
+
+    def nbytes(self) -> int:
+        return sum(int(d.nbytes) for d in self.sections.values())
+
+    def assemble(self) -> np.ndarray:
+        """The global array this snapshot captured (test/diagnostic aid)."""
+        out = np.zeros(self.layout.dims, dtype=dtype_for(self.type_name))
+        for section, data in self.sections.items():
+            coords = self.layout.section_coords(section)
+            slices = tuple(
+                slice(c * ld, (c + 1) * ld)
+                for c, ld in zip(coords, self.layout.local_dims)
+            )
+            out[slices] = data
+        return out
+
+
+# -- machine-wide durability bookkeeping --------------------------------------
+
+
+@dataclass
+class DurabilityState:
+    """The array manager's machine-wide durability record for one array:
+    authoritative epoch counter, current membership, replica placement,
+    latest checkpoint, and recovery statistics."""
+
+    array_id: ArrayID
+    replication: int
+    processors: Tuple[int, ...]
+    replica_map: Optional[ReplicaMap]
+    creator: int
+    type_name: str
+    layout: ArrayLayout
+    border_spec: tuple
+    epoch: int = 0
+    last_checkpoint_epoch: Optional[int] = None
+    last_checkpoint: Optional[ArraySnapshot] = None
+    sections_rebuilt: int = 0
+    stale_rejected: int = 0
+    recovered_procs: set = field(default_factory=set)
+    unrecovered: list = field(default_factory=list)
+    lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
+
+    def note_stale(self) -> None:
+        with self.lock:
+            self.stale_rejected += 1
+
+    def diagnostics(self) -> dict:
+        with self.lock:
+            return {
+                "replication": self.replication,
+                "processors": list(self.processors),
+                "epoch": self.epoch,
+                "last_checkpoint_epoch": self.last_checkpoint_epoch,
+                "sections_rebuilt": self.sections_rebuilt,
+                "stale_replica_updates_rejected": self.stale_rejected,
+                "unrecovered": list(self.unrecovered),
+            }
+
+
+# -- recovery -----------------------------------------------------------------
+
+
+class RecoveryCoordinator:
+    """Rebuilds lost sections when a virtual processor dies.
+
+    Subscribes to the machine's failure notifications
+    (:meth:`~repro.vp.machine.Machine.add_failure_listener`); on a death
+    it walks every durable array, copies each lost section out of the
+    first surviving backup in its chain (or the latest checkpoint when
+    the array has no replicas), adopts it onto a spare VP, rewrites the
+    replica map deterministically for the new membership, reseeds the
+    mirrors, and bumps the array epoch.
+
+    Registration is idempotent at three layers: the machine deduplicates
+    listeners by identity, :func:`install_recovery` returns the
+    machine's existing coordinator, and the per-array ``recovered_procs``
+    set guards against double rebuilds even when two distinct
+    coordinator instances are installed (e.g. in nested supervised
+    calls).
+    """
+
+    def __init__(self, machine) -> None:
+        self.machine = machine
+        self._installed = False
+        self.recoveries: List[dict] = []
+        self._lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def install(self) -> "RecoveryCoordinator":
+        if not self._installed:
+            self.machine.add_failure_listener(self._on_failure)
+            self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        if self._installed:
+            self.machine.remove_failure_listener(self._on_failure)
+            self._installed = False
+
+    def __enter__(self) -> "RecoveryCoordinator":
+        return self.install()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.uninstall()
+
+    # -- failure handling ----------------------------------------------------
+
+    def _on_failure(self, dead: int) -> None:
+        manager = getattr(self.machine, "_array_manager", None)
+        if manager is None:
+            return
+        for array_id, state in manager.durability_states():
+            try:
+                self._recover_array(array_id, state, dead)
+            except Exception as exc:  # noqa: BLE001 - never break transport
+                with state.lock:
+                    state.unrecovered.append((dead, repr(exc)))
+                with self._lock:
+                    self.recoveries.append(
+                        {
+                            "array": array_id.as_tuple(),
+                            "dead": dead,
+                            "ok": False,
+                            "error": repr(exc),
+                        }
+                    )
+
+    def _recover_array(
+        self, array_id: ArrayID, state: DurabilityState, dead: int
+    ) -> None:
+        machine = self.machine
+        with state.lock:
+            if dead not in state.processors or dead in state.recovered_procs:
+                return
+            state.recovered_procs.add(dead)
+            event: dict = {
+                "array": array_id.as_tuple(),
+                "dead": dead,
+                "sections": [],
+                "ok": False,
+            }
+            alive = [
+                p for p in range(machine.num_nodes) if not machine.is_failed(p)
+            ]
+            spare = next(
+                (p for p in alive if p not in state.processors), None
+            )
+            if spare is None:
+                state.unrecovered.append((dead, "no spare processor"))
+                event["error"] = "no spare processor"
+                with self._lock:
+                    self.recoveries.append(event)
+                return
+            event["spare"] = spare
+            dead_sections = [
+                s for s, p in enumerate(state.processors) if p == dead
+            ]
+            new_epoch = state.epoch + 1
+            new_processors = tuple(
+                spare if p == dead else p for p in state.processors
+            )
+            new_map = (
+                ReplicaMap.assign(state.layout, new_processors, state.replication)
+                if state.replication > 0
+                else None
+            )
+            coordinator_proc = alive[0]
+            # The failure listener may run on the dead VP's own thread (a
+            # kill after its Nth send); recovery traffic must originate
+            # from a surviving node.
+            with fabric.execution_context(processor=coordinator_proc):
+                for section in dead_sections:
+                    data = self._section_data(state, array_id, section, alive)
+                    if data is None:
+                        state.unrecovered.append(
+                            (dead, f"section {section}: no replica or checkpoint")
+                        )
+                        event["error"] = f"section {section} unrecoverable"
+                        with self._lock:
+                            self.recoveries.append(event)
+                        return
+                    self._request(
+                        "adopt_section",
+                        array_id,
+                        state.type_name,
+                        state.layout,
+                        new_processors,
+                        state.border_spec,
+                        state.replication,
+                        new_map,
+                        new_epoch,
+                        data,
+                        processor=spare,
+                    )
+                    event["sections"].append(section)
+                holders = (set(new_processors) | {state.creator}) - {spare}
+                for holder in sorted(holders):
+                    if machine.is_failed(holder):
+                        continue
+                    self._request(
+                        "update_membership_local",
+                        array_id,
+                        new_processors,
+                        new_map,
+                        new_epoch,
+                        processor=holder,
+                    )
+                if state.replica_map is not None:
+                    for owner in new_processors:
+                        if machine.is_failed(owner):
+                            continue
+                        self._request(
+                            "reseed_replicas_local", array_id, processor=owner
+                        )
+            state.processors = new_processors
+            state.replica_map = new_map
+            state.epoch = new_epoch
+            state.sections_rebuilt += len(dead_sections)
+            event["ok"] = True
+            event["epoch"] = new_epoch
+        with self._lock:
+            self.recoveries.append(event)
+
+    def _section_data(
+        self,
+        state: DurabilityState,
+        array_id: ArrayID,
+        section: int,
+        alive: List[int],
+    ) -> Optional[np.ndarray]:
+        """A copy of the lost section: freshest surviving replica first,
+        the latest checkpoint as the replication=0 fallback."""
+        if state.replica_map is not None:
+            for backup in state.replica_map.backups_for(section):
+                if backup not in alive:
+                    continue
+                out = DefVar(f"replica_fetch@{backup}")
+                status = DefVar(f"replica_fetch_status@{backup}")
+                self.machine.server.request(
+                    "replica_fetch",
+                    array_id,
+                    section,
+                    out,
+                    status,
+                    processor=backup,
+                    kind=RECOVERY_KIND,
+                )
+                if Status(status.read()) is Status.OK:
+                    _epoch, data = out.read()
+                    return data
+        if state.last_checkpoint is not None:
+            data = state.last_checkpoint.sections.get(section)
+            if data is not None:
+                return data.copy()
+        return None
+
+    def _request(self, request_type: str, *parameters: Any, processor: int) -> None:
+        status = DefVar(f"{request_type}@{processor}")
+        self.machine.server.request(
+            request_type,
+            *parameters,
+            status,
+            processor=processor,
+            kind=RECOVERY_KIND,
+        )
+        if Status(status.read()) is not Status.OK:
+            raise RuntimeError(
+                f"recovery request {request_type!r} on processor {processor} "
+                f"failed with {Status(status.read()).name}"
+            )
+
+
+def install_recovery(machine) -> RecoveryCoordinator:
+    """Install (or return) the machine's recovery coordinator.
+
+    Idempotent like :func:`~repro.arrays.manager.install_array_manager`:
+    a machine has at most one coordinator, and repeated installation —
+    e.g. from nested ``supervised_call``\\ s — never double-subscribes.
+    """
+    existing = getattr(machine, "_recovery_coordinator", None)
+    if existing is not None:
+        return existing.install()
+    coordinator = RecoveryCoordinator(machine)
+    machine._recovery_coordinator = coordinator  # type: ignore[attr-defined]
+    return coordinator.install()

@@ -245,6 +245,36 @@ class ArrayLayout:
                 tuple(entry[2] for entry in combo),
             )
 
+    # -- replica placement -------------------------------------------------------
+
+    def replica_chains(
+        self, processors: Sequence[int], replication: int
+    ) -> list[tuple[int, ...]]:
+        """Deterministic backup chain for every section.
+
+        Section ``s`` (owned by ``processors[s]``) is mirrored on the next
+        ``replication`` processors after it in the array's own processor
+        ring — a pure function of ``(processors, replication)``, so any
+        node can recompute the placement without communication.  Requires
+        ``0 <= replication < len(processors)`` (a section cannot back up
+        onto its own owner).
+        """
+        procs = tuple(int(p) for p in processors)
+        if len(procs) != self.num_sections:
+            raise ValueError(
+                f"{len(procs)} processors for {self.num_sections} sections"
+            )
+        if not 0 <= replication < len(procs):
+            raise ValueError(
+                f"replication {replication} outside [0, {len(procs) - 1}] "
+                f"for {len(procs)} processors"
+            )
+        n = len(procs)
+        return [
+            tuple(procs[(s + j) % n] for j in range(1, replication + 1))
+            for s in range(self.num_sections)
+        ]
+
     # -- local indices -> storage offset ----------------------------------------
 
     def storage_offset(self, local: Sequence[int]) -> int:

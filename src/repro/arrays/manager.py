@@ -25,6 +25,7 @@ supplied in the request — the bidirectional server communication of §5.1.1.
 
 from __future__ import annotations
 
+import itertools
 import threading
 from typing import Any, Optional, Sequence
 
@@ -32,12 +33,22 @@ import numpy as np
 
 from repro.arrays.borders import BorderSpecError, resolve_borders
 from repro.arrays.decomposition import DecompositionError, compute_grid
+from repro.arrays.durability import (
+    RECOVERY_KIND,
+    REPLICA_UPDATE_KIND,
+    ArraySnapshot,
+    DurabilityState,
+    ReplicaMap,
+    ReplicaUpdate,
+    replica_store_for,
+)
 from repro.arrays.layout import ArrayLayout, normalize_indexing
 from repro.arrays.local_section import LocalSection, dtype_for
 from repro.arrays.record import SERIALS, ArrayID, ArrayRecord
 from repro.pcn.defvar import DefVar
-from repro.status import Status
+from repro.status import ProcessorFailedError, Status
 from repro.vp.machine import Machine
+from repro.vp.message import Message
 from repro.vp.processor import VirtualProcessor
 
 _RECORDS_KEY = "am.records"
@@ -71,6 +82,12 @@ class ArrayManager:
         self._trace_lock = threading.Lock()
         # Request counters: the simulated-cost model for FIG-3.9.
         self.request_counts: dict[str, int] = {}
+        # Machine-wide durability bookkeeping: one DurabilityState per
+        # array (authoritative epoch, membership, replica map, latest
+        # checkpoint, recovery statistics).
+        self._durability: dict[ArrayID, DurabilityState] = {}
+        self._durability_lock = threading.Lock()
+        self._checkpoint_serials = itertools.count()
 
     # -- bookkeeping ----------------------------------------------------------
 
@@ -103,6 +120,13 @@ class ArrayManager:
             "write_region": self.write_region,
             "write_region_local": self.write_region_local,
             "get_local_block": self.get_local_block,
+            "checkpoint_array": self.checkpoint_array,
+            "restore_array": self.restore_array,
+            "restore_local": self.restore_local,
+            "replica_fetch": self.replica_fetch,
+            "adopt_section": self.adopt_section,
+            "update_membership_local": self.update_membership_local,
+            "reseed_replicas_local": self.reseed_replicas_local,
         }
 
     # -- helpers ---------------------------------------------------------------
@@ -116,12 +140,92 @@ class ArrayManager:
         return record
 
     def _peer_request(
-        self, request_type: str, processor: int, *parameters: Any
+        self,
+        request_type: str,
+        processor: int,
+        *parameters: Any,
+        kind: str = "server_request",
     ) -> None:
         """Array-manager process -> array-manager process communication."""
         self.machine.server.request(
-            request_type, *parameters, processor=processor
+            request_type, *parameters, processor=processor, kind=kind
         )
+
+    # -- durability plumbing ---------------------------------------------------
+
+    def durability_state(self, array_id: ArrayID) -> Optional[DurabilityState]:
+        with self._durability_lock:
+            return self._durability.get(array_id)
+
+    def durability_states(self) -> list[tuple[ArrayID, DurabilityState]]:
+        with self._durability_lock:
+            return sorted(self._durability.items(), key=lambda kv: kv[0])
+
+    def durability_diagnostics(self) -> dict:
+        """Per-array durability snapshot for ``Machine.diagnostics()``."""
+        return {
+            str(array_id.as_tuple()): state.diagnostics()
+            for array_id, state in self.durability_states()
+        }
+
+    def _replicate(
+        self,
+        node: VirtualProcessor,
+        record: ArrayRecord,
+        op: str,
+        target: Optional[tuple],
+        data: Any,
+    ) -> None:
+        """Ship one epoch-stamped ``replica_update`` message per backup of
+        this node's section.  Caller holds ``record.lock``, so the update
+        carries a consistent (data, epoch) pair.  Dead backups are skipped:
+        recovery rewrites the replica map when membership changes."""
+        if record.replication <= 0 or record.replica_map is None:
+            return
+        section_number = record.processors.index(node.number)
+        update = ReplicaUpdate(
+            array_id=record.array_id,
+            section=section_number,
+            epoch=record.epoch,
+            op=op,
+            shape=record.layout.local_dims,
+            type_name=record.type_name,
+            data=data,
+            target=target,
+        )
+        for backup in record.replica_map.backups_for(section_number):
+            try:
+                self.machine.route(
+                    Message(
+                        source=node.number,
+                        dest=backup,
+                        payload=update,
+                        tag=("replica", record.array_id.as_tuple()),
+                        kind=REPLICA_UPDATE_KIND,
+                    )
+                )
+            except ProcessorFailedError:
+                continue
+
+    def _on_replica_update(self, message: Message) -> None:
+        """Final delivery of a ``replica_update`` message: apply it to the
+        backup's mirror, counting epoch-stale rejects per array."""
+        update: ReplicaUpdate = message.payload
+        node = self.machine.processor(message.dest)
+        if not replica_store_for(node).apply(update):
+            state = self.durability_state(update.array_id)
+            if state is not None:
+                state.note_stale()
+
+    def _write_status(self, node: VirtualProcessor, status: DefVar) -> None:
+        """Define a write's status, downgrading OK to ERROR when this node
+        died mid-write (a kill triggered by the write's own replica
+        traffic): the local mutation may be torn relative to its mirrors,
+        so the caller must treat the write as failed and retry."""
+        if self.machine.is_failed(node.number):
+            _define(status, Status.ERROR)
+        else:
+            _define(status, Status.OK)
 
     # -- create -------------------------------------------------------------------
 
@@ -136,12 +240,17 @@ class ArrayManager:
         border_info: Any,
         indexing_type: str,
         status: DefVar,
+        replication: int = 0,
     ) -> None:
         """Create a distributed array (§4.2.1).
 
         Runs on the requesting processor; issues ``create_local`` on every
         processor in the distribution, then records the array locally so
         later requests made on the creating processor resolve (§5.1.4).
+
+        ``replication=k`` assigns each section a deterministic chain of
+        ``k`` backup processors (:meth:`ArrayLayout.replica_chains`); every
+        subsequent write ships one ``replica_update`` per backup.
         """
         self._note("create_array", node.number, tuple(dimensions))
         try:
@@ -163,6 +272,12 @@ class ArrayManager:
                 borders=borders,
                 indexing=indexing,
                 grid_indexing=indexing,
+            )
+            replication = int(replication)
+            replica_map = (
+                ReplicaMap.assign(layout, procs, replication)
+                if replication > 0
+                else None
             )
         except (
             ValueError,
@@ -193,6 +308,8 @@ class ArrayManager:
                 procs,
                 border_spec,
                 st,
+                replication,
+                replica_map,
             )
         if any(Status(st.read()) is not Status.OK for st in local_statuses):
             _define(array_id_out, None)
@@ -210,6 +327,19 @@ class ArrayManager:
                 processors=procs,
                 section=None,
                 border_spec=border_spec,
+                replication=replication,
+                replica_map=replica_map,
+            )
+        with self._durability_lock:
+            self._durability[array_id] = DurabilityState(
+                array_id=array_id,
+                replication=replication,
+                processors=procs,
+                replica_map=replica_map,
+                creator=node.number,
+                type_name=type_name,
+                layout=layout,
+                border_spec=border_spec,
             )
         _define(array_id_out, array_id)
         _define(status, Status.OK)
@@ -223,6 +353,8 @@ class ArrayManager:
         processors: tuple[int, ...],
         border_spec: tuple,
         status: DefVar,
+        replication: int = 0,
+        replica_map: Any = None,
     ) -> None:
         """Create the local section for one processor (§5.1.1)."""
         self._note("create_local", node.number, array_id)
@@ -232,14 +364,24 @@ class ArrayManager:
             layout.borders,
             layout.indexing,
         )
-        _records(node)[array_id] = ArrayRecord(
+        record = ArrayRecord(
             array_id=array_id,
             type_name=type_name,
             layout=layout,
             processors=processors,
             section=section,
             border_spec=border_spec,
+            replication=replication,
+            replica_map=replica_map,
         )
+        _records(node)[array_id] = record
+        if replication > 0 and replica_map is not None:
+            # Seed the backup mirrors with the initial contents: a section
+            # lost *before* its first write must still be recoverable.
+            with record.lock:
+                self._replicate(
+                    node, record, "section", None, section.interior().copy()
+                )
         _define(status, Status.OK)
 
     # -- free ----------------------------------------------------------------------
@@ -264,6 +406,8 @@ class ArrayManager:
             st.read()
         # Invalidate the creating-processor record as well (§5.1.3).
         record.valid = False
+        with self._durability_lock:
+            self._durability.pop(array_id, None)
         _define(status, Status.OK)
 
     def free_local(
@@ -277,6 +421,7 @@ class ArrayManager:
         if record.section is not None:
             record.section.free()
         record.valid = False
+        replica_store_for(node).drop_array(array_id)
         _define(status, Status.OK)
 
     # -- element access ---------------------------------------------------------------
@@ -371,8 +516,12 @@ class ArrayManager:
         if record is None or record.section is None:
             _define(status, Status.NOT_FOUND)
             return
-        record.section.write(local_indices, element)
-        _define(status, Status.OK)
+        with record.lock:
+            record.section.write(local_indices, element)
+            self._replicate(
+                node, record, "element", tuple(local_indices), element
+            )
+        self._write_status(node, status)
 
     # -- local sections ------------------------------------------------------------------
 
@@ -439,8 +588,10 @@ class ArrayManager:
         if tuple(getattr(data, "shape", ())) != tuple(interior.shape):
             _define(status, Status.INVALID)
             return
-        interior[...] = data
-        _define(status, Status.OK)
+        with record.lock:
+            interior[...] = data
+            self._replicate(node, record, "section", None, interior.copy())
+        self._write_status(node, status)
 
     # -- region access -----------------------------------------------------------------
 
@@ -584,8 +735,12 @@ class ArrayManager:
         if record is None or record.section is None:
             _define(status, Status.NOT_FOUND)
             return
-        record.section.interior()[tuple(local_slices)] = data
-        _define(status, Status.OK)
+        with record.lock:
+            record.section.interior()[tuple(local_slices)] = data
+            self._replicate(
+                node, record, "region", tuple(local_slices), data
+            )
+        self._write_status(node, status)
 
     def get_local_block(
         self,
@@ -686,6 +841,282 @@ class ArrayManager:
         record.layout = new_layout
         _define(status, Status.ERROR if bad else Status.OK)
 
+    # -- checkpoint / restore -----------------------------------------------------------
+
+    def checkpoint_array(
+        self,
+        node: VirtualProcessor,
+        array_id: Any,
+        snapshot_out: DefVar,
+        status: DefVar,
+    ) -> None:
+        """Produce an epoch-consistent snapshot of one array.
+
+        The consistency cut: one worker per owning processor acquires its
+        record's write lock, then all workers meet at a
+        :func:`~repro.spmd.collectives.barrier` — at the barrier instant
+        every section lock is held simultaneously, so no write is in
+        flight anywhere.  Each worker copies its interior and stamps the
+        new epoch before releasing, and the assembled
+        :class:`ArraySnapshot` becomes the array's latest checkpoint.
+        """
+        self._note("checkpoint_array", node.number, array_id)
+        state = (
+            self.durability_state(array_id)
+            if isinstance(array_id, ArrayID)
+            else None
+        )
+        if state is None:
+            _define(snapshot_out, None)
+            _define(status, Status.NOT_FOUND)
+            return
+        from repro.spmd.comm import GroupComm
+
+        with state.lock:
+            procs = state.processors
+            target_epoch = state.epoch + 1
+            group = (
+                "am.ckpt",
+                array_id.as_tuple(),
+                next(self._checkpoint_serials),
+            )
+            try:
+                results: list[DefVar] = []
+                for rank, proc in enumerate(procs):
+                    comm = GroupComm(self.machine, procs, rank, group)
+                    result = DefVar(f"checkpoint@{proc}")
+                    results.append(result)
+                    self.machine.processor(proc).spawn(
+                        self._checkpoint_section,
+                        self.machine.processor(proc),
+                        array_id,
+                        comm,
+                        target_epoch,
+                        result,
+                        name=f"am-checkpoint-{proc}",
+                    )
+                sections: dict[int, np.ndarray] = {}
+                limit = self.machine.default_recv_timeout
+                for section_number, result in enumerate(results):
+                    outcome, data = result.read(timeout=limit)
+                    if outcome != "ok":
+                        raise RuntimeError(
+                            f"checkpoint worker for section {section_number} "
+                            f"failed"
+                        )
+                    sections[section_number] = data
+            except Exception:  # noqa: BLE001 - quiesce failures -> Status
+                _define(snapshot_out, None)
+                _define(status, Status.ERROR)
+                return
+            snapshot = ArraySnapshot(
+                array_id=array_id,
+                epoch=target_epoch,
+                type_name=state.type_name,
+                layout=state.layout,
+                processors=procs,
+                replication=state.replication,
+                sections=sections,
+            )
+            state.epoch = target_epoch
+            state.last_checkpoint = snapshot
+            state.last_checkpoint_epoch = target_epoch
+        _define(snapshot_out, snapshot)
+        _define(status, Status.OK)
+
+    def _checkpoint_section(
+        self,
+        node: VirtualProcessor,
+        array_id: ArrayID,
+        comm: Any,
+        epoch: int,
+        result: DefVar,
+    ) -> None:
+        """Per-owner checkpoint worker: lock, barrier, copy, stamp."""
+        from repro.spmd.collectives import barrier
+
+        record = self._lookup(node, array_id)
+        if record is None or record.section is None:
+            # Still participate in the barrier so peers are not stranded
+            # holding their locks.
+            barrier(comm)
+            result.define(("error", None))
+            return
+        with record.lock:
+            barrier(comm)
+            data = record.section.interior().copy()
+            record.epoch = epoch
+        result.define(("ok", data))
+
+    def restore_array(
+        self,
+        node: VirtualProcessor,
+        array_id: Any,
+        snapshot: Any,
+        status: DefVar,
+    ) -> None:
+        """Write a snapshot back into the array under a fresh epoch.
+
+        Sections are restored onto the *current* membership (recovery may
+        have remapped owners since the snapshot was taken); mirrors are
+        reseeded by each owner, so in-flight replica updates stamped
+        before the restore are rejected as stale.
+        """
+        self._note("restore_array", node.number, array_id)
+        state = (
+            self.durability_state(array_id)
+            if isinstance(array_id, ArrayID)
+            else None
+        )
+        if state is None:
+            _define(status, Status.NOT_FOUND)
+            return
+        if not isinstance(snapshot, ArraySnapshot) or (
+            snapshot.array_id != array_id
+        ):
+            _define(status, Status.INVALID)
+            return
+        with state.lock:
+            new_epoch = max(state.epoch, snapshot.epoch) + 1
+            statuses: list[DefVar] = []
+            for section_number, proc in enumerate(state.processors):
+                data = snapshot.sections.get(section_number)
+                if data is None:
+                    _define(status, Status.INVALID)
+                    return
+                st = DefVar(f"restore_local@{proc}")
+                statuses.append(st)
+                self._peer_request(
+                    "restore_local", proc, array_id, data, new_epoch, st
+                )
+            bad = any(
+                Status(st.read()) is not Status.OK for st in statuses
+            )
+            if bad:
+                _define(status, Status.ERROR)
+                return
+            state.epoch = new_epoch
+        _define(status, Status.OK)
+
+    def restore_local(
+        self,
+        node: VirtualProcessor,
+        array_id: ArrayID,
+        data: Any,
+        epoch: int,
+        status: DefVar,
+    ) -> None:
+        """Overwrite this section from a snapshot at the given epoch."""
+        self._note("restore_local", node.number, array_id)
+        record = self._lookup(node, array_id)
+        if record is None or record.section is None:
+            _define(status, Status.NOT_FOUND)
+            return
+        interior = record.section.interior()
+        if tuple(getattr(data, "shape", ())) != tuple(interior.shape):
+            _define(status, Status.INVALID)
+            return
+        with record.lock:
+            interior[...] = data
+            record.epoch = int(epoch)
+            self._replicate(node, record, "section", None, interior.copy())
+        self._write_status(node, status)
+
+    # -- recovery ------------------------------------------------------------------------
+
+    def replica_fetch(
+        self,
+        node: VirtualProcessor,
+        array_id: ArrayID,
+        section: int,
+        out: DefVar,
+        status: DefVar,
+    ) -> None:
+        """Fetch this backup's mirror of one section: ``(epoch, data)``."""
+        self._note("replica_fetch", node.number, array_id)
+        entry = replica_store_for(node).fetch(array_id, int(section))
+        if entry is None:
+            _define(out, None)
+            _define(status, Status.NOT_FOUND)
+            return
+        _define(out, entry)
+        _define(status, Status.OK)
+
+    def adopt_section(
+        self,
+        node: VirtualProcessor,
+        array_id: ArrayID,
+        type_name: str,
+        layout: ArrayLayout,
+        processors: tuple[int, ...],
+        border_spec: tuple,
+        replication: int,
+        replica_map: Any,
+        epoch: int,
+        data: Any,
+        status: DefVar,
+    ) -> None:
+        """Install a rebuilt section on a spare processor (recovery)."""
+        self._note("adopt_section", node.number, array_id)
+        section = LocalSection(
+            type_name, layout.local_dims, layout.borders, layout.indexing
+        )
+        section.interior()[...] = data
+        _records(node)[array_id] = ArrayRecord(
+            array_id=array_id,
+            type_name=type_name,
+            layout=layout,
+            processors=tuple(processors),
+            section=section,
+            border_spec=border_spec,
+            replication=replication,
+            replica_map=replica_map,
+            epoch=int(epoch),
+        )
+        _define(status, Status.OK)
+
+    def update_membership_local(
+        self,
+        node: VirtualProcessor,
+        array_id: ArrayID,
+        processors: tuple[int, ...],
+        replica_map: Any,
+        epoch: int,
+        status: DefVar,
+    ) -> None:
+        """Rewrite a surviving record's membership after recovery."""
+        self._note("update_membership_local", node.number, array_id)
+        record = _records(node).get(array_id)
+        if record is None or not record.valid:
+            _define(status, Status.NOT_FOUND)
+            return
+        with record.lock:
+            record.processors = tuple(processors)
+            record.replica_map = replica_map
+            record.epoch = int(epoch)
+        _define(status, Status.OK)
+
+    def reseed_replicas_local(
+        self,
+        node: VirtualProcessor,
+        array_id: ArrayID,
+        status: DefVar,
+    ) -> None:
+        """Push this owner's full section to its (new) backups at the
+        current epoch, so mirrors reflect post-recovery reality and older
+        in-flight updates are rejected as stale."""
+        self._note("reseed_replicas_local", node.number, array_id)
+        record = self._lookup(node, array_id)
+        if record is None or record.section is None:
+            _define(status, Status.NOT_FOUND)
+            return
+        with record.lock:
+            self._replicate(
+                node, record, "section", None,
+                record.section.interior().copy(),
+            )
+        _define(status, Status.OK)
+
     # -- info ---------------------------------------------------------------------------
 
     def find_info(
@@ -730,6 +1161,13 @@ def install_array_manager(
         return existing
     manager = ArrayManager(machine, trace=trace)
     machine.server.load(manager.capabilities())
+    # Durability traffic rides the fabric under its own envelope kinds:
+    # replica updates apply at the backup's final delivery, recovery
+    # requests execute as server calls distinguishable by meters/tracers.
+    machine.register_kind_handler(
+        REPLICA_UPDATE_KIND, manager._on_replica_update
+    )
+    machine.register_kind_handler(RECOVERY_KIND, machine.server._execute)
     machine._array_manager = manager  # type: ignore[attr-defined]
     return manager
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Optional
 
 from repro.arrays.layout import ArrayLayout
 from repro.arrays.local_section import LocalSection
@@ -68,6 +68,18 @@ class ArrayRecord:
     valid: bool = True
     # Border specification retained so verify_array can compare (§4.2.7).
     border_spec: tuple = field(default_factory=tuple)
+    # Durability fields: replication factor and backup-chain map fixed at
+    # creation, epoch stamped on replica updates and advanced by
+    # checkpoint/restore/recovery.  ``lock`` serialises local writes
+    # against the checkpoint consistency cut; it is reentrant because a
+    # recovery triggered mid-write (a kill on the write's own replica
+    # send) must be able to rewrite membership from the same thread.
+    replication: int = 0
+    replica_map: Optional[Any] = None
+    epoch: int = 0
+    lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
     @property
     def dims(self) -> tuple[int, ...]:
@@ -114,6 +126,8 @@ class ArrayRecord:
             "local_dimensions_plus": lambda: list(self.local_dims_plus),
             "indexing_type": lambda: self.indexing_type,
             "grid_indexing_type": lambda: self.grid_indexing_type,
+            "replication": lambda: self.replication,
+            "epoch": lambda: self.epoch,
         }
         try:
             return table[which]()

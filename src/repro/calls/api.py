@@ -20,6 +20,7 @@ environment plus the relocatability contract of §3.5.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
@@ -57,6 +58,12 @@ class CallResult:
         yield self.reductions
 
 
+# Per-call serial for backoff-jitter decorrelation: each supervised call
+# gets a distinct label, so calls sharing one RetryPolicy do not retry in
+# lockstep (see RetryPolicy.delay).
+_CALL_LABELS = itertools.count()
+
+
 def distributed_call(
     machine: Machine,
     processors: Sequence[int],
@@ -67,6 +74,7 @@ def distributed_call(
     timeout: Optional[float] = None,
     retry: Optional[Any] = None,
     idempotent: bool = False,
+    restore_arrays: Optional[Sequence[Any]] = None,
 ) -> CallResult:
     """Call ``program`` concurrently on every processor in ``processors``.
 
@@ -87,6 +95,14 @@ def distributed_call(
     the caller must declare the call ``idempotent``.  With supervision the
     final machine-level failure is returned as a ``Status.ERROR`` result
     (failure-as-value, §4.1.2) rather than raised.
+
+    ``restore_arrays`` (supervised calls only) lists distributed arrays —
+    handles exposing ``array_id`` or raw ``ArrayID``\\ s — that the program
+    mutates.  Each is checkpointed before the first attempt; every retry
+    restores the checkpoints first, so re-execution starts from the
+    pre-attempt epoch instead of the torn state a failed attempt
+    half-wrote (Chunks-and-Tasks re-execution over recoverable data,
+    arXiv:1210.7427).
     """
     specs = normalize_parameters(parameters)
     procs = [int(p) for p in processors]
@@ -100,6 +116,11 @@ def distributed_call(
         raise ValueError(
             "retry supervision re-executes the program; the call must be "
             "declared idempotent=True"
+        )
+    if restore_arrays and retry is None:
+        raise ValueError(
+            "restore_arrays only applies to supervised calls (retry=...): "
+            "restores happen between retry attempts"
         )
     if timeout is None and machine.default_recv_timeout is not None:
         # Inherit the machine's receive deadline as the call bound, with
@@ -116,7 +137,41 @@ def distributed_call(
             "combine program supplied but no 'status' parameter in the call"
         )
 
+    snapshots: list[tuple[Any, Any]] = []
+    if retry is not None and restore_arrays:
+        from repro.arrays import am_user
+
+        for array in restore_arrays:
+            array_id = getattr(array, "array_id", array)
+            snapshot, snap_status = am_user.checkpoint_array(machine, array_id)
+            if snap_status is not Status.OK:
+                raise ValueError(
+                    f"cannot checkpoint {array_id} before supervised call: "
+                    f"{snap_status.name}"
+                )
+            snapshots.append((array_id, snapshot))
+    attempt_counter = itertools.count()
+
     def attempt() -> CallResult:
+        # Retries first roll every restore_arrays target back to its
+        # pre-attempt checkpoint, so re-execution never observes a torn
+        # write from the failed attempt.
+        if next(attempt_counter) > 0 and snapshots:
+            from repro.arrays import am_user
+
+            for array_id, snapshot in snapshots:
+                restore_status = am_user.restore_array(
+                    machine, array_id, snapshot
+                )
+                if restore_status is not Status.OK:
+                    return CallResult(
+                        status=Status.ERROR,
+                        reductions=[],
+                        error=RuntimeError(
+                            f"restore of {array_id} before retry failed: "
+                            f"{restore_status.name}"
+                        ),
+                    )
         # A fresh call group per attempt: stale messages from a failed
         # attempt can never be intercepted by the re-execution (§3.4.1).
         group = next_call_group()
@@ -142,8 +197,9 @@ def distributed_call(
     else:
         from repro.faults.retry import run_with_retry
 
+        label = f"{getattr(program, '__name__', 'call')}#{next(_CALL_LABELS)}"
         last, history = run_with_retry(
-            attempt, retry, classify=lambda r: r.status
+            attempt, retry, classify=lambda r: r.status, label=label
         )
         if isinstance(last, BaseException):
             result = CallResult(

@@ -30,12 +30,14 @@ class DistributedArray:
         layout: ArrayLayout,
         processors: tuple[int, ...],
         type_name: str,
+        replication: int = 0,
     ) -> None:
         self.machine = machine
         self.array_id = array_id
         self.layout = layout
         self.processors = processors
         self.type_name = type_name
+        self.replication = replication
         self._freed = False
 
     # -- creation ------------------------------------------------------------------
@@ -51,8 +53,13 @@ class DistributedArray:
         borders: Any = None,
         indexing: str = "row",
         on_processor: int = 0,
+        replication: int = 0,
     ) -> "DistributedArray":
-        """Create a distributed array, raising on failure."""
+        """Create a distributed array, raising on failure.
+
+        ``replication=k`` keeps ``k`` backup mirrors of every section (see
+        ``docs/fault_model.md``, Durable arrays).
+        """
         array_id, status = am_user.create_array(
             machine,
             type_name,
@@ -62,6 +69,7 @@ class DistributedArray:
             border_info=borders,
             indexing_type=indexing,
             processor=on_processor,
+            replication=replication,
         )
         check_status(
             status,
@@ -87,6 +95,7 @@ class DistributedArray:
             layout,
             tuple(int(p) for p in processors),
             type_name,
+            replication=replication,
         )
 
     # -- element access ---------------------------------------------------------------
@@ -179,6 +188,26 @@ class DistributedArray:
         borders, st = am_user.find_info(self.machine, self.array_id, "borders")
         check_status(st)
         self.layout = self.layout.replace_borders(tuple(int(b) for b in borders))
+
+    # -- durability ---------------------------------------------------------------------------
+
+    def checkpoint(self) -> Any:
+        """Epoch-consistent snapshot of the whole array (quiesces writers
+        at a barrier); also becomes the latest checkpoint used by
+        replication-free recovery."""
+        self._check_live()
+        snapshot, status = am_user.checkpoint_array(
+            self.machine, self.array_id
+        )
+        check_status(status, "checkpoint_array failed")
+        return snapshot
+
+    def restore(self, snapshot: Any) -> None:
+        """Write a snapshot back under a fresh epoch; stale in-flight
+        replica updates from before the restore are rejected."""
+        self._check_live()
+        status = am_user.restore_array(self.machine, self.array_id, snapshot)
+        check_status(status, "restore_array failed")
 
     # -- lifetime ------------------------------------------------------------------------------
 

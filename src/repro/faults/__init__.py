@@ -18,7 +18,8 @@ package makes partial failure an *input*.  It provides:
 See ``docs/fault_model.md`` for the taxonomy and a cookbook.
 """
 
-from repro.faults.plan import FaultDecision, FaultPlan, KillSpec
+from repro.arrays.durability import RecoveryCoordinator, install_recovery
+from repro.faults.plan import FaultDecision, FaultPlan, KillSpec, random_kills
 from repro.faults.retry import (
     AttemptRecord,
     RetryPolicy,
@@ -35,9 +36,12 @@ __all__ = [
     "FaultStats",
     "FaultyTransport",
     "KillSpec",
+    "RecoveryCoordinator",
     "RetryPolicy",
     "WaitEdge",
     "Watchdog",
+    "install_recovery",
+    "random_kills",
     "run_with_retry",
     "supervised_call",
 ]

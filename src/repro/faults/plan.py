@@ -107,3 +107,30 @@ class FaultPlan:
 
     def kills_for(self, processor: int) -> Sequence[KillSpec]:
         return [k for k in self.kills if k.processor == processor]
+
+
+def random_kills(
+    seed: int,
+    processors: Sequence[int],
+    count: int = 1,
+    max_after: int = 12,
+    events: Sequence[str] = ("send", "recv"),
+) -> Tuple[KillSpec, ...]:
+    """Seeded random kill schedule for fuzzing.
+
+    Draws ``count`` :class:`KillSpec`\\ s — victim from ``processors``,
+    trigger event from ``events``, threshold uniform in
+    ``[1, max_after]`` — from a generator seeded by ``seed`` alone, so
+    the same seed always produces the same schedule.
+    """
+    if not processors:
+        raise ValueError("random_kills needs at least one candidate processor")
+    rng = random.Random(f"kills:{seed}")
+    return tuple(
+        KillSpec(
+            processor=int(rng.choice(list(processors))),
+            after=rng.randint(1, max_after),
+            on=rng.choice(list(events)),
+        )
+        for _ in range(count)
+    )

@@ -44,8 +44,21 @@ class RetryPolicy:
         if self.base_delay < 0 or self.jitter < 0 or self.multiplier <= 0:
             raise ValueError("backoff parameters must be non-negative")
 
-    def delay(self, attempt: int) -> float:
-        u = random.Random(f"{self.seed}:{attempt}").random()
+    def delay(self, attempt: int, label: Optional[str] = None) -> float:
+        """Backoff before retrying ``attempt``.
+
+        ``label`` names the supervised call drawing the delay: two
+        concurrent calls sharing one policy object get *different* jitter
+        streams (seeded by ``(seed, label, attempt)``), so their retries
+        do not land on a shared VP in lockstep.  Without a label the
+        schedule depends only on ``(seed, attempt)``, as before.
+        """
+        token = (
+            f"{self.seed}:{attempt}"
+            if label is None
+            else f"{self.seed}:{label}:{attempt}"
+        )
+        u = random.Random(token).random()
         return self.base_delay * (self.multiplier ** attempt) * (
             1.0 + self.jitter * u
         )
@@ -65,13 +78,16 @@ def run_with_retry(
     policy: RetryPolicy,
     classify: Callable[[Any], Any],
     sleep: Callable[[float], None] = time.sleep,
+    label: Optional[str] = None,
 ) -> tuple[Any, list[AttemptRecord]]:
     """Drive ``attempt_fn`` under ``policy``.
 
     ``classify(result)`` returns the attempt's Status; a retryable
     exception (``ProcessorFailedError``/``TimeoutError``) counts as
     ``Status.ERROR``.  Returns ``(last_result_or_exception, history)``;
-    the caller decides how to surface the final failure.
+    the caller decides how to surface the final failure.  ``label``
+    decorrelates this call's backoff jitter from other calls sharing the
+    policy (see :meth:`RetryPolicy.delay`).
     """
     history: list[AttemptRecord] = []
     last: Any = None
@@ -90,7 +106,7 @@ def run_with_retry(
             if status is Status.OK or status == int(Status.OK):
                 return result, history
         if attempt + 1 < policy.max_attempts:
-            sleep(policy.delay(attempt))
+            sleep(policy.delay(attempt, label))
     return last, history
 
 
@@ -102,11 +118,18 @@ def supervised_call(
     policy: RetryPolicy,
     combine: Optional[Any] = None,
     timeout: Optional[float] = None,
+    restore_arrays: Optional[Sequence[Any]] = None,
 ):
     """An idempotent :func:`~repro.calls.api.distributed_call` under retry.
 
     Convenience wrapper equivalent to
     ``distributed_call(..., retry=policy, idempotent=True)``.
+
+    ``restore_arrays`` lists distributed arrays (handles or
+    :class:`~repro.arrays.record.ArrayID`\\ s) the program mutates: each is
+    checkpointed before the first attempt, and every retry restores the
+    checkpoints first — so re-execution starts from the pre-attempt epoch
+    rather than the torn state a failed attempt half-wrote.
     """
     from repro.calls.api import distributed_call
 
@@ -119,4 +142,5 @@ def supervised_call(
         timeout=timeout,
         retry=policy,
         idempotent=True,
+        restore_arrays=restore_arrays,
     )

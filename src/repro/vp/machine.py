@@ -62,6 +62,14 @@ class Machine:
         self._lock = threading.Lock()
         self._failed: set[int] = set()
         self.transport_stack = TransportStack(self._deliver)
+        # Final-delivery dispatch by envelope kind: mailbox traffic is the
+        # default, ``server_request`` executes at the target, and
+        # subsystems may register further kinds (the array manager's
+        # ``replica_update``/``recovery``) without touching delivery.
+        self._kind_handlers: dict[str, Callable[[Message], None]] = {
+            "server_request": self.server._execute,
+        }
+        self._failure_listeners: list[Callable[[int], None]] = []
         self.routed_count = 0
         self.routed_bytes = 0
         self.dropped_to_dead = 0
@@ -92,11 +100,16 @@ class Machine:
         Poisons its mailbox so every blocked receiver raises
         :class:`ProcessorFailedError` immediately (no hang until the recv
         deadline); later sends/receives/placements involving the node fail
-        per the machine's policy.  Idempotent.
+        per the machine's policy.  Idempotent: a second ``fail`` of an
+        already-dead processor is a no-op, so failure listeners observe
+        each death exactly once.
         """
         node = self.processor(number)
         with self._lock:
+            if number in self._failed:
+                return
             self._failed.add(number)
+            listeners = list(self._failure_listeners)
         node.mailbox.poison(
             ProcessorFailedError(
                 f"processor {number} failed", processor=number
@@ -107,6 +120,14 @@ class Machine:
         for other in self._processors:
             if other.number != number:
                 other.mailbox.mark_source_dead(number)
+        # Notify outside the machine lock: listeners (e.g. the recovery
+        # coordinator) route messages of their own.  A listener failure
+        # must not corrupt the transport path that triggered the kill.
+        for listener in listeners:
+            try:
+                listener(number)
+            except Exception:  # noqa: BLE001
+                pass
 
     def revive(self, number: int) -> None:
         """Bring a failed processor back (fresh mailbox state is *not*
@@ -126,6 +147,25 @@ class Machine:
     def failed_processors(self) -> list[int]:
         with self._lock:
             return sorted(self._failed)
+
+    def add_failure_listener(self, listener: Callable[[int], None]) -> None:
+        """Subscribe to processor deaths; ``listener(number)`` runs
+        synchronously inside :meth:`fail`.  Adding the same listener twice
+        is a no-op, so nested installations — e.g. two supervised calls
+        both installing recovery — never double a death notification.
+        Deduplication uses ``==``, not ``is``: each attribute access on a
+        bound method builds a fresh object, so identity checks would let
+        ``add(obj.handler); add(obj.handler)`` register twice and leave
+        ``remove(obj.handler)`` unable to find it."""
+        with self._lock:
+            if all(fn != listener for fn in self._failure_listeners):
+                self._failure_listeners.append(listener)
+
+    def remove_failure_listener(self, listener: Callable[[int], None]) -> None:
+        with self._lock:
+            self._failure_listeners = [
+                fn for fn in self._failure_listeners if fn != listener
+            ]
 
     def check_alive(self, processors) -> None:
         """Raise :class:`ProcessorFailedError` if any listed VP is dead."""
@@ -151,10 +191,20 @@ class Machine:
             with self._lock:
                 self.dropped_to_dead += 1
             return
-        if message.kind == "server_request":
-            self.server._execute(message)
+        with self._lock:
+            handler = self._kind_handlers.get(message.kind)
+        if handler is not None:
+            handler(message)
             return
         self.processor(message.dest).mailbox.deliver(message)
+
+    def register_kind_handler(
+        self, kind: str, handler: Callable[[Message], None]
+    ) -> None:
+        """Route messages of envelope ``kind`` to ``handler`` at final
+        delivery instead of the destination mailbox."""
+        with self._lock:
+            self._kind_handlers[kind] = handler
 
     def route(self, message: Message) -> None:
         """The single routing choke point: validate, stamp the envelope,
@@ -251,6 +301,10 @@ class Machine:
             alive = node.live_process_count()
             if alive:
                 live[node.number] = alive
+        manager = getattr(self, "_array_manager", None)
+        arrays = (
+            manager.durability_diagnostics() if manager is not None else {}
+        )
         with self._lock:
             return {
                 "num_nodes": self.num_nodes,
@@ -261,6 +315,7 @@ class Machine:
                 "routed_messages": self.routed_count,
                 "routed_bytes": self.routed_bytes,
                 "dropped_to_dead": self.dropped_to_dead,
+                "arrays": arrays,
             }
 
     # -- program placement -----------------------------------------------------

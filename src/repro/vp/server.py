@@ -99,6 +99,7 @@ class ServerRegistry:
         synchronous: bool = True,
         timeout: Optional[float] = None,
         source: Optional[int] = None,
+        kind: str = "server_request",
     ) -> Optional[Any]:
         """Issue a server request.
 
@@ -126,6 +127,11 @@ class ServerRegistry:
         inherits the machine's ``default_recv_timeout`` behaviour.
         Requests addressed to a dead processor raise
         :class:`~repro.status.ProcessorFailedError` immediately.
+
+        ``kind`` names the fabric envelope kind of the routed hop (default
+        ``"server_request"``); recovery traffic uses ``"recovery"`` so
+        interceptors and meters can distinguish it.  Any kind used here
+        must be registered on the machine to execute as a server call.
         """
         with self._lock:
             handler = self._capabilities.get(request_type)
@@ -138,7 +144,8 @@ class ServerRegistry:
         origin = source if source is not None else fabric.current_processor()
         if origin is not None and origin != number:
             return self._request_remote(
-                request_type, parameters, origin, number, synchronous, timeout
+                request_type, parameters, origin, number, synchronous,
+                timeout, kind,
             )
         node = self._machine.processor(number)
         if synchronous:
@@ -164,6 +171,7 @@ class ServerRegistry:
         number: int,
         synchronous: bool,
         timeout: Optional[float],
+        kind: str = "server_request",
     ) -> Optional[Any]:
         """Ship the request as one routed message from origin to target."""
         done = DefVar(f"server-{request_type}-done") if synchronous else None
@@ -177,7 +185,7 @@ class ServerRegistry:
                 dest=number,
                 payload=call,
                 tag=("server", request_type),
-                kind="server_request",
+                kind=kind,
             )
         )
         limit = (
