@@ -1,0 +1,111 @@
+"""OBS-1 — observation-off overhead of the telemetry layer.
+
+The acceptance bar for the observability subsystem: with no observer
+installed, every instrumentation site must collapse to a single attribute
+probe (``machine._observer`` is None -> shared no-op span handle).  This
+benchmark measures the FIG-3.9 manager path — the hottest instrumented
+path, an element read crossing ``am:read_element`` + ``am:read_element_local``
+spans plus mailbox hooks — in three configurations:
+
+* ``off``       — instrumented code, observer not installed (the default
+  every other benchmark and test runs under);
+* ``on``        — full observation (spans + metrics + message events);
+* ``probe``     — the bare no-op probe in isolation, to bound the per-site
+  cost directly.
+
+The shape assertion: the measured per-site no-op cost times the number of
+probes on the element-read path must stay under 5% of the off-path
+per-operation time.  (Comparing against pre-instrumentation code at
+runtime is impossible — the probe-cost bound is the honest equivalent.)
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import report
+from repro.obs.spans import span as obs_span
+
+N = 32
+
+# Span probes crossed by one arr[i] element read with observation off:
+# two wrapped handlers (am:read_element, am:read_element_local), counted
+# double to also cover the mailbox deliver/recv hook checks on the two
+# server-request hops — each of those is a bare attribute test, several
+# times cheaper than the full no-op span probe measured below.
+_PROBES_PER_ELEMENT_READ = 4
+
+
+class TestObsOverhead:
+    def test_off_path_overhead_under_5_percent(self, rt8):
+        arr = rt8.array("double", (N,), distrib=[("block", 8)])
+        machine = rt8.machine
+        assert machine.observer is None
+
+        reads = 300
+        t0 = time.perf_counter()
+        for _ in range(reads):
+            arr[5]
+        per_read_off = (time.perf_counter() - t0) / reads
+
+        # Bare probe cost: what each instrumentation site pays when off.
+        probes = 100_000
+        t0 = time.perf_counter()
+        for _ in range(probes):
+            with obs_span(machine, "noop"):
+                pass
+        per_probe = (time.perf_counter() - t0) / probes
+
+        overhead_fraction = (
+            _PROBES_PER_ELEMENT_READ * per_probe / per_read_off
+        )
+
+        # And the on-path ratio, for the record (not asserted: full
+        # recording is allowed to cost what it costs).
+        observer = machine.observe()
+        t0 = time.perf_counter()
+        for _ in range(reads):
+            arr[5]
+        per_read_on = (time.perf_counter() - t0) / reads
+        observer.close()
+
+        report(
+            "OBS-1 observation overhead on the FIG-3.9 element-read path",
+            [
+                ("configuration", "per-op seconds"),
+                ("observation off", f"{per_read_off:.6f}"),
+                ("observation on", f"{per_read_on:.6f}"),
+                ("no-op probe (per site)", f"{per_probe * 1e9:.0f} ns"),
+                ("off-path overhead bound", f"{overhead_fraction:.3%}"),
+            ],
+        )
+        assert overhead_fraction < 0.05, (
+            f"observation-off probes cost {overhead_fraction:.1%} of an "
+            f"element read (bar: 5%)"
+        )
+        arr.free()
+
+    def test_element_read_off(self, benchmark, rt8):
+        """The fig39 manager-path timing with observation off (baseline)."""
+        arr = rt8.array("double", (N,), distrib=[("block", 8)])
+        assert rt8.machine.observer is None
+        benchmark(lambda: arr[5])
+        arr.free()
+
+    def test_element_read_on(self, benchmark, rt8):
+        """The same path under full observation, for the on/off ratio."""
+        arr = rt8.array("double", (N,), distrib=[("block", 8)])
+        with rt8.observe():
+            benchmark(lambda: arr[5])
+        arr.free()
+
+    def test_noop_span_probe(self, benchmark, rt8):
+        """Cost of one instrumentation-site probe with observation off."""
+        machine = rt8.machine
+        assert machine.observer is None
+
+        def probe():
+            with obs_span(machine, "noop"):
+                pass
+
+        benchmark(probe)

@@ -7,8 +7,13 @@ computes their inner product, and prints the result — the complete
 task-parallel/data-parallel round trip in ~30 lines.
 
 Run:  python examples/quickstart.py [num_processors]
+
+Set ``REPRO_OBSERVE=1`` to run under the observability layer and print a
+span profile; ``REPRO_TRACE_OUT=<path>`` additionally writes a
+Chrome/Perfetto trace-event file of the run (see docs/observability.md).
 """
 
+import os
 import sys
 
 import numpy as np
@@ -37,6 +42,7 @@ def main() -> None:
 
     print(f"starting test on {nodes} virtual processors")
     rt = IntegratedRuntime(nodes)
+    observer = rt.observe() if os.environ.get("REPRO_OBSERVE") else None
     procs = rt.all_processors()
 
     # Create two distributed vectors (block decomposition).
@@ -66,6 +72,16 @@ def main() -> None:
 
     v1.free()
     v2.free()
+
+    if observer is not None:
+        print("span profile (slowest phases first):")
+        for name, count, total in observer.span_summary()[:8]:
+            print(f"    {name:28s} {count:6d} calls  {total:8.4f}s")
+        trace_out = os.environ.get("REPRO_TRACE_OUT")
+        if trace_out:
+            observer.export_chrome_trace(trace_out)
+            print(f"chrome trace written to {trace_out}")
+        observer.close()
     print("ending test")
 
 

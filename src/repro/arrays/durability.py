@@ -45,6 +45,7 @@ import numpy as np
 from repro.arrays.layout import ArrayLayout
 from repro.arrays.local_section import dtype_for
 from repro.arrays.record import ArrayID
+from repro.obs.spans import span as obs_span
 from repro.pcn.defvar import DefVar
 from repro.status import Status
 from repro.vp import fabric
@@ -339,92 +340,108 @@ class RecoveryCoordinator:
         with state.lock:
             if dead not in state.processors or dead in state.recovered_procs:
                 return
-            state.recovered_procs.add(dead)
-            event: dict = {
-                "array": array_id.as_tuple(),
-                "dead": dead,
-                "sections": [],
-                "ok": False,
-            }
-            alive = [
-                p for p in range(machine.num_nodes) if not machine.is_failed(p)
-            ]
-            spare = next(
-                (p for p in alive if p not in state.processors), None
-            )
-            if spare is None:
-                state.unrecovered.append((dead, "no spare processor"))
-                event["error"] = "no spare processor"
-                with self._lock:
-                    self.recoveries.append(event)
-                return
-            event["spare"] = spare
-            dead_sections = [
-                s for s, p in enumerate(state.processors) if p == dead
-            ]
-            new_epoch = state.epoch + 1
-            new_processors = tuple(
-                spare if p == dead else p for p in state.processors
-            )
-            new_map = (
-                ReplicaMap.assign(state.layout, new_processors, state.replication)
-                if state.replication > 0
-                else None
-            )
-            coordinator_proc = alive[0]
-            # The failure listener may run on the dead VP's own thread (a
-            # kill after its Nth send); recovery traffic must originate
-            # from a surviving node.
-            with fabric.execution_context(processor=coordinator_proc):
-                for section in dead_sections:
-                    data = self._section_data(state, array_id, section, alive)
-                    if data is None:
-                        state.unrecovered.append(
-                            (dead, f"section {section}: no replica or checkpoint")
-                        )
-                        event["error"] = f"section {section} unrecoverable"
-                        with self._lock:
-                            self.recoveries.append(event)
-                        return
-                    self._request(
-                        "adopt_section",
-                        array_id,
-                        state.type_name,
-                        state.layout,
-                        new_processors,
-                        state.border_spec,
-                        state.replication,
-                        new_map,
-                        new_epoch,
-                        data,
-                        processor=spare,
+            with obs_span(
+                machine, "recovery",
+                array=str(array_id.as_tuple()), dead=dead,
+            ):
+                return self._rebuild_locked(array_id, state, dead)
+
+    def _rebuild_locked(
+        self, array_id: ArrayID, state: DurabilityState, dead: int
+    ) -> None:
+        """Rebuild ``dead``'s sections; ``state.lock`` is held throughout."""
+        machine = self.machine
+        state.recovered_procs.add(dead)
+        event: dict = {
+            "array": array_id.as_tuple(),
+            "dead": dead,
+            "sections": [],
+            "ok": False,
+        }
+        alive = [
+            p for p in range(machine.num_nodes) if not machine.is_failed(p)
+        ]
+        spare = next(
+            (p for p in alive if p not in state.processors), None
+        )
+        if spare is None:
+            state.unrecovered.append((dead, "no spare processor"))
+            event["error"] = "no spare processor"
+            with self._lock:
+                self.recoveries.append(event)
+            return
+        event["spare"] = spare
+        dead_sections = [
+            s for s, p in enumerate(state.processors) if p == dead
+        ]
+        new_epoch = state.epoch + 1
+        new_processors = tuple(
+            spare if p == dead else p for p in state.processors
+        )
+        new_map = (
+            ReplicaMap.assign(state.layout, new_processors, state.replication)
+            if state.replication > 0
+            else None
+        )
+        coordinator_proc = alive[0]
+        # The failure listener may run on the dead VP's own thread (a
+        # kill after its Nth send); recovery traffic must originate
+        # from a surviving node.
+        with fabric.execution_context(processor=coordinator_proc):
+            for section in dead_sections:
+                data = self._section_data(state, array_id, section, alive)
+                if data is None:
+                    state.unrecovered.append(
+                        (dead, f"section {section}: no replica or checkpoint")
                     )
-                    event["sections"].append(section)
-                holders = (set(new_processors) | {state.creator}) - {spare}
-                for holder in sorted(holders):
-                    if machine.is_failed(holder):
+                    event["error"] = f"section {section} unrecoverable"
+                    with self._lock:
+                        self.recoveries.append(event)
+                    return
+                self._request(
+                    "adopt_section",
+                    array_id,
+                    state.type_name,
+                    state.layout,
+                    new_processors,
+                    state.border_spec,
+                    state.replication,
+                    new_map,
+                    new_epoch,
+                    data,
+                    processor=spare,
+                )
+                event["sections"].append(section)
+            holders = (set(new_processors) | {state.creator}) - {spare}
+            for holder in sorted(holders):
+                if machine.is_failed(holder):
+                    continue
+                self._request(
+                    "update_membership_local",
+                    array_id,
+                    new_processors,
+                    new_map,
+                    new_epoch,
+                    processor=holder,
+                )
+            if state.replica_map is not None:
+                for owner in new_processors:
+                    if machine.is_failed(owner):
                         continue
                     self._request(
-                        "update_membership_local",
-                        array_id,
-                        new_processors,
-                        new_map,
-                        new_epoch,
-                        processor=holder,
+                        "reseed_replicas_local", array_id, processor=owner
                     )
-                if state.replica_map is not None:
-                    for owner in new_processors:
-                        if machine.is_failed(owner):
-                            continue
-                        self._request(
-                            "reseed_replicas_local", array_id, processor=owner
-                        )
-            state.processors = new_processors
-            state.replica_map = new_map
-            state.epoch = new_epoch
-            state.sections_rebuilt += len(dead_sections)
-            event["ok"] = True
-            event["epoch"] = new_epoch
+        state.processors = new_processors
+        state.replica_map = new_map
+        state.epoch = new_epoch
+        state.sections_rebuilt += len(dead_sections)
+        observer = getattr(machine, "_observer", None)
+        if observer is not None:
+            for _ in dead_sections:
+                observer.section_rebuilt(array_id)
+            observer.array_epoch(array_id, new_epoch)
+        event["ok"] = True
+        event["epoch"] = new_epoch
         with self._lock:
             self.recoveries.append(event)
 

@@ -25,6 +25,7 @@ supplied in the request — the bidirectional server communication of §5.1.1.
 
 from __future__ import annotations
 
+import functools
 import itertools
 import threading
 from typing import Any, Optional, Sequence
@@ -45,6 +46,7 @@ from repro.arrays.durability import (
 from repro.arrays.layout import ArrayLayout, normalize_indexing
 from repro.arrays.local_section import LocalSection, dtype_for
 from repro.arrays.record import SERIALS, ArrayID, ArrayRecord
+from repro.obs.spans import span as obs_span
 from repro.pcn.defvar import DefVar
 from repro.status import ProcessorFailedError, Status
 from repro.vp.machine import Machine
@@ -99,8 +101,25 @@ class ArrayManager:
             if self.trace_enabled:
                 self.trace_log.append((request_type, *detail))
 
+    def _instrumented(self, name: str, handler) -> Any:
+        """Wrap one server handler in an ``am:<name>`` observability span.
+
+        The handler executes on its target node, so the span lands on that
+        VP's track and parents onto the requester's span carried by the
+        routed message.  One attribute probe per request while observation
+        is off.
+        """
+        label = f"am:{name}"
+
+        @functools.wraps(handler)
+        def traced(node: VirtualProcessor, *parameters: Any) -> Any:
+            with obs_span(self.machine, label, vp=node.number):
+                return handler(node, *parameters)
+
+        return traced
+
     def capabilities(self) -> dict:
-        return {
+        handlers = {
             "create_array": self.create_array,
             "create_local": self.create_local,
             "free_array": self.free_array,
@@ -127,6 +146,10 @@ class ArrayManager:
             "adopt_section": self.adopt_section,
             "update_membership_local": self.update_membership_local,
             "reseed_replicas_local": self.reseed_replicas_local,
+        }
+        return {
+            name: self._instrumented(name, handler)
+            for name, handler in handlers.items()
         }
 
     # -- helpers ---------------------------------------------------------------
@@ -212,7 +235,11 @@ class ArrayManager:
         backup's mirror, counting epoch-stale rejects per array."""
         update: ReplicaUpdate = message.payload
         node = self.machine.processor(message.dest)
-        if not replica_store_for(node).apply(update):
+        applied = replica_store_for(node).apply(update)
+        observer = getattr(self.machine, "_observer", None)
+        if observer is not None:
+            observer.replica_update(applied)
+        if not applied:
             state = self.durability_state(update.array_id)
             if state is not None:
                 state.note_stale()
@@ -921,6 +948,9 @@ class ArrayManager:
             state.epoch = target_epoch
             state.last_checkpoint = snapshot
             state.last_checkpoint_epoch = target_epoch
+        observer = getattr(self.machine, "_observer", None)
+        if observer is not None:
+            observer.array_epoch(array_id, target_epoch)
         _define(snapshot_out, snapshot)
         _define(status, Status.OK)
 
@@ -996,6 +1026,9 @@ class ArrayManager:
                 _define(status, Status.ERROR)
                 return
             state.epoch = new_epoch
+        observer = getattr(self.machine, "_observer", None)
+        if observer is not None:
+            observer.array_epoch(array_id, new_epoch)
         _define(status, Status.OK)
 
     def restore_local(

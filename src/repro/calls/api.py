@@ -33,6 +33,7 @@ from repro.calls.params import (
     status_position,
 )
 from repro.calls.wrapper import build_wrapper, bundle_parameters, next_call_group
+from repro.obs.spans import span as obs_span
 from repro.pcn.defvar import DefVar
 from repro.status import Status
 from repro.vp.machine import Machine
@@ -179,9 +180,10 @@ def distributed_call(
         combiner = make_combine_program(combine, [r.combine for r in reduces])
         parms = bundle_parameters(specs)
 
-        folded = do_all(
-            machine, procs, wrapper, parms, combiner, timeout=timeout
-        )
+        with obs_span(machine, "attempt", group=str(group)):
+            folded = do_all(
+                machine, procs, wrapper, parms, combiner, timeout=timeout
+            )
         # Per-copy statuses are plain integers assigned by the called
         # program (§4.3.1); the merged value is mapped onto the Status enum
         # when it is one of the §4.1.2 codes and kept as an int otherwise.
@@ -192,22 +194,29 @@ def distributed_call(
             status = raw_status  # type: ignore[assignment]
         return CallResult(status=status, reductions=list(folded[1:]))
 
-    if retry is None:
-        result = attempt()
-    else:
-        from repro.faults.retry import run_with_retry
-
-        label = f"{getattr(program, '__name__', 'call')}#{next(_CALL_LABELS)}"
-        last, history = run_with_retry(
-            attempt, retry, classify=lambda r: r.status, label=label
-        )
-        if isinstance(last, BaseException):
-            result = CallResult(
-                status=Status.ERROR, reductions=[], error=last
-            )
+    with obs_span(
+        machine,
+        "distributed_call",
+        program=getattr(program, "__name__", "program"),
+        processors=len(procs),
+        supervised=retry is not None,
+    ):
+        if retry is None:
+            result = attempt()
         else:
-            result = last
-        result.attempts = history
+            from repro.faults.retry import run_with_retry
+
+            label = f"{getattr(program, '__name__', 'call')}#{next(_CALL_LABELS)}"
+            last, history = run_with_retry(
+                attempt, retry, classify=lambda r: r.status, label=label
+            )
+            if isinstance(last, BaseException):
+                result = CallResult(
+                    status=Status.ERROR, reductions=[], error=last
+                )
+            else:
+                result = last
+            result.attempts = history
 
     if status_out is not None:
         status_out.define(result.status)

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional, Sequence
 
+from repro.obs.spans import span as obs_span
 from repro.pcn.defvar import DefVar
 from repro.status import Status
 from repro.vp import fabric
@@ -49,35 +50,42 @@ def do_all(
     processes = []
     # One trace scope per call: every copy inherits the same trace id, so
     # all wrapper traffic (find_local hops, SPMD messages) of one
-    # distributed call is reconstructible from the trace interceptor.
-    with fabric.execution_context(trace_id=fabric.new_trace_id("dcall")):
-        for i, p in enumerate(procs):
-            node = machine.processor(p)
-            processes.append(
-                node.spawn(
-                    program, i, parms, statuses[i], name=f"do_all[{i}]@{p}"
+    # distributed call is reconstructible from the trace interceptor.  An
+    # ambient trace (e.g. opened by an enclosing observability span) is
+    # kept, so the call's messages stitch onto the span that made it; only
+    # a trace-less caller gets a fresh ``dcall`` root.
+    ambient, _ = fabric.current_trace()
+    trace_id = ambient if ambient is not None else fabric.new_trace_id("dcall")
+    with obs_span(machine, "do_all", processors=len(procs)):
+        with fabric.execution_context(trace_id=trace_id):
+            for i, p in enumerate(procs):
+                node = machine.processor(p)
+                processes.append(
+                    node.spawn(
+                        program, i, parms, statuses[i], name=f"do_all[{i}]@{p}"
+                    )
                 )
-            )
 
-    # Join every copy; a copy that raised poisons the whole call with
-    # STATUS_ERROR rather than hanging the caller.
-    error: Optional[BaseException] = None
-    for proc in processes:
-        try:
-            proc.join(timeout=timeout)
-        except BaseException as exc:  # noqa: BLE001
-            if error is None:
-                error = exc
-    if error is not None:
-        result: Any = Status.ERROR
-        if status_out is not None:
-            status_out.define(result)
-        raise error
+        # Join every copy; a copy that raised poisons the whole call with
+        # STATUS_ERROR rather than hanging the caller.
+        error: Optional[BaseException] = None
+        for proc in processes:
+            try:
+                proc.join(timeout=timeout)
+            except BaseException as exc:  # noqa: BLE001
+                if error is None:
+                    error = exc
+        if error is not None:
+            result: Any = Status.ERROR
+            if status_out is not None:
+                status_out.define(result)
+            raise error
 
-    values = [st.read(timeout=timeout) for st in statuses]
-    folded = values[0]
-    for value in values[1:]:
-        folded = combine(folded, value)
+        values = [st.read(timeout=timeout) for st in statuses]
+        with obs_span(machine, "combine", parts=len(values)):
+            folded = values[0]
+            for value in values[1:]:
+                folded = combine(folded, value)
     if status_out is not None:
         status_out.define(folded)
     return folded

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.arrays import am_user
 from repro.arrays.local_section import dtype_for
+from repro.obs.spans import span as obs_span
 from repro.calls.params import (
     Constant,
     Index,
@@ -78,7 +79,8 @@ def build_wrapper(
         except (TypeError, ValueError):
             status_var.define(failure_tuple(Status.INVALID))
             return
-        wrapper_second_level(index, bundle, status_var, reduce_lengths)
+        with obs_span(machine, "wrapper", index=index):
+            wrapper_second_level(index, bundle, status_var, reduce_lengths)
 
     def wrapper_second_level(
         index: int,

@@ -10,7 +10,9 @@ without writing code:
   applications (inner product, polymul, climate, reactor, animation,
   aeroelastic, signal);
 * ``python -m repro trace <name>`` — same, with the array manager's debug
-  trace (the ``am_debug`` variant of §B.3) summarised afterwards.
+  trace (the ``am_debug`` variant of §B.3) summarised afterwards, a span
+  profile of the run, and optional exports (``--chrome-trace``,
+  ``--events``, ``--metrics``) from the observability layer.
 """
 
 from __future__ import annotations
@@ -142,6 +144,7 @@ def cmd_demo(args: argparse.Namespace, trace: bool = False) -> int:
         )
         return 2
     rt = IntegratedRuntime(nodes, trace_arrays=trace)
+    observer = rt.observe() if trace else None
     print(f"[{name}] running on {nodes} virtual processors ...")
     print(f"[{name}] {DEMOS[name](rt)}")
     if trace:
@@ -149,6 +152,20 @@ def cmd_demo(args: argparse.Namespace, trace: bool = False) -> int:
         print(f"[{name}] array-manager requests:")
         for request_type in sorted(counts):
             print(f"    {request_type:24s} {counts[request_type]}")
+    if observer is not None:
+        print(f"[{name}] span profile (slowest phases first):")
+        for span_name, count, total in observer.span_summary()[:12]:
+            print(f"    {span_name:28s} {count:6d} calls  {total:8.4f}s")
+        if args.chrome_trace:
+            observer.export_chrome_trace(args.chrome_trace)
+            print(f"[{name}] chrome trace written to {args.chrome_trace}")
+        if args.events:
+            n = observer.export_jsonl(args.events)
+            print(f"[{name}] {n} events written to {args.events}")
+        if args.metrics:
+            observer.export_prometheus(args.metrics)
+            print(f"[{name}] metrics snapshot written to {args.metrics}")
+        observer.close()
     return 0
 
 
@@ -175,6 +192,19 @@ def main(argv: Optional[list] = None) -> int:
             "--nodes", type=int, default=8,
             help="number of virtual processors (default 8)",
         )
+        if trace:
+            p.add_argument(
+                "--chrome-trace", metavar="PATH", default=None,
+                help="write a Chrome/Perfetto trace-event JSON file",
+            )
+            p.add_argument(
+                "--events", metavar="PATH", default=None,
+                help="write the span/message event log as JSONL",
+            )
+            p.add_argument(
+                "--metrics", metavar="PATH", default=None,
+                help="write a Prometheus text-format metrics snapshot",
+            )
 
     args = parser.parse_args(argv)
     if args.command == "info":

@@ -51,6 +51,19 @@ class IntegratedRuntime:
 
         return FaultyTransport(self.machine, plan).install()
 
+    def observe(self, **options: Any) -> "Any":
+        """Enable runtime telemetry (spans, metrics, message events).
+
+        Forwards to :meth:`~repro.vp.machine.Machine.observe`; returns the
+        installed :class:`~repro.obs.Observer`, also usable as a context
+        manager (``with rt.observe() as obs: ...`` uninstalls on exit).
+        """
+        return self.machine.observe(**options)
+
+    @property
+    def observer(self) -> Optional[Any]:
+        return self.machine.observer
+
     def diagnostics(self) -> dict:
         """Machine-health snapshot (dead VPs, pending messages, blockers)."""
         return self.machine.diagnostics()

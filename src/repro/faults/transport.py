@@ -122,9 +122,11 @@ class FaultyTransport:
         if decision.drop:
             with self._lock:
                 self.stats.dropped += 1
+            self._count_fault("drop")
         elif decision.delay:
             with self._lock:
                 self.stats.delayed += 1
+            self._count_fault("delay")
             self._schedule_delay(message)
         elif decision.reorder:
             # Hold this message; it will follow the next routed message
@@ -137,11 +139,13 @@ class FaultyTransport:
                 )
                 self._held_timer.daemon = True
                 self._held_timer.start()
+            self._count_fault("reorder")
         else:
             deliver_now.append(message)
             if decision.duplicate:
                 with self._lock:
                     self.stats.duplicated += 1
+                self._count_fault("duplicate")
                 deliver_now.append(message)
 
         if held is not None:
@@ -171,7 +175,14 @@ class FaultyTransport:
         for proc in kills:
             with self._lock:
                 self.stats.killed.append(proc)
+            self._count_fault("kill")
             self.machine.fail(proc)
+
+    def _count_fault(self, fault_type: str) -> None:
+        """Mirror one injected fault into the observability metrics."""
+        observer = getattr(self.machine, "_observer", None)
+        if observer is not None:
+            observer.fault_injected(fault_type)
 
     # -- delivery helpers ----------------------------------------------------
 

@@ -110,6 +110,12 @@ class Watchdog:
                         WaitEdge(p.name, blocked[p.ident]) for p in alive
                     ]
                     graph = "; ".join(str(e) for e in edges)
+                    observer = getattr(self.machine, "_observer", None)
+                    if observer is not None:
+                        # Post-mortem dump: the wait-graph plus each
+                        # involved VP's most recent spans land in the
+                        # event log before the error propagates.
+                        observer.record_deadlock(edges)
                     raise DeadlockError(
                         f"all {len(alive)} live process(es) suspended for "
                         f">= {self.grace}s: {graph}",

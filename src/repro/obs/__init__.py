@@ -1,0 +1,56 @@
+"""repro.obs — runtime telemetry: causal spans, metrics, exporters.
+
+The observability layer for the integrated runtime:
+
+* :mod:`repro.obs.spans` — timed spans with parent/child links, carried on
+  the fabric execution context and stitched to message records by trace id;
+* :mod:`repro.obs.metrics` — counters, gauges, and fixed-bucket histograms
+  fed by mailbox/processor/fault/durability hooks;
+* :mod:`repro.obs.observer` — :class:`Observer`, installed with one call
+  (``machine.observe()``) and removed with ``observer.close()``;
+* :mod:`repro.obs.export` — JSONL event log, Chrome trace-event dump
+  (``chrome://tracing`` / Perfetto), Prometheus text snapshot.
+
+Everything stays a no-op until an observer is installed: instrumentation
+sites probe one machine attribute and bail (see docs/observability.md for
+measured overhead).
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    event_log,
+    export_chrome_trace,
+    export_jsonl,
+    export_prometheus,
+    prometheus_snapshot,
+    validate_chrome_trace,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.observer import Observer
+from repro.obs.spans import NOOP_SPAN, SpanRecorder, new_span_id, span
+
+__all__ = [
+    "Observer",
+    "SpanRecorder",
+    "span",
+    "new_span_id",
+    "NOOP_SPAN",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+    "chrome_trace",
+    "validate_chrome_trace",
+    "export_chrome_trace",
+    "export_jsonl",
+    "export_prometheus",
+    "prometheus_snapshot",
+    "event_log",
+]

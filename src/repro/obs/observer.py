@@ -1,0 +1,259 @@
+"""The observer: one-call enablement of runtime telemetry on a machine.
+
+``Machine.observe()`` constructs an :class:`Observer` and installs it:
+
+* sets itself as ``machine._observer`` — the single attribute every
+  instrumentation site probes (spans, fault counters, array-manager
+  handler timing all stay no-ops until this flips);
+* pushes a message-event interceptor onto the transport stack, recording
+  a timed event per routed message (stitched to spans by ``trace_id`` and
+  ``span``);
+* hooks every mailbox (queue depth gauge, delivery counter, receive-wait
+  histogram) and subscribes to :mod:`repro.pcn.defvar` suspensions.
+
+``close()`` (or the context-manager exit) reverses all of it, restoring
+the exact pre-observation machine.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanRecorder
+from repro.pcn import defvar as _defvar
+from repro.vp import fabric
+
+
+class _MessageRecorder:
+    """Transport-stack interceptor appending one timed event per message."""
+
+    def __init__(self, observer: "Observer") -> None:
+        self.observer = observer
+
+    def __call__(self, message: Any, forward: Any) -> None:
+        self.observer._record_event(
+            {
+                "type": "message",
+                "ts": time.perf_counter(),
+                "kind": message.kind,
+                "trace": message.trace_id,
+                "span": message.span_id,
+                "hop": message.hop,
+                "seq": message.seq,
+                "source": message.source,
+                "dest": message.dest,
+                "nbytes": message.nbytes(),
+            }
+        )
+        forward(message)
+
+
+class Observer:
+    """Spans + metrics + event log for one machine."""
+
+    def __init__(
+        self,
+        machine: Any,
+        spans: bool = True,
+        metrics: bool = True,
+        messages: bool = True,
+        max_spans: int = 100_000,
+        max_events: int = 200_000,
+    ) -> None:
+        self.machine = machine
+        self.spans_enabled = spans
+        self.metrics_enabled = metrics
+        self.messages_enabled = messages
+        self.recorder = SpanRecorder(max_spans=max_spans)
+        self.metrics = MetricsRegistry()
+        self.epoch = time.perf_counter()
+        self.max_events = max_events
+        self.events_dropped = 0
+        self._events: list[dict] = []
+        self._events_lock = threading.Lock()
+        self._interceptor: Optional[_MessageRecorder] = None
+        self._installed = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def install(self) -> "Observer":
+        if self._installed:
+            return self
+        self.machine._observer = self
+        if self.messages_enabled:
+            self._interceptor = _MessageRecorder(self)
+            self.machine.transport_stack.push(self._interceptor)
+        if self.metrics_enabled:
+            for node in self.machine.processors():
+                node.mailbox.obs_hooks = self
+            _defvar.add_suspend_hook(self._on_defvar_suspend)
+        self._installed = True
+        return self
+
+    def close(self) -> None:
+        """Uninstall every hook; recorded data stays readable."""
+        if not self._installed:
+            return
+        if self._interceptor is not None:
+            self.machine.transport_stack.remove(self._interceptor)
+            self._interceptor = None
+        for node in self.machine.processors():
+            if node.mailbox.obs_hooks is self:
+                node.mailbox.obs_hooks = None
+        _defvar.remove_suspend_hook(self._on_defvar_suspend)
+        if getattr(self.machine, "_observer", None) is self:
+            self.machine._observer = None
+        self._installed = False
+
+    @property
+    def installed(self) -> bool:
+        return self._installed
+
+    def __enter__(self) -> "Observer":
+        return self.install()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- span helper ----------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> Any:
+        """Open a span directly on this observer (observer already known)."""
+        from repro.obs.spans import NOOP_SPAN
+
+        if not self.spans_enabled:
+            return NOOP_SPAN
+        return self.recorder.start(name, attrs)
+
+    # -- event log -------------------------------------------------------------
+
+    def _record_event(self, event: dict) -> None:
+        with self._events_lock:
+            self._events.append(event)
+            if len(self._events) > self.max_events:
+                overflow = len(self._events) - self.max_events
+                del self._events[:overflow]
+                self.events_dropped += overflow
+
+    def events(self) -> list[dict]:
+        with self._events_lock:
+            return list(self._events)
+
+    # -- metric feed points ----------------------------------------------------
+
+    def mailbox_delivered(self, owner: int, depth: int) -> None:
+        self.metrics.counter("repro_mailbox_delivered_total", vp=owner).inc()
+        self.metrics.gauge("repro_mailbox_depth", vp=owner).set(depth)
+
+    def mailbox_received(self, owner: int, wait: float, depth: int) -> None:
+        self.metrics.histogram(
+            "repro_mailbox_recv_wait_seconds", vp=owner
+        ).observe(wait)
+        self.metrics.gauge("repro_mailbox_depth", vp=owner).set(depth)
+
+    def process_spawned(self, processor: int, live: int) -> None:
+        self.metrics.counter(
+            "repro_processes_spawned_total", vp=processor
+        ).inc()
+        self.metrics.gauge("repro_live_processes", vp=processor).set(live)
+
+    def fault_injected(self, fault_type: str) -> None:
+        self.metrics.counter(
+            "repro_faults_injected_total", type=fault_type
+        ).inc()
+
+    def replica_update(self, applied: bool) -> None:
+        self.metrics.counter("repro_replica_updates_total").inc()
+        if not applied:
+            self.metrics.counter("repro_replica_stale_rejects_total").inc()
+
+    def array_epoch(self, array_id: Any, epoch: int) -> None:
+        self.metrics.gauge(
+            "repro_array_epoch", array=str(getattr(array_id, "as_tuple", lambda: array_id)())
+        ).set(epoch)
+
+    def section_rebuilt(self, array_id: Any) -> None:
+        self.metrics.counter(
+            "repro_sections_rebuilt_total",
+            array=str(getattr(array_id, "as_tuple", lambda: array_id)()),
+        ).inc()
+
+    def _on_defvar_suspend(self, label: str) -> None:
+        processor = fabric.current_processor()
+        self.metrics.counter(
+            "repro_defvar_suspensions_total",
+            vp="main" if processor is None else processor,
+        ).inc()
+
+    # -- deadlock dumps ---------------------------------------------------------
+
+    def record_deadlock(self, edges: Any, last: int = 20) -> None:
+        """Append a self-contained deadlock report to the event log.
+
+        ``edges`` is the watchdog's wait-graph; the report carries the
+        graph plus the last ``last`` spans of every involved VP, so the
+        event log alone explains what each stuck processor was doing.
+        """
+        import re
+
+        involved: set[int] = set()
+        for edge in edges:
+            for text in (str(edge.waiter), str(edge.resource)):
+                for hit in re.findall(r"(?:vp|@)(\d+)", text):
+                    involved.add(int(hit))
+        self._record_event(
+            {
+                "type": "deadlock",
+                "ts": time.perf_counter(),
+                "wait_graph": [str(e) for e in edges],
+                "spans_by_vp": {
+                    vp: self.recorder.spans_for_processor(vp, last=last)
+                    for vp in sorted(involved)
+                },
+            }
+        )
+        self.metrics.counter("repro_deadlocks_total").inc()
+
+    # -- summaries ---------------------------------------------------------------
+
+    def span_summary(self) -> list[tuple]:
+        """``(name, count, total_seconds)`` rows, slowest first."""
+        totals: dict[str, list] = {}
+        for span in self.recorder.spans():
+            entry = totals.setdefault(span["name"], [0, 0.0])
+            entry[0] += 1
+            entry[1] += span["duration"]
+        return sorted(
+            ((name, c, t) for name, (c, t) in totals.items()),
+            key=lambda row: -row[2],
+        )
+
+    def diagnostics(self) -> dict:
+        return {
+            "enabled": self._installed,
+            "spans": len(self.recorder.spans()),
+            "spans_dropped": self.recorder.dropped,
+            "events": len(self.events()),
+            "events_dropped": self.events_dropped,
+            "metrics": self.metrics.snapshot(),
+        }
+
+    # -- exports -----------------------------------------------------------------
+
+    def export_chrome_trace(self, path: str) -> dict:
+        from repro.obs.export import export_chrome_trace
+
+        return export_chrome_trace(self, path)
+
+    def export_jsonl(self, path: str) -> int:
+        from repro.obs.export import export_jsonl
+
+        return export_jsonl(self, path)
+
+    def export_prometheus(self, path: str) -> str:
+        from repro.obs.export import export_prometheus
+
+        return export_prometheus(self, path)

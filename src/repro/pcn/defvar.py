@@ -29,6 +29,25 @@ DEFAULT_TIMEOUT: float = 30.0
 _blocked_lock = threading.Lock()
 _blocked_reads: dict[int, str] = {}
 
+# Suspension hooks: callables invoked with the DefVar label each time a
+# reader actually suspends (not on the fast already-defined path).  Fed by
+# the observability layer (repro.obs.Observer) to count suspensions per VP;
+# the hot path pays one truthiness check while no hook is installed.
+_suspend_hooks: list[Callable[[str], None]] = []
+
+
+def add_suspend_hook(callback: Callable[[str], None]) -> None:
+    """Register ``callback(label)`` to fire whenever a read suspends."""
+    with _blocked_lock:
+        if callback not in _suspend_hooks:
+            _suspend_hooks.append(callback)
+
+
+def remove_suspend_hook(callback: Callable[[str], None]) -> None:
+    with _blocked_lock:
+        if callback in _suspend_hooks:
+            _suspend_hooks.remove(callback)
+
 
 def blocked_reads() -> dict[int, str]:
     """Snapshot: thread ident -> name of the DefVar it is suspended on."""
@@ -81,6 +100,9 @@ class DefVar:
                 label = self.name or f"0x{id(self):x}"
                 with _blocked_lock:
                     _blocked_reads[ident] = label
+                    hooks = tuple(_suspend_hooks)
+                for hook in hooks:
+                    hook(label)
                 try:
                     ok = self._cond.wait_for(
                         lambda: self._value is not _UNDEFINED, timeout=limit

@@ -24,12 +24,31 @@ associativity only.
 
 from __future__ import annotations
 
+import functools
 from typing import Any, Optional
 
+from repro.obs.spans import span as obs_span
 from repro.spmd.comm import GroupComm
 from repro.spmd.reduce_ops import BinaryOp, resolve_op
 
 DEFAULT_ALGORITHM = "tree"
+
+
+def _traced(fn):
+    """Wrap a collective in a ``collective:<name>`` observability span.
+
+    Costs one attribute probe per call while observation is off (the span
+    helper returns a shared no-op handle); composed collectives (allreduce
+    = reduce + bcast) show up as nested spans.
+    """
+    name = f"collective:{fn.__name__}"
+
+    @functools.wraps(fn)
+    def traced(comm: GroupComm, *args: Any, **kwargs: Any) -> Any:
+        with obs_span(comm.machine, name, rank=comm.rank, size=comm.size):
+            return fn(comm, *args, **kwargs)
+
+    return traced
 
 
 def _tag(comm: GroupComm, name: str):
@@ -51,6 +70,7 @@ def _check_algorithm(algorithm: str) -> None:
 # -- barrier ---------------------------------------------------------------------
 
 
+@_traced
 def barrier(comm: GroupComm, algorithm: str = DEFAULT_ALGORITHM) -> None:
     """Block until every rank in the group has arrived (§1.2.5)."""
     _check_algorithm(algorithm)
@@ -81,6 +101,7 @@ def barrier(comm: GroupComm, algorithm: str = DEFAULT_ALGORITHM) -> None:
 # -- broadcast --------------------------------------------------------------------
 
 
+@_traced
 def bcast(
     comm: GroupComm,
     value: Any = None,
@@ -121,6 +142,7 @@ def bcast(
 # -- reduce ------------------------------------------------------------------------
 
 
+@_traced
 def reduce(
     comm: GroupComm,
     value: Any,
@@ -168,6 +190,7 @@ def reduce(
     return acc
 
 
+@_traced
 def allreduce(
     comm: GroupComm,
     value: Any,
@@ -182,6 +205,7 @@ def allreduce(
 # -- gather family -------------------------------------------------------------------
 
 
+@_traced
 def gather(
     comm: GroupComm, value: Any, root: int = 0
 ) -> Optional[list]:
@@ -197,6 +221,7 @@ def gather(
     return None
 
 
+@_traced
 def scatter(
     comm: GroupComm, values: Optional[list] = None, root: int = 0
 ) -> Any:
@@ -214,6 +239,7 @@ def scatter(
     return comm.recv(source_rank=root, tag=tag)
 
 
+@_traced
 def allgather(
     comm: GroupComm, value: Any, algorithm: str = DEFAULT_ALGORITHM
 ) -> list:
@@ -241,6 +267,7 @@ def allgather(
     return out
 
 
+@_traced
 def alltoall(comm: GroupComm, values: list) -> list:
     """``values[r]`` from every rank delivered to rank r, rank-ordered."""
     tag = _tag(comm, "alltoall")
@@ -257,6 +284,7 @@ def alltoall(comm: GroupComm, values: list) -> list:
     return out
 
 
+@_traced
 def scan(comm: GroupComm, value: Any, op: BinaryOp = "sum") -> Any:
     """Inclusive prefix fold in rank order."""
     fold = resolve_op(op)

@@ -58,6 +58,7 @@ class _Context(threading.local):
     processor: Optional[int] = None
     trace_id: Optional[str] = None
     hop: int = 0
+    span_id: Optional[str] = None
 
 
 _context = _Context()
@@ -74,6 +75,15 @@ def current_trace() -> "tuple[Optional[str], int]":
     return _context.trace_id, _context.hop
 
 
+def current_span_id() -> Optional[str]:
+    """The id of the innermost open observability span, if any.
+
+    Maintained by :class:`repro.obs.spans.SpanHandle`; rides the same
+    thread-local as the trace envelope so spawned processes and server
+    handlers parent their spans onto the caller's."""
+    return _context.span_id
+
+
 class execution_context:
     """Scoped override of the calling thread's fabric context.
 
@@ -88,29 +98,50 @@ class execution_context:
         processor: Optional[int] = None,
         trace_id: Optional[str] = None,
         hop: Optional[int] = None,
+        span_id: Optional[str] = None,
     ) -> None:
         self._processor = processor
         self._trace_id = trace_id
         self._hop = hop
-        self._saved: "tuple[Optional[int], Optional[str], int]" = (None, None, 0)
+        self._span_id = span_id
+        self._saved: "tuple[Optional[int], Optional[str], int, Optional[str]]" = (
+            None, None, 0, None,
+        )
 
     def __enter__(self) -> "execution_context":
-        self._saved = (_context.processor, _context.trace_id, _context.hop)
+        self._saved = (
+            _context.processor,
+            _context.trace_id,
+            _context.hop,
+            _context.span_id,
+        )
         if self._processor is not None:
             _context.processor = self._processor
         if self._trace_id is not None:
             _context.trace_id = self._trace_id
         if self._hop is not None:
             _context.hop = self._hop
+        if self._span_id is not None:
+            _context.span_id = self._span_id
         return self
 
     def __exit__(self, *exc_info: Any) -> None:
-        _context.processor, _context.trace_id, _context.hop = self._saved
+        (
+            _context.processor,
+            _context.trace_id,
+            _context.hop,
+            _context.span_id,
+        ) = self._saved
 
 
-def snapshot_context() -> "tuple[Optional[int], Optional[str], int]":
+def snapshot_context() -> "tuple[Optional[int], Optional[str], int, Optional[str]]":
     """Capture the context for propagation into a spawned process."""
-    return (_context.processor, _context.trace_id, _context.hop)
+    return (
+        _context.processor,
+        _context.trace_id,
+        _context.hop,
+        _context.span_id,
+    )
 
 
 # -- the interceptor stack ----------------------------------------------------
@@ -221,6 +252,7 @@ class TraceInterceptor:
     def __call__(self, message: Message, forward: Forward) -> None:
         span = {
             "trace": message.trace_id,
+            "span": message.span_id,
             "hop": message.hop,
             "kind": message.kind,
             "seq": message.seq,

@@ -70,6 +70,10 @@ class Machine:
             "server_request": self.server._execute,
         }
         self._failure_listeners: list[Callable[[int], None]] = []
+        # The installed observability layer (repro.obs.Observer) or None.
+        # Instrumentation sites across every layer probe this one attribute
+        # and no-op when it is None, keeping the hot path cheap.
+        self._observer: Optional[Any] = None
         self.routed_count = 0
         self.routed_bytes = 0
         self.dropped_to_dead = 0
@@ -225,11 +229,15 @@ class Machine:
                 self.dropped_to_dead += 1
             return
         if message.trace_id is None:
+            # Stamp the envelope from the sender's execution context.  A
+            # top-level send with no ambient trace gets a synthesized root
+            # id — no message is ever attributed to trace None.
             trace_id, hop = fabric.current_trace()
             message = dataclasses.replace(
                 message,
                 trace_id=trace_id if trace_id is not None else fabric.new_trace_id(),
                 hop=hop,
+                span_id=fabric.current_span_id(),
             )
         with self._lock:
             self.routed_count += 1
@@ -274,6 +282,30 @@ class Machine:
         for node in self._processors:
             node.reset_traffic_counters()
 
+    # -- observability ---------------------------------------------------------
+
+    def observe(self, **options: Any) -> Any:
+        """Enable runtime telemetry; returns the installed
+        :class:`~repro.obs.observer.Observer`.
+
+        One call turns on the causal span layer, the metrics registry
+        (mailbox depth/wait, process churn, DefVar suspensions, fault and
+        replica counters), and the per-message event log.  Options are
+        forwarded to the Observer (``spans=``, ``metrics=``, ``messages=``,
+        ``max_spans=``, ``max_events=``).  Idempotent: a second call
+        returns the already-installed observer.  ``observer.close()``
+        removes every hook.
+        """
+        if self._observer is not None:
+            return self._observer
+        from repro.obs.observer import Observer
+
+        return Observer(self, **options).install()
+
+    @property
+    def observer(self) -> Optional[Any]:
+        return self._observer
+
     # -- diagnostics -----------------------------------------------------------
 
     def diagnostics(self) -> dict[str, Any]:
@@ -305,6 +337,11 @@ class Machine:
         arrays = (
             manager.durability_diagnostics() if manager is not None else {}
         )
+        observability = (
+            self._observer.diagnostics()
+            if self._observer is not None
+            else {"enabled": False}
+        )
         with self._lock:
             return {
                 "num_nodes": self.num_nodes,
@@ -316,6 +353,7 @@ class Machine:
                 "routed_bytes": self.routed_bytes,
                 "dropped_to_dead": self.dropped_to_dead,
                 "arrays": arrays,
+                "observability": observability,
             }
 
     # -- program placement -----------------------------------------------------

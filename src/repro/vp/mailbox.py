@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from typing import Hashable, Optional
 
 from repro.vp.message import Message, MessageType
@@ -64,12 +65,20 @@ class Mailbox:
         # "Fidelity notes"): counts are exact and GIL-independent.
         self.received_count = 0
         self.received_bytes = 0
+        # Observability feed (repro.obs.Observer) or None.  Set by
+        # Machine.observe(); queue-depth and receive-wait metrics stay
+        # no-ops (one attribute check) while unset.
+        self.obs_hooks = None
 
     def deliver(self, message: Message) -> None:
         """Called by the machine's transport to enqueue a message."""
         with self._cond:
             self._buffer.append(message)
+            depth = len(self._buffer)
             self._cond.notify_all()
+        hooks = self.obs_hooks
+        if hooks is not None:
+            hooks.mailbox_delivered(self.owner, depth)
 
     # -- failure semantics ---------------------------------------------------
 
@@ -193,6 +202,8 @@ class Mailbox:
             f"selective recv (type={mtype}, tag={tag!r}, source={source}, "
             f"group={group!r})"
         )
+        hooks = self.obs_hooks
+        t0 = time.perf_counter() if hooks is not None else 0.0
         with self._cond:
             self._wait_for_match(find, limit, describe, source=source)
             index = find()
@@ -200,7 +211,12 @@ class Mailbox:
             message = self._buffer.pop(index)
             self.received_count += 1
             self.received_bytes += message.nbytes()
-            return message
+            depth = len(self._buffer)
+        if hooks is not None:
+            hooks.mailbox_received(
+                self.owner, time.perf_counter() - t0, depth
+            )
+        return message
 
     def recv_untyped(self, timeout: Optional[float] = None) -> Message:
         """Non-selective receive: oldest message, any type/tag/group.
@@ -213,12 +229,19 @@ class Mailbox:
         def find() -> Optional[int]:
             return 0 if self._buffer else None
 
+        hooks = self.obs_hooks
+        t0 = time.perf_counter() if hooks is not None else 0.0
         with self._cond:
             self._wait_for_match(find, limit, "untyped recv")
             message = self._buffer.pop(0)
             self.received_count += 1
             self.received_bytes += message.nbytes()
-            return message
+            depth = len(self._buffer)
+        if hooks is not None:
+            hooks.mailbox_received(
+                self.owner, time.perf_counter() - t0, depth
+            )
+        return message
 
     def reset_traffic_counters(self) -> None:
         """Zero the receive-side traffic accounting."""

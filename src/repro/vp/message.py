@@ -61,6 +61,11 @@ class Message:
     kind: str = "user"
     trace_id: Optional[str] = None
     hop: int = 0
+    # The observability span that sent the message (None when observation
+    # is off or the sender ran outside any span).  Stamped by Machine.route
+    # alongside trace_id; lets span-level traces and per-message records be
+    # stitched without guessing.
+    span_id: Optional[str] = None
 
     def matches(
         self,

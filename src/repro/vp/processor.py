@@ -58,13 +58,15 @@ class VirtualProcessor:
                 processor=self.number,
             )
         # The child runs under this processor's fabric context, inheriting
-        # the spawner's trace envelope so causally-related messages share a
-        # trace id across process boundaries.
-        _, trace_id, hop = fabric.snapshot_context()
+        # the spawner's trace envelope (and open observability span) so
+        # causally-related messages share a trace id across process
+        # boundaries and child spans parent onto the spawner's.
+        _, trace_id, hop, span_id = fabric.snapshot_context()
 
         def placed(*a: Any, **kw: Any) -> Any:
             with fabric.execution_context(
-                processor=self.number, trace_id=trace_id, hop=hop
+                processor=self.number, trace_id=trace_id, hop=hop,
+                span_id=span_id,
             ):
                 return target(*a, **kw)
 
@@ -78,6 +80,10 @@ class VirtualProcessor:
         with self._processes_lock:
             self._processes = [p for p in self._processes if p.is_alive()]
             self._processes.append(proc)
+            live = len(self._processes)
+        observer = getattr(self.machine, "_observer", None)
+        if observer is not None:
+            observer.process_spawned(self.number, live)
         return proc
 
     def run(self, target: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:

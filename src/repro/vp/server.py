@@ -212,10 +212,14 @@ class ServerRegistry:
         node = self._machine.processor(message.dest)
         with self._lock:
             handler = self._capabilities.get(call.request_type)
+        # span_id: the handler's spans parent onto the requester's open
+        # span (carried on the message), not onto whatever span the
+        # delivering thread happens to be inside.
         context = fabric.execution_context(
             processor=message.dest,
             trace_id=message.trace_id,
             hop=message.hop + 1,
+            span_id=message.span_id,
         )
         if handler is None:
             exc: BaseException = ServerRequestError(

@@ -144,6 +144,113 @@ class TestServerHops:
         assert done.read(timeout=5.0) == 1
 
 
+class TestContextEdgeCases:
+    def test_nested_context_restores_after_exception(self):
+        """An exception unwinding nested scopes restores each level."""
+        with fabric.execution_context(processor=1, trace_id="t-outer", hop=1):
+            with pytest.raises(RuntimeError):
+                with fabric.execution_context(trace_id="t-inner", hop=9):
+                    assert fabric.current_trace() == ("t-inner", 9)
+                    raise RuntimeError("unwind")
+            assert fabric.current_trace() == ("t-outer", 1)
+            assert fabric.current_processor() == 1
+        assert fabric.current_trace() == (None, 0)
+        assert fabric.current_processor() is None
+
+    def test_snapshot_context_captures_all_fields(self):
+        with fabric.execution_context(
+            processor=2, trace_id="t-snap", hop=3, span_id="s-9"
+        ):
+            assert fabric.snapshot_context() == (2, "t-snap", 3, "s-9")
+        assert fabric.snapshot_context() == (None, None, 0, None)
+
+    def test_snapshot_context_propagates_through_do_all(self):
+        """Every do_all copy inherits the caller's trace and span via the
+        context snapshot taken at spawn time."""
+        from repro.calls.do_all import do_all
+
+        m = Machine(3)
+        seen = {}
+
+        def copy(index, parms, status):
+            seen[index] = (fabric.current_trace()[0], fabric.current_span_id())
+            status.define(index)
+
+        with fabric.execution_context(trace_id="t-call", span_id="s-call"):
+            do_all(m, [0, 1, 2], copy, None, lambda a, b: a + b, timeout=5.0)
+        assert set(seen) == {0, 1, 2}
+        assert all(trace == "t-call" for trace, _ in seen.values())
+        assert all(span == "s-call" for _, span in seen.values())
+
+    def test_forward_from_after_interceptor_removed(self):
+        """An interceptor holding a message on a timer may be uninstalled
+        before re-injection; forward_from must still deliver (directly to
+        final delivery), not drop or loop."""
+        m = Machine(2)
+        held = []
+
+        def holder(message, forward):
+            held.append(message)  # hold, do not forward yet
+
+        meter = fabric.TrafficMeter(m).install()
+        m.transport_stack.push(holder)  # holder above meter
+        m.send(0, 1, "deferred", tag="t")
+        assert held and meter.snapshot()["messages"] == 0
+        m.transport_stack.remove(holder)
+        m.transport_stack.forward_from(holder, held[0])
+        msg = m.processor(1).mailbox.recv(tag="t", timeout=2.0)
+        assert msg.payload == "deferred"
+        # Removed interceptor bypasses the remaining stack entirely.
+        assert meter.snapshot()["messages"] == 0
+        meter.uninstall()
+
+    def test_forward_from_uses_layers_below_when_installed(self):
+        m = Machine(2)
+        held = []
+
+        def holder(message, forward):
+            held.append(message)
+
+        meter = fabric.TrafficMeter()
+        m.transport_stack.push(meter)  # bottom
+        m.transport_stack.push(holder)  # top
+        m.send(0, 1, "deferred", tag="t")
+        m.transport_stack.forward_from(holder, held[0])
+        assert m.processor(1).mailbox.recv(tag="t", timeout=2.0).payload == "deferred"
+        # Still installed: re-injection crosses the meter beneath it.
+        assert meter.snapshot()["messages"] == 1
+        m.transport_stack.remove(holder)
+        m.transport_stack.remove(meter)
+
+
+class TestEnvelopeRegressions:
+    def test_traces_never_contains_none(self):
+        """Regression: every routed message gets a trace id — ambient or
+        freshly stamped by Machine.route — so traces() has no None entry."""
+        m = Machine(3)
+        tracer = TraceInterceptor(m).install()
+        m.send(0, 1, "bare", tag="t")  # unscoped: route must stamp
+        with fabric.execution_context(trace_id="t-amb"):
+            m.send(1, 2, "scoped", tag="t")
+        st = DefVar("st")
+        m.server.load({"noop": lambda node, out: out.define("ok")})
+        m.server.request("noop", st, processor=2, source=0)
+        assert st.read(timeout=5.0) == "ok"
+        assert None not in tracer.traces()
+        assert all(s["trace"] is not None for s in tracer.spans())
+
+    def test_route_stamps_ambient_span_id(self):
+        """Messages routed inside an observability span carry its span id,
+        stitching message traces onto the causal span tree."""
+        m = Machine(2)
+        tracer = TraceInterceptor(m).install()
+        with m.observe() as observer:
+            with observer.span("op") as handle:
+                m.send(0, 1, "x", tag="t")
+        (span,) = tracer.spans()
+        assert span["span"] == handle.span_id
+
+
 class TestDistributedCallTrace:
     def test_one_call_one_trace(self):
         """Every message of one distributed call shares its trace id."""
