@@ -15,6 +15,7 @@ import time
 import numpy as np
 
 from benchmarks.conftest import report
+from repro.perf import coalescing_disabled
 
 N = 64  # elements; 8 per processor on rt8
 
@@ -38,10 +39,14 @@ class TestRegionAccess:
         region_msgs = _messages_for(
             machine, lambda: arr.read_region([(0, N)])
         )
-        write_element_msgs = _messages_for(
-            machine,
-            lambda: [arr.__setitem__(i, 1.0) for i in range(N)],
-        )
+        # Pin the write-behind coalescer off: this experiment measures the
+        # thesis' per-element baseline (bench_coalescing measures the
+        # batched path).
+        with coalescing_disabled(machine):
+            write_element_msgs = _messages_for(
+                machine,
+                lambda: [arr.__setitem__(i, 1.0) for i in range(N)],
+            )
         write_region_msgs = _messages_for(
             machine,
             lambda: arr.write_region([(0, N)], np.ones(N)),

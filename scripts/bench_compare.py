@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Diff a fresh benchmark run against the committed BENCH_results.json.
+
+Usage::
+
+    PYTHONPATH=src:. python scripts/bench_compare.py [bench files...]
+        [--threshold 0.25] [--rounds-env ...]
+
+The committed ``BENCH_results.json`` medians are snapshotted in memory
+*before* the run (the benchmark session's ``pytest_sessionfinish`` hook
+rewrites the file in place), the selected benchmarks are executed, and
+every benchmark present in **both** runs is compared.  A median that
+regressed by more than ``--threshold`` (default 25%) fails the script
+with exit status 1; new benchmarks (no baseline entry) are reported but
+never fail.
+
+Wall-clock medians are hardware-relative — the committed baseline and
+the fresh run must come from comparable machines (CI compares against
+the baseline committed from CI runs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_PATH = REPO_ROOT / "BENCH_results.json"
+
+DEFAULT_BENCHMARKS = [
+    "benchmarks/bench_coalescing.py",
+    "benchmarks/bench_region_access.py",
+]
+
+
+def load_medians(path: Path) -> dict[str, float]:
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return {}
+    return {
+        fullname: entry["median_seconds"]
+        for fullname, entry in payload.get("benchmarks", {}).items()
+        if isinstance(entry.get("median_seconds"), (int, float))
+    }
+
+
+def run_benchmarks(bench_files: list[str]) -> int:
+    cmd = [sys.executable, "-m", "pytest", "-q", *bench_files]
+    print(f"$ {' '.join(cmd)}", flush=True)
+    return subprocess.call(cmd, cwd=REPO_ROOT)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "benchmarks", nargs="*", default=None,
+        help="benchmark files to run (default: the perf-smoke subset)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="allowed fractional median regression (default 0.25 = 25%%)",
+    )
+    args = parser.parse_args(argv)
+    bench_files = args.benchmarks or DEFAULT_BENCHMARKS
+
+    baseline = load_medians(RESULTS_PATH)
+    if not baseline:
+        print(f"no committed baseline in {RESULTS_PATH}; "
+              "this run will only establish one")
+
+    status = run_benchmarks(bench_files)
+    if status != 0:
+        print(f"benchmark run failed (exit {status})")
+        return status
+
+    fresh = load_medians(RESULTS_PATH)
+    run_names = {Path(b).name for b in bench_files}
+    regressions = []
+    rows = []
+    for fullname in sorted(fresh):
+        # Entries from benchmark files not in this run are carried over
+        # verbatim by the session hook — nothing fresh to compare there.
+        if Path(fullname.split("::", 1)[0]).name not in run_names:
+            continue
+        new = fresh[fullname]
+        old = baseline.get(fullname)
+        if old is None:
+            rows.append((fullname, "-", f"{new:.6f}", "new"))
+            continue
+        delta = (new - old) / old if old else 0.0
+        verdict = "REGRESSED" if delta > args.threshold else "ok"
+        rows.append(
+            (fullname, f"{old:.6f}", f"{new:.6f}", f"{delta:+.1%} {verdict}")
+        )
+        if delta > args.threshold:
+            regressions.append((fullname, old, new, delta))
+
+    widths = [max(len(str(r[i])) for r in rows) for i in range(4)] if rows else []
+    print(f"\n=== benchmark comparison (threshold {args.threshold:.0%}) ===")
+    for row in rows:
+        print("  " + "  ".join(str(v).ljust(w) for v, w in zip(row, widths)))
+
+    if regressions:
+        print(f"\n{len(regressions)} median(s) regressed more than "
+              f"{args.threshold:.0%}:")
+        for fullname, old, new, delta in regressions:
+            print(f"  {fullname}: {old:.6f}s -> {new:.6f}s ({delta:+.1%})")
+        return 1
+    print("\nno regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

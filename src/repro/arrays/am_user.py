@@ -287,3 +287,49 @@ def distributed_call(*args, **kwargs):
     from repro.calls.api import distributed_call as _impl
 
     return _impl(*args, **kwargs)
+
+
+# -- perf layer (repro.perf, extension) ---------------------------------------
+
+
+def flush_writes(machine: Machine, array_id: Optional[ArrayID] = None) -> int:
+    """Force pending write-behind writes out (an explicit flush point).
+
+    Reads, collectives, checkpoints, and distributed-call boundaries
+    flush implicitly (docs/performance.md); this is the manual barrier
+    for callers inspecting storage through side channels.  Returns the
+    number of writes flushed.
+    """
+    perf = getattr(machine, "_perf", None)
+    if perf is None:
+        return 0
+    return perf.flush(array_id)
+
+
+def set_coalescing(machine: Machine, enabled: bool) -> bool:
+    """Toggle write coalescing; returns the previous setting.
+
+    Disabling flushes pending writes first, so the per-write and batched
+    regimes never interleave on one array.
+    """
+    perf = getattr(machine, "_perf", None)
+    if perf is None:
+        return False
+    previous = perf.coalescer.enabled
+    if not enabled:
+        perf.coalescer.flush()
+    perf.coalescer.enabled = bool(enabled)
+    return previous
+
+
+def set_read_cache(machine: Machine, enabled: bool) -> bool:
+    """Toggle the epoch-validated section read cache (default off);
+    returns the previous setting."""
+    perf = getattr(machine, "_perf", None)
+    if perf is None:
+        return False
+    previous = perf.cache.enabled
+    perf.cache.enabled = bool(enabled)
+    if not enabled:
+        perf.cache.clear()
+    return previous

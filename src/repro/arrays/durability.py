@@ -90,10 +90,14 @@ class ReplicaMap:
 class ReplicaUpdate:
     """One epoch-stamped mutation shipped to a section's backups.
 
-    ``op`` is ``"element"``/``"region"``/``"section"``; ``target`` holds
-    the local indices (element) or interior slices (region), ``data`` the
-    written value(s).  ``shape``/``type_name`` let a backup materialise
-    the mirror lazily on first contact.
+    ``op`` is ``"element"``/``"region"``/``"section"``/``"batch"``;
+    ``target`` holds the local indices (element) or interior slices
+    (region), ``data`` the written value(s).  A ``"batch"`` update is the
+    fused form produced by the write coalescer (:mod:`repro.perf`):
+    ``data`` is an ordered tuple of ``(op, target, value)`` sub-writes,
+    applied in one mirror-lock acquisition — one replica message per
+    backup per flush instead of one per write.  ``shape``/``type_name``
+    let a backup materialise the mirror lazily on first contact.
     """
 
     array_id: ArrayID
@@ -107,6 +111,10 @@ class ReplicaUpdate:
 
     @property
     def nbytes(self) -> int:
+        if self.op == "batch":
+            return sum(
+                int(getattr(value, "nbytes", 8)) for _o, _t, value in self.data
+            )
         data = self.data
         if hasattr(data, "nbytes"):
             return int(data.nbytes)
@@ -147,6 +155,14 @@ class ReplicaStore:
             entry.epoch = update.epoch
             if update.op == "section":
                 entry.data[...] = update.data
+            elif update.op == "batch":
+                # Fused coalescer flush: replay the sub-writes in order
+                # under this one lock acquisition.
+                for op, target, value in update.data:
+                    if op == "section":
+                        entry.data[...] = value
+                    else:
+                        entry.data[tuple(target)] = value
             else:  # "element" and "region" both assign through target
                 entry.data[tuple(update.target)] = update.data
             return True

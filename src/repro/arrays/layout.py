@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Iterator, Sequence
 
 ROW_MAJOR = "row"
@@ -101,11 +102,14 @@ class ArrayLayout:
 
     # -- derived geometry ----------------------------------------------------
 
-    @property
+    # Derived tuples are cached: the fields are frozen, so the geometry
+    # never changes, and ``locate`` sits on the per-element hot path.
+
+    @cached_property
     def rank(self) -> int:
         return len(self.dims)
 
-    @property
+    @cached_property
     def local_dims(self) -> tuple[int, ...]:
         """Interior (border-free) local-section dimensions."""
         return tuple(d // g for d, g in zip(self.dims, self.grid))
@@ -179,10 +183,32 @@ class ArrayLayout:
         return unflatten_index(section, self.grid, self.grid_indexing)
 
     def locate(self, indices: Sequence[int]) -> tuple[int, tuple[int, ...]]:
-        """Global indices -> (section number, local indices)."""
-        self.validate_global(indices)
-        coords = self.owner_coords(indices)
-        return self.section_index(coords), self.local_indices(indices)
+        """Global indices -> (section number, local indices).
+
+        Single fused pass over the dimensions (validate + owner + local):
+        this runs once per element operation, so it avoids the three
+        intermediate tuples of the compositional form.
+        """
+        dims = self.dims
+        if len(indices) != len(dims):
+            raise ValueError(
+                f"index rank {len(indices)} != array rank {len(dims)}"
+            )
+        local_dims = self.local_dims
+        coords = [0] * len(dims)
+        local = [0] * len(dims)
+        for i, idx in enumerate(indices):
+            if not 0 <= idx < dims[i]:
+                raise IndexError(
+                    f"index {idx} out of range [0, {dims[i]}) in dimension {i}"
+                )
+            ld = local_dims[i]
+            coords[i] = idx // ld
+            local[i] = idx % ld
+        return (
+            flatten_index(coords, self.grid, self.grid_indexing),
+            tuple(local),
+        )
 
     def global_indices(
         self, section: int, local: Sequence[int]

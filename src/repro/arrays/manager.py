@@ -47,6 +47,7 @@ from repro.arrays.layout import ArrayLayout, normalize_indexing
 from repro.arrays.local_section import LocalSection, dtype_for
 from repro.arrays.record import SERIALS, ArrayID, ArrayRecord
 from repro.obs.spans import span as obs_span
+from repro.perf import ARRAY_BATCH_KIND, PerfLayer, define_once
 from repro.pcn.defvar import DefVar
 from repro.status import ProcessorFailedError, Status
 from repro.vp.machine import Machine
@@ -113,6 +114,10 @@ class ArrayManager:
 
         @functools.wraps(handler)
         def traced(node: VirtualProcessor, *parameters: Any) -> Any:
+            if getattr(self.machine, "_observer", None) is None:
+                # Observation off: skip the span plumbing entirely rather
+                # than paying for a no-op context manager per request.
+                return handler(node, *parameters)
             with obs_span(self.machine, label, vp=node.number):
                 return handler(node, *parameters)
 
@@ -133,6 +138,7 @@ class ArrayManager:
             "copy_local": self.copy_local,
             "verify_array": self.verify_array,
             "read_section_local": self.read_section_local,
+            "read_section_stamped": self.read_section_stamped,
             "write_section_local": self.write_section_local,
             "read_region": self.read_region,
             "read_region_local": self.read_region_local,
@@ -174,6 +180,32 @@ class ArrayManager:
             request_type, *parameters, processor=processor, kind=kind
         )
 
+    # -- perf plumbing ---------------------------------------------------------
+
+    def _perf(self) -> Optional[PerfLayer]:
+        return getattr(self.machine, "_perf", None)
+
+    def _flush_writes(
+        self, array_id: Any = None, section: Optional[int] = None
+    ) -> None:
+        """Flush-point hook: drain coalesced writes that the operation
+        about to run could observe (read of a dirty range, checkpoint,
+        restore, verify — see docs/performance.md)."""
+        perf = self._perf()
+        if perf is not None:
+            perf.coalescer.flush(array_id, section)
+
+    def _bump_version(
+        self, node: VirtualProcessor, record: ArrayRecord
+    ) -> None:
+        """Advance the section's write version so epoch-validated cache
+        entries for it stop validating.  Caller holds ``record.lock``."""
+        perf = self._perf()
+        if perf is not None:
+            perf.versions.bump(
+                record.array_id, record.section_number_for(node.number)
+            )
+
     # -- durability plumbing ---------------------------------------------------
 
     def durability_state(self, array_id: ArrayID) -> Optional[DurabilityState]:
@@ -205,7 +237,7 @@ class ArrayManager:
         recovery rewrites the replica map when membership changes."""
         if record.replication <= 0 or record.replica_map is None:
             return
-        section_number = record.processors.index(node.number)
+        section_number = record.section_number_for(node.number)
         update = ReplicaUpdate(
             array_id=record.array_id,
             section=section_number,
@@ -243,6 +275,93 @@ class ArrayManager:
             state = self.durability_state(update.array_id)
             if state is not None:
                 state.note_stale()
+
+    # -- batched writes (repro.perf) ------------------------------------------
+
+    def _replicate_batch(
+        self, node: VirtualProcessor, record: ArrayRecord, ops: Sequence
+    ) -> None:
+        """Replica-update fusion: one coalesced epoch-stamped
+        ``replica_update`` per backup for a whole batch, instead of one
+        per write.  The backup chain is resolved once per flush (the
+        per-write path recomputed it per element).  Caller holds
+        ``record.lock``."""
+        if record.replication <= 0 or record.replica_map is None:
+            return
+        section_number = record.section_number_for(node.number)
+        backups = record.replica_map.backups_for(section_number)
+        if not backups:
+            return
+        update = ReplicaUpdate(
+            array_id=record.array_id,
+            section=section_number,
+            epoch=record.epoch,
+            op="batch",
+            shape=record.layout.local_dims,
+            type_name=record.type_name,
+            data=tuple(ops),
+            target=None,
+        )
+        for backup in backups:
+            try:
+                self.machine.route(
+                    Message(
+                        source=node.number,
+                        dest=backup,
+                        payload=update,
+                        tag=("replica", record.array_id.as_tuple()),
+                        kind=REPLICA_UPDATE_KIND,
+                    )
+                )
+            except ProcessorFailedError:
+                continue
+
+    def _apply_batch(self, node: VirtualProcessor, batch: Any) -> None:
+        """Apply one coalesced write batch atomically on the owner.
+
+        All sub-writes land under a single ``record.lock`` acquisition;
+        mirrors get one fused replica update per backup.  The per-queue
+        sequence number makes application exactly-once: a duplicated or
+        late-delivered batch (fault injection, retry racing the delayed
+        original) is dropped here, and its completion variable is defined
+        defensively so no flusher is left waiting.
+        """
+        self._note("array_batch", node.number, batch.array_id)
+        perf = self._perf()
+        key = (batch.array_id, batch.section)
+        if perf is not None and not perf.coalescer.should_apply(
+            key, batch.seq
+        ):
+            define_once(batch.done, "duplicate")
+            return
+        record = self._lookup(node, batch.array_id)
+        if record is None or record.section is None:
+            define_once(batch.done, "not_found")
+            return
+        with obs_span(
+            self.machine,
+            "am:array_batch",
+            vp=node.number,
+            ops=len(batch.ops),
+        ) as span:
+            with record.lock:
+                # One interior view for the whole batch (the per-write
+                # path rebuilds it per element).
+                interior = record.section.interior()
+                for op, target, value in batch.ops:
+                    if op == "element":
+                        interior[target] = value
+                    else:  # "region": target holds interior slices
+                        interior[tuple(target)] = value
+                self._bump_version(node, record)
+                self._replicate_batch(node, record, batch.ops)
+            if record.replication > 0 and record.replica_map is not None:
+                span.annotate(fused_replicas=True)
+        define_once(batch.done, "ok")
+
+    def _on_array_batch(self, message: Message) -> None:
+        """Final delivery of a ``kind="array_batch"`` message."""
+        self._apply_batch(self.machine.processor(message.dest), message.payload)
 
     def _write_status(self, node: VirtualProcessor, status: DefVar) -> None:
         """Define a write's status, downgrading OK to ERROR when this node
@@ -424,6 +543,12 @@ class ArrayManager:
         if record is None:
             _define(status, Status.NOT_FOUND)
             return
+        # Pending coalesced writes to a dying array can never be
+        # observed: drop them (and any cache entries) instead of racing
+        # the free.
+        perf = self._perf()
+        if perf is not None:
+            perf.drop_array(record.array_id)
         statuses = []
         for proc in record.processors:
             st = DefVar(f"free_local@{proc}")
@@ -464,7 +589,12 @@ class ArrayManager:
         """Read one element via global indices (§4.2.3).
 
         Translates global indices to (processor, local indices) and issues
-        ``read_element_local`` on the owner.
+        ``read_element_local`` on the owner.  A read is a flush point: any
+        coalesced writes pending against the element's section drain first,
+        so a program always reads its own writes (§3.3 sequential
+        equivalence).  With the section cache enabled, the element is
+        served from an epoch-validated local copy of the section instead
+        of a per-element hop.
         """
         self._note("read_element", node.number, array_id)
         record = self._lookup(node, array_id) if isinstance(
@@ -475,14 +605,72 @@ class ArrayManager:
             _define(status, Status.NOT_FOUND)
             return
         try:
-            owner, local = record.owner_of(tuple(indices))
+            section, local = record.layout.locate(tuple(indices))
         except (ValueError, IndexError):
             _define(element_out, None)
             _define(status, Status.INVALID)
             return
+        owner = record.processors[section]
+        self._flush_writes(record.array_id, section)
+        perf = self._perf()
+        if perf is not None and perf.cache.enabled:
+            if self._read_element_cached(
+                record, section, owner, tuple(local), element_out, status
+            ):
+                return
         self._peer_request(
             "read_element_local", owner, array_id, local, element_out, status
         )
+
+    def _read_element_cached(
+        self,
+        record: ArrayRecord,
+        section: int,
+        owner: int,
+        local: tuple,
+        element_out: DefVar,
+        status: DefVar,
+    ) -> bool:
+        """Serve one element read through the section cache.
+
+        Returns True when the read was fully handled (hit, or miss
+        satisfied by a stamped section fetch); False falls back to the
+        per-element path (e.g. no durability state to validate against).
+        """
+        perf = self._perf()
+        array_id = record.array_id
+        state = self.durability_state(array_id)
+        epoch = state.epoch if state is not None else record.epoch
+        version = perf.versions.get(array_id, section)
+        observer = getattr(self.machine, "_observer", None)
+        data = perf.cache.lookup(array_id, section, epoch, version)
+        if observer is not None:
+            observer.perf_cache(hit=data is not None)
+        if data is not None:
+            value = data[local]
+            _define(
+                element_out, value.item() if hasattr(value, "item") else value
+            )
+            _define(status, Status.OK)
+            return True
+        # Miss: fetch the whole section once, stamped with the owner's
+        # (epoch, version) — validation of later hits costs no messages.
+        out = DefVar(f"read_section_stamped@{owner}")
+        st = DefVar(f"read_section_stamped_status@{owner}")
+        self._peer_request("read_section_stamped", owner, array_id, out, st)
+        result = Status(st.read())
+        if result is not Status.OK:
+            _define(element_out, None)
+            _define(status, result)
+            return True
+        data, r_epoch, r_version = out.read()
+        perf.cache.store(array_id, section, r_epoch, r_version, data)
+        value = data[local]
+        _define(
+            element_out, value.item() if hasattr(value, "item") else value
+        )
+        _define(status, Status.OK)
+        return True
 
     def read_element_local(
         self,
@@ -510,7 +698,13 @@ class ArrayManager:
         element: Any,
         status: DefVar,
     ) -> None:
-        """Write one element via global indices (§4.2.4)."""
+        """Write one element via global indices (§4.2.4).
+
+        With the perf layer enabled (the default), validated writes are
+        acknowledged immediately and queued in the write-behind
+        coalescer; the actual mutation lands at the next flush point as
+        part of one fused ``array_batch`` message (docs/performance.md).
+        """
         self._note("write_element", node.number, array_id)
         record = self._lookup(node, array_id) if isinstance(
             array_id, ArrayID
@@ -522,9 +716,32 @@ class ArrayManager:
             _define(status, Status.INVALID)
             return
         try:
-            owner, local = record.owner_of(tuple(indices))
+            section, local = record.layout.locate(tuple(indices))
         except (ValueError, IndexError):
             _define(status, Status.INVALID)
+            return
+        owner = record.processors[section]
+        perf = self._perf()
+        if perf is not None and perf.coalescer.enabled:
+            if self.machine.is_failed(owner):
+                # Match the per-write path's observable behaviour for a
+                # known-dead owner: raise under the "raise" policy, let
+                # the write vanish under "drop".
+                if self.machine.dead_send_policy == "raise":
+                    raise ProcessorFailedError(
+                        f"send to failed processor {owner}", processor=owner
+                    )
+                return
+            perf.coalescer.enqueue(
+                record.array_id,
+                section,
+                owner,
+                "element",
+                tuple(local),
+                element,
+                source=node.number,
+            )
+            self._write_status(node, status)
             return
         self._peer_request(
             "write_element_local", owner, array_id, local, element, status
@@ -545,6 +762,7 @@ class ArrayManager:
             return
         with record.lock:
             record.section.write(local_indices, element)
+            self._bump_version(node, record)
             self._replicate(
                 node, record, "element", tuple(local_indices), element
             )
@@ -572,6 +790,11 @@ class ArrayManager:
             _define(section_out, None)
             _define(status, Status.NOT_FOUND)
             return
+        # The caller gets direct access to the section storage: pending
+        # coalesced writes against it must land first.
+        self._flush_writes(
+            record.array_id, record.section_number_for(node.number)
+        )
         _define(section_out, record.section)
         _define(status, Status.OK)
 
@@ -595,7 +818,43 @@ class ArrayManager:
             _define(data_out, None)
             _define(status, Status.NOT_FOUND)
             return
+        self._flush_writes(
+            record.array_id, record.section_number_for(node.number)
+        )
         _define(data_out, record.section.interior().copy())
+        _define(status, Status.OK)
+
+    def read_section_stamped(
+        self,
+        node: VirtualProcessor,
+        array_id: ArrayID,
+        out: DefVar,
+        status: DefVar,
+    ) -> None:
+        """Section copy plus its ``(epoch, version)`` stamp.
+
+        The fetch half of the epoch-validated read cache: the stamp rides
+        the reply, so the requester can validate later cache hits against
+        machine-wide epoch/version state without any extra messages.
+        """
+        self._note("read_section_stamped", node.number, array_id)
+        record = self._lookup(node, array_id)
+        if record is None or record.section is None:
+            _define(out, None)
+            _define(status, Status.NOT_FOUND)
+            return
+        section_number = record.section_number_for(node.number)
+        self._flush_writes(record.array_id, section_number)
+        perf = self._perf()
+        with record.lock:
+            data = record.section.interior().copy()
+            epoch = record.epoch
+            version = (
+                perf.versions.get(record.array_id, section_number)
+                if perf is not None
+                else 0
+            )
+        _define(out, (data, epoch, version))
         _define(status, Status.OK)
 
     def write_section_local(
@@ -615,8 +874,14 @@ class ArrayManager:
         if tuple(getattr(data, "shape", ())) != tuple(interior.shape):
             _define(status, Status.INVALID)
             return
+        # A bulk overwrite is an ordering barrier for queued element
+        # writes against this section: earlier writes land first.
+        self._flush_writes(
+            record.array_id, record.section_number_for(node.number)
+        )
         with record.lock:
             interior[...] = data
+            self._bump_version(node, record)
             self._replicate(node, record, "section", None, interior.copy())
         self._write_status(node, status)
 
@@ -661,6 +926,9 @@ class ArrayManager:
             _define(data_out, None)
             _define(status, Status.INVALID)
             return
+        # Reads are flush points: drain queued writes to any section the
+        # region may touch before copying.
+        self._flush_writes(record.array_id)
         out = np.zeros(
             record.layout.region_shape(bounds), dtype=dtype_for(record.type_name)
         )
@@ -699,6 +967,9 @@ class ArrayManager:
             _define(data_out, None)
             _define(status, Status.NOT_FOUND)
             return
+        self._flush_writes(
+            record.array_id, record.section_number_for(node.number)
+        )
         _define(data_out, record.section.interior()[tuple(local_slices)].copy())
         _define(status, Status.OK)
 
@@ -730,6 +1001,9 @@ class ArrayManager:
         if tuple(data.shape) != record.layout.region_shape(bounds):
             _define(status, Status.INVALID)
             return
+        # Region writes stay synchronous and act as ordering barriers:
+        # queued element writes from before this call land first.
+        self._flush_writes(record.array_id)
         statuses = []
         for section, local_slices, out_slices in record.layout.region_sections(
             bounds
@@ -764,6 +1038,7 @@ class ArrayManager:
             return
         with record.lock:
             record.section.interior()[tuple(local_slices)] = data
+            self._bump_version(node, record)
             self._replicate(
                 node, record, "region", tuple(local_slices), data
             )
@@ -791,7 +1066,8 @@ class ArrayManager:
             _define(block_out, None)
             _define(status, Status.NOT_FOUND)
             return
-        section_number = record.processors.index(node.number)
+        section_number = record.section_number_for(node.number)
+        self._flush_writes(record.array_id, section_number)
         origin = record.layout.global_indices(
             section_number, (0,) * record.layout.rank
         )
@@ -855,6 +1131,9 @@ class ArrayManager:
         if expected == record.borders:
             _define(status, Status.OK)
             return
+        # Sections are about to be reallocated: pending writes must land
+        # in the old storage before copy_local copies it.
+        self._flush_writes(record.array_id)
         new_layout = record.layout.replace_borders(expected)
         statuses = []
         for proc in record.processors:
@@ -899,6 +1178,10 @@ class ArrayManager:
             return
         from repro.spmd.comm import GroupComm
 
+        # A checkpoint is a flush point: writes accepted before the call
+        # must be inside the cut.  Flush before taking the state lock so
+        # batch application never contends with the quiesce barrier.
+        self._flush_writes(array_id)
         with state.lock:
             procs = state.processors
             target_epoch = state.epoch + 1
@@ -911,6 +1194,10 @@ class ArrayManager:
                 results: list[DefVar] = []
                 for rank, proc in enumerate(procs):
                     comm = GroupComm(self.machine, procs, rank, group)
+                    # Internal comm: its barrier runs with every record
+                    # lock held, so the collective flush hook must not
+                    # fire inside it (it could need one of those locks).
+                    comm.internal = True
                     result = DefVar(f"checkpoint@{proc}")
                     results.append(result)
                     self.machine.processor(proc).spawn(
@@ -1006,6 +1293,9 @@ class ArrayManager:
         ):
             _define(status, Status.INVALID)
             return
+        # Writes accepted before the restore belong to the overwritten
+        # past: flush them out so they cannot land *after* the restore.
+        self._flush_writes(array_id)
         with state.lock:
             new_epoch = max(state.epoch, snapshot.epoch) + 1
             statuses: list[DefVar] = []
@@ -1052,6 +1342,7 @@ class ArrayManager:
         with record.lock:
             interior[...] = data
             record.epoch = int(epoch)
+            self._bump_version(node, record)
             self._replicate(node, record, "section", None, interior.copy())
         self._write_status(node, status)
 
@@ -1095,7 +1386,7 @@ class ArrayManager:
             type_name, layout.local_dims, layout.borders, layout.indexing
         )
         section.interior()[...] = data
-        _records(node)[array_id] = ArrayRecord(
+        record = ArrayRecord(
             array_id=array_id,
             type_name=type_name,
             layout=layout,
@@ -1106,6 +1397,9 @@ class ArrayManager:
             replica_map=replica_map,
             epoch=int(epoch),
         )
+        _records(node)[array_id] = record
+        with record.lock:
+            self._bump_version(node, record)
         _define(status, Status.OK)
 
     def update_membership_local(
@@ -1127,6 +1421,7 @@ class ArrayManager:
             record.processors = tuple(processors)
             record.replica_map = replica_map
             record.epoch = int(epoch)
+            record.invalidate_section_index()
         _define(status, Status.OK)
 
     def reseed_replicas_local(
@@ -1201,6 +1496,10 @@ def install_array_manager(
         REPLICA_UPDATE_KIND, manager._on_replica_update
     )
     machine.register_kind_handler(RECOVERY_KIND, machine.server._execute)
+    # The batching-and-caching layer (repro.perf): fused write batches
+    # arrive under their own kind and apply atomically at the owner.
+    machine.register_kind_handler(ARRAY_BATCH_KIND, manager._on_array_batch)
+    machine._perf = PerfLayer(machine, manager)  # type: ignore[attr-defined]
     machine._array_manager = manager  # type: ignore[attr-defined]
     return manager
 

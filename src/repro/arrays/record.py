@@ -26,6 +26,17 @@ class ArrayID:
     creating_processor: int
     serial: int
 
+    def __post_init__(self) -> None:
+        # IDs key every record/pending-write/cache dict on the element
+        # hot path; precompute the hash instead of re-deriving it per
+        # lookup (frozen fields make this safe).
+        object.__setattr__(
+            self, "_hash", hash((self.creating_processor, self.serial))
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
     def as_tuple(self) -> tuple[int, int]:
         return (self.creating_processor, self.serial)
 
@@ -80,6 +91,30 @@ class ArrayRecord:
     lock: threading.RLock = field(
         default_factory=threading.RLock, repr=False, compare=False
     )
+    # Memoised processor-number -> section-number lookups.  The per-write
+    # replica path used to recompute ``processors.index(...)`` on every
+    # element write; batch flushes resolve the backup chain once and this
+    # cache makes the repeated lookups O(1).  Invalidated whenever
+    # recovery rewrites the membership.
+    _section_index: dict = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def section_number_for(self, processor: int) -> int:
+        """This processor's section number, memoised against membership."""
+        cached = self._section_index.get(processor)
+        if (
+            cached is not None
+            and cached < len(self.processors)
+            and self.processors[cached] == processor
+        ):
+            return cached
+        index = self.processors.index(processor)
+        self._section_index[processor] = index
+        return index
+
+    def invalidate_section_index(self) -> None:
+        self._section_index.clear()
 
     @property
     def dims(self) -> tuple[int, ...]:

@@ -46,6 +46,13 @@ def do_all(
     # Refuse to start on a group containing a dead VP: placement would
     # fail partway through the spawn loop, stranding the earlier copies.
     machine.check_alive(procs)
+    # A distributed-call boundary is a flush point for the write-behind
+    # coalescer (repro.perf): every element write accepted before the
+    # call is visible to the called program's local sections (§3.3
+    # sequential call equivalence).
+    perf = getattr(machine, "_perf", None)
+    if perf is not None:
+        perf.coalescer.flush()
     statuses = [DefVar(f"do_all_status[{i}]") for i in range(len(procs))]
     processes = []
     # One trace scope per call: every copy inherits the same trace id, so

@@ -209,6 +209,12 @@ class DistributedArray:
         status = am_user.restore_array(self.machine, self.array_id, snapshot)
         check_status(status, "restore_array failed")
 
+    def flush(self) -> int:
+        """Drain this array's pending write-behind writes (repro.perf);
+        returns the number of writes flushed."""
+        self._check_live()
+        return am_user.flush_writes(self.machine, self.array_id)
+
     # -- lifetime ------------------------------------------------------------------------------
 
     def free(self) -> None:

@@ -170,6 +170,22 @@ class Observer:
         if not applied:
             self.metrics.counter("repro_replica_stale_rejects_total").inc()
 
+    def perf_flush(self, ops: int, routed: bool) -> None:
+        """One write-coalescer batch flush of ``ops`` fused writes."""
+        self.metrics.counter("repro_perf_flushes_total").inc()
+        self.metrics.counter("repro_perf_coalesced_writes_total").inc(ops)
+        if not routed:
+            self.metrics.counter("repro_perf_inline_batches_total").inc()
+
+    def perf_cache(self, hit: bool) -> None:
+        """One section-cache lookup on the element-read path."""
+        name = (
+            "repro_perf_cache_hits_total"
+            if hit
+            else "repro_perf_cache_misses_total"
+        )
+        self.metrics.counter(name).inc()
+
     def array_epoch(self, array_id: Any, epoch: int) -> None:
         self.metrics.gauge(
             "repro_array_epoch", array=str(getattr(array_id, "as_tuple", lambda: array_id)())

@@ -1,0 +1,94 @@
+"""repro.perf: the batching-and-caching layer over the array manager.
+
+Installed automatically by
+:func:`~repro.arrays.manager.install_array_manager` as ``machine._perf``;
+see :mod:`repro.perf.coalescer` (write-behind batching),
+:mod:`repro.perf.cache` (epoch-validated read caching), and
+``docs/performance.md`` for the flush-point consistency argument.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Optional
+
+from repro.perf.cache import SectionCache, SectionVersions
+from repro.perf.coalescer import (
+    ARRAY_BATCH_KIND,
+    ArrayBatch,
+    WriteCoalescer,
+    define_once,
+)
+
+__all__ = [
+    "ARRAY_BATCH_KIND",
+    "ArrayBatch",
+    "PerfLayer",
+    "SectionCache",
+    "SectionVersions",
+    "WriteCoalescer",
+    "coalescing_disabled",
+    "define_once",
+    "get_perf_layer",
+]
+
+
+class PerfLayer:
+    """One machine's perf state: coalescer + cache + section versions."""
+
+    def __init__(self, machine: Any, manager: Any) -> None:
+        self.machine = machine
+        self.coalescer = WriteCoalescer(machine, manager)
+        self.cache = SectionCache()
+        self.versions = SectionVersions()
+
+    def flush(
+        self, array_id: Any = None, section: Optional[int] = None
+    ) -> int:
+        """Force pending coalesced writes out (write-behind barrier)."""
+        return self.coalescer.flush(array_id, section)
+
+    def drop_array(self, array_id: Any) -> int:
+        """Forget a freed array: pending writes, cache entries, versions."""
+        dropped = self.coalescer.discard(array_id)
+        self.cache.drop_array(array_id)
+        self.versions.drop_array(array_id)
+        return dropped
+
+    def diagnostics(self) -> dict:
+        coalescer = self.coalescer.diagnostics()
+        cache = self.cache.diagnostics()
+        return {
+            "enabled": coalescer["enabled"],
+            # The headline counters named by Machine.diagnostics()["perf"]:
+            "flushes": coalescer["flushes"],
+            "coalesced_writes": coalescer["flushed_ops"],
+            "cache_hits": cache["hits"],
+            "cache_misses": cache["misses"],
+            "coalescer": coalescer,
+            "cache": cache,
+        }
+
+
+def get_perf_layer(machine: Any) -> Optional[PerfLayer]:
+    """The machine's perf layer (None before the array manager loads)."""
+    return getattr(machine, "_perf", None)
+
+
+@contextmanager
+def coalescing_disabled(machine: Any):
+    """Temporarily run with the per-write path (benchmark baselines).
+
+    Flushes pending writes first so the two regimes never interleave.
+    """
+    perf = get_perf_layer(machine)
+    if perf is None:
+        yield
+        return
+    perf.coalescer.flush()
+    previous = perf.coalescer.enabled
+    perf.coalescer.enabled = False
+    try:
+        yield
+    finally:
+        perf.coalescer.enabled = previous

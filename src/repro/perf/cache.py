@@ -1,0 +1,118 @@
+"""The epoch-validated read cache for remote sections.
+
+Element reads of a remote section cost one server hop each (§5.1.1).  The
+:class:`SectionCache` amortises them: on a miss the requester fetches the
+owner's whole interior **once**, stamped with the array epoch and the
+section's write version, and serves subsequent element reads of that
+section locally while the stamp is still current.
+
+Validation costs zero extra messages: the requester compares the cached
+stamp against state it already holds machine-wide — the authoritative
+array epoch (:class:`~repro.arrays.durability.DurabilityState`, bumped by
+checkpoint, restore, and recovery) and the per-section write version
+(:class:`SectionVersions`, bumped by every batch flush and direct write).
+A write anywhere therefore invalidates by *stamp mismatch* rather than by
+broadcast; the stamp piggybacks on the ``read_section_stamped`` reply.
+
+The cache is **opt-in** (``machine._perf.cache.enabled = True`` or
+``am_user.set_read_cache``): the per-element request counters of the
+thesis' cost model (FIG-3.9) remain exact by default.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Optional, Tuple
+
+
+class SectionVersions:
+    """Per-``(array, section)`` monotonic write counters (machine-wide)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._versions: dict[tuple, int] = {}
+
+    def bump(self, array_id: Any, section: int) -> int:
+        with self._lock:
+            value = self._versions.get((array_id, section), 0) + 1
+            self._versions[(array_id, section)] = value
+            return value
+
+    def get(self, array_id: Any, section: int) -> int:
+        with self._lock:
+            return self._versions.get((array_id, section), 0)
+
+    def drop_array(self, array_id: Any) -> None:
+        with self._lock:
+            for key in [k for k in self._versions if k[0] == array_id]:
+                del self._versions[key]
+
+
+class SectionCache:
+    """LRU cache of remote section interiors keyed ``(array, section)``,
+    each entry validated by its ``(epoch, version)`` stamp."""
+
+    def __init__(self, capacity: int = 128) -> None:
+        self.enabled = False
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple, Tuple[int, int, Any]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def lookup(
+        self, array_id: Any, section: int, epoch: int, version: int
+    ) -> Optional[Any]:
+        """The cached section data, or None on a miss or a stale stamp."""
+        key = (array_id, section)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            cached_epoch, cached_version, data = entry
+            if cached_epoch != epoch or cached_version != version:
+                # Epoch bump (checkpoint/restore/recovery) or a newer
+                # write: the entry is unusable, drop it.
+                del self._entries[key]
+                self.invalidations += 1
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return data
+
+    def store(
+        self, array_id: Any, section: int, epoch: int, version: int, data: Any
+    ) -> None:
+        key = (array_id, section)
+        with self._lock:
+            self._entries[key] = (epoch, version, data)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def drop_array(self, array_id: Any) -> None:
+        with self._lock:
+            for key in [k for k in self._entries if k[0] == array_id]:
+                del self._entries[key]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def diagnostics(self) -> dict:
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "invalidations": self.invalidations,
+            }

@@ -1,0 +1,339 @@
+"""The write-behind coalescing buffer (hot-path batching layer).
+
+The thesis' array manager services every element write as one synchronous
+server hop (§5.1.1) — correct, and expensive: a 64-element initialisation
+loop costs 64 routed messages plus 64 replica updates per backup.  The
+:class:`WriteCoalescer` turns that traffic pattern into a *write-behind
+buffer*: element writes are validated eagerly, acknowledged immediately,
+and queued per ``(array, section)``; a queue drains as **one** fused
+``kind="array_batch"`` message that the owner applies atomically under its
+record lock (one lock acquisition, one replica update per backup, one
+message — per batch instead of per write).
+
+Sequential equivalence (§3.3) is preserved by *flush points*: any
+operation that could observe a queued write forces the queue out first —
+
+* reads of a dirty section (``read_element``/``read_region``/local reads),
+* region/section writes (ordering barriers between granularities),
+* barriers and collectives (:mod:`repro.spmd.collectives`),
+* checkpoint/restore/verify (:mod:`repro.arrays.manager`),
+* distributed-call boundaries (:func:`repro.calls.do_all.do_all`),
+* size/byte thresholds (``flush_ops``/``flush_bytes``).
+
+A program that writes then reads on one logical thread of control
+therefore always reads its own writes; concurrent writers were never
+ordered in the first place (§3.2.1.5 leaves racing element writes
+indeterminate), so batching them does not weaken the model.
+
+Failure semantics: a batch is retried **as one unit**.  Every attempt
+ships the same per-queue sequence number, so a duplicated or delayed
+original (fault injection, :mod:`repro.faults`) can never re-apply — the
+owner tracks the last applied sequence per queue and drops stale or
+repeated batches.  A batch whose owner dies after acceptance is the
+write-behind loss window: the coalescer re-resolves the owner from the
+durability membership (recovery may have adopted the section onto a
+spare) and re-ships; if no owner survives the batch is counted in
+``lost_batches`` and surfaced through ``Machine.diagnostics()["perf"]``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Optional
+
+from repro.obs.spans import span as obs_span
+from repro.pcn.defvar import DefVar
+from repro.status import ProcessorFailedError, SingleAssignmentError
+from repro.vp.message import Message
+
+ARRAY_BATCH_KIND = "array_batch"
+
+
+def define_once(var: Optional[DefVar], value: Any) -> None:
+    """Define ``var`` unless a duplicate delivery already did."""
+    if var is None:
+        return
+    try:
+        var.define(value)
+    except SingleAssignmentError:
+        pass
+
+
+def _op_nbytes(value: Any) -> int:
+    nbytes = getattr(value, "nbytes", None)
+    return int(nbytes) if nbytes is not None else 8
+
+
+class ArrayBatch:
+    """The payload of one ``array_batch`` message.
+
+    ``ops`` is an ordered list of ``(op, target, value)`` sub-writes —
+    ``op`` is ``"element"`` (target = local indices) or ``"region"``
+    (target = interior slices) — applied atomically under the owner's
+    record lock.  ``seq`` is the per-queue sequence number used for
+    exactly-once application under retry/duplication; ``done`` is the
+    completion variable the flushing thread waits on.
+    """
+
+    __slots__ = ("array_id", "section", "seq", "ops", "done")
+
+    def __init__(
+        self,
+        array_id: Any,
+        section: int,
+        seq: int,
+        ops: list,
+        done: Optional[DefVar],
+    ) -> None:
+        self.array_id = array_id
+        self.section = section
+        self.seq = seq
+        self.ops = ops
+        self.done = done
+
+    @property
+    def nbytes(self) -> int:
+        return sum(_op_nbytes(value) for _op, _t, value in self.ops) + 16
+
+    def __repr__(self) -> str:
+        return (
+            f"<ArrayBatch {self.array_id} section={self.section} "
+            f"seq={self.seq} ops={len(self.ops)}>"
+        )
+
+
+class _Pending:
+    """One queue of unflushed writes for an ``(array, section)`` key."""
+
+    __slots__ = ("ops", "nbytes", "source", "owner")
+
+    def __init__(self, source: int, owner: int) -> None:
+        self.ops: list = []
+        self.nbytes = 0
+        self.source = source
+        self.owner = owner
+
+
+class WriteCoalescer:
+    """Machine-wide write-behind buffer for distributed-array writes."""
+
+    def __init__(
+        self,
+        machine: Any,
+        manager: Any,
+        flush_ops: int = 32,
+        flush_bytes: int = 1 << 16,
+        max_retries: int = 3,
+        retry_timeout: float = 5.0,
+    ) -> None:
+        self.machine = machine
+        self.manager = manager
+        self.enabled = True
+        self.flush_ops = flush_ops
+        self.flush_bytes = flush_bytes
+        self.max_retries = max_retries
+        self.retry_timeout = retry_timeout
+        self._lock = threading.Lock()
+        self._pending: dict[tuple, _Pending] = {}
+        # Per-key flush serialisation: batch N must complete (or be given
+        # up on) before batch N+1 drains, so reordered application of two
+        # overlapping batches cannot resurrect older data.
+        self._flush_locks: dict[tuple, threading.Lock] = {}
+        self._next_seq: dict[tuple, int] = {}
+        self._applied_seq: dict[tuple, int] = {}
+        # Counters surfaced in Machine.diagnostics()["perf"].
+        self.enqueued_writes = 0
+        self.flushes = 0
+        self.flushed_ops = 0
+        self.inline_batches = 0
+        self.routed_batches = 0
+        self.retries = 0
+        self.lost_batches = 0
+
+    # -- enqueue ---------------------------------------------------------------
+
+    def enqueue(
+        self,
+        array_id: Any,
+        section: int,
+        owner: int,
+        op: str,
+        target: Any,
+        value: Any,
+        source: int,
+    ) -> None:
+        """Queue one validated write; flush on threshold crossing."""
+        key = (array_id, section)
+        with self._lock:
+            pending = self._pending.get(key)
+            if pending is None:
+                pending = self._pending[key] = _Pending(source, owner)
+            pending.ops.append((op, target, value))
+            pending.nbytes += _op_nbytes(value)
+            self.enqueued_writes += 1
+            over = (
+                len(pending.ops) >= self.flush_ops
+                or pending.nbytes >= self.flush_bytes
+            )
+        if over:
+            self._flush_key(key, reason="threshold")
+
+    # -- flush -----------------------------------------------------------------
+
+    def flush(
+        self, array_id: Any = None, section: Optional[int] = None
+    ) -> int:
+        """Drain pending writes (all, one array's, or one section's).
+
+        Returns the number of writes flushed.  Cheap when nothing is
+        pending — every flush point calls this unconditionally.
+        """
+        with self._lock:
+            if not self._pending:
+                return 0
+            keys = [
+                key
+                for key in self._pending
+                if (array_id is None or key[0] == array_id)
+                and (section is None or key[1] == section)
+            ]
+        total = 0
+        for key in keys:
+            total += self._flush_key(key, reason="forced")
+        return total
+
+    def discard(self, array_id: Any) -> int:
+        """Drop pending writes for a freed array (they can never land)."""
+        with self._lock:
+            keys = [key for key in self._pending if key[0] == array_id]
+            dropped = sum(len(self._pending.pop(k).ops) for k in keys)
+        return dropped
+
+    def pending_ops(self, array_id: Any = None) -> int:
+        with self._lock:
+            return sum(
+                len(p.ops)
+                for key, p in self._pending.items()
+                if array_id is None or key[0] == array_id
+            )
+
+    # -- exactly-once bookkeeping ---------------------------------------------
+
+    def should_apply(self, key: tuple, seq: int) -> bool:
+        """Owner-side dedup: False for a repeated/late batch delivery."""
+        with self._lock:
+            if seq <= self._applied_seq.get(key, 0):
+                return False
+            self._applied_seq[key] = seq
+            return True
+
+    # -- internals -------------------------------------------------------------
+
+    def _flush_lock(self, key: tuple) -> threading.Lock:
+        with self._lock:
+            lock = self._flush_locks.get(key)
+            if lock is None:
+                lock = self._flush_locks[key] = threading.Lock()
+            return lock
+
+    def _flush_key(self, key: tuple, reason: str) -> int:
+        with self._flush_lock(key):
+            with self._lock:
+                pending = self._pending.pop(key, None)
+                if pending is None:
+                    return 0
+                seq = self._next_seq.get(key, 0) + 1
+                self._next_seq[key] = seq
+            self._ship(key, seq, pending, reason)
+            return len(pending.ops)
+
+    def _resolve_owner(self, key: tuple, fallback: int) -> int:
+        """Current owner of the section (recovery may have remapped it)."""
+        array_id, section = key
+        state = self.manager.durability_state(array_id)
+        if state is not None:
+            with state.lock:
+                processors = state.processors
+            if 0 <= section < len(processors):
+                return int(processors[section])
+        return fallback
+
+    def _ship(self, key: tuple, seq: int, pending: _Pending, reason: str) -> None:
+        """Deliver one batch, retrying it as a single unit on timeout."""
+        machine = self.machine
+        array_id, section = key
+        source = pending.source
+        ops = pending.ops
+        with obs_span(
+            machine,
+            "perf:flush",
+            array=str(array_id.as_tuple()),
+            section=section,
+            ops=len(ops),
+            reason=reason,
+        ) as span:
+            for attempt in range(self.max_retries + 1):
+                owner = self._resolve_owner(key, pending.owner)
+                if machine.is_failed(owner):
+                    self.lost_batches += 1
+                    span.annotate(outcome="lost")
+                    return
+                if machine.is_failed(source):
+                    # Orphaned requester: originate the batch at the owner.
+                    source = owner
+                done = DefVar(f"array_batch[{seq}]@{owner}")
+                batch = ArrayBatch(array_id, section, seq, ops, done)
+                if source == owner:
+                    # Same-node: apply directly, zero messages — matching
+                    # the local-server semantics of the per-write path.
+                    self.manager._apply_batch(machine.processor(owner), batch)
+                    self.inline_batches += 1
+                else:
+                    try:
+                        machine.route(
+                            Message(
+                                source=source,
+                                dest=owner,
+                                payload=batch,
+                                tag=("array_batch", array_id.as_tuple()),
+                                kind=ARRAY_BATCH_KIND,
+                            )
+                        )
+                        self.routed_batches += 1
+                    except ProcessorFailedError:
+                        self.retries += 1
+                        continue
+                try:
+                    done.read(timeout=self.retry_timeout)
+                except TimeoutError:
+                    # The batch was dropped or delayed in transit: retry
+                    # the whole unit under the same sequence number (the
+                    # owner deduplicates if the original shows up late).
+                    self.retries += 1
+                    continue
+                self.flushes += 1
+                self.flushed_ops += len(ops)
+                if attempt:
+                    span.annotate(retries=attempt)
+                observer = getattr(machine, "_observer", None)
+                if observer is not None:
+                    observer.perf_flush(len(ops), routed=source != owner)
+                return
+            self.lost_batches += 1
+            span.annotate(outcome="lost")
+
+    def diagnostics(self) -> dict:
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "pending_writes": sum(
+                    len(p.ops) for p in self._pending.values()
+                ),
+                "enqueued_writes": self.enqueued_writes,
+                "flushes": self.flushes,
+                "flushed_ops": self.flushed_ops,
+                "inline_batches": self.inline_batches,
+                "routed_batches": self.routed_batches,
+                "retries": self.retries,
+                "lost_batches": self.lost_batches,
+            }

@@ -45,6 +45,16 @@ def _traced(fn):
 
     @functools.wraps(fn)
     def traced(comm: GroupComm, *args: Any, **kwargs: Any) -> Any:
+        # Collectives are flush points for the write-behind coalescer
+        # (repro.perf): a barrier/reduction orders this rank's queued
+        # writes before anything a peer does afterwards.  Comms marked
+        # ``internal`` (the checkpoint quiesce barrier, which runs with
+        # every record lock held) are exempt — their synchronisation is
+        # below the flush machinery, and flushing inside them could
+        # deadlock on those locks.
+        perf = getattr(comm.machine, "_perf", None)
+        if perf is not None and not getattr(comm, "internal", False):
+            perf.coalescer.flush()
         with obs_span(comm.machine, name, rank=comm.rank, size=comm.size):
             return fn(comm, *args, **kwargs)
 

@@ -228,6 +228,19 @@ class Machine:
             with self._lock:
                 self.dropped_to_dead += 1
             return
+        if message.source == message.dest and len(self.transport_stack) == 0:
+            # Same-node fast path: with no interceptors installed nothing
+            # between route and delivery can observe the envelope, so the
+            # trace-stamping copy and the interceptor dispatch are pure
+            # overhead — skip both.  Counters still advance (the cost
+            # model stays exact), and any installed interceptor (tracer,
+            # meter, fault plan, observer) disables the path by making
+            # the stack non-empty.
+            with self._lock:
+                self.routed_count += 1
+                self.routed_bytes += message.nbytes()
+            self._deliver(message)
+            return
         if message.trace_id is None:
             # Stamp the envelope from the sender's execution context.  A
             # top-level send with no ambient trace gets a synthesized root
@@ -342,6 +355,12 @@ class Machine:
             if self._observer is not None
             else {"enabled": False}
         )
+        perf_layer = getattr(self, "_perf", None)
+        perf = (
+            perf_layer.diagnostics()
+            if perf_layer is not None
+            else {"enabled": False}
+        )
         with self._lock:
             return {
                 "num_nodes": self.num_nodes,
@@ -354,6 +373,7 @@ class Machine:
                 "dropped_to_dead": self.dropped_to_dead,
                 "arrays": arrays,
                 "observability": observability,
+                "perf": perf,
             }
 
     # -- program placement -----------------------------------------------------

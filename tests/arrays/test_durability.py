@@ -105,6 +105,9 @@ def test_writes_mirror_to_backups(machine):
 def test_element_write_mirrors(machine):
     arr = make_array(machine, replication=2)
     arr[5, 6] = 42.0
+    # The read is a flush point for the write-behind coalescer: it forces
+    # the queued write (and its fused replica update) out to the mirrors.
+    assert arr[5, 6] == 42.0
     state = get_array_manager(machine).durability_state(arr.array_id)
     section, local = arr.layout.locate((5, 6))
     for backup in state.replica_map.backups_for(section):

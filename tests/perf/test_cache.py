@@ -1,0 +1,132 @@
+"""The epoch-validated section read cache.
+
+Stamps are ``(durability epoch, per-section write version)``: any event
+that can change a section's contents — a direct write, a batch apply, a
+restore, a recovery rebuild — moves the stamp, so a cached copy can never
+serve data the owner has since replaced.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arrays import am_user, am_util
+from repro.arrays.manager import get_array_manager
+from repro.core.darray import DistributedArray
+from repro.faults import install_recovery
+from repro.perf import get_perf_layer
+from repro.vp.machine import Machine
+
+DISTRIB_2X2 = (("block", 2), ("block", 2))
+
+
+@pytest.fixture
+def machine():
+    m = Machine(6, default_recv_timeout=10)
+    am_util.load_all(m)
+    am_user.set_read_cache(m, True)
+    return m
+
+
+def make_array(machine, replication=0):
+    return DistributedArray.create(
+        machine, "double", (8, 8), [0, 1, 2, 3], DISTRIB_2X2,
+        replication=replication,
+    )
+
+
+def test_second_read_is_a_hit_and_costs_no_messages(machine):
+    arr = make_array(machine)
+    arr.from_numpy(np.arange(64, dtype=float).reshape(8, 8))
+    cache = get_perf_layer(machine).cache
+    # (7, 7) lives in section 3, owned by processor 3 — a remote read.
+    assert arr[7, 7] == 63.0  # miss: one stamped section fetch
+    machine.reset_traffic()
+    assert arr[7, 6] == 62.0  # same section: served from the cache
+    assert machine.traffic_snapshot()["messages"] == 0
+    diag = cache.diagnostics()
+    assert diag["hits"] == 1 and diag["misses"] == 1
+
+
+def test_write_invalidates_cached_section(machine):
+    arr = make_array(machine)
+    arr.from_numpy(np.zeros((8, 8)))
+    assert arr[7, 7] == 0.0  # populate the cache
+    arr[7, 7] = 5.0  # queued; the next read flushes it and bumps the version
+    assert arr[7, 7] == 5.0
+    assert get_perf_layer(machine).cache.diagnostics()["invalidations"] >= 1
+
+
+def test_region_write_invalidates_cached_section(machine):
+    arr = make_array(machine)
+    arr.from_numpy(np.zeros((8, 8)))
+    assert arr[7, 7] == 0.0
+    arr.from_numpy(np.full((8, 8), 9.0))
+    assert arr[7, 7] == 9.0
+
+
+def test_restore_bumps_epoch_and_invalidates(machine):
+    arr = make_array(machine)
+    ref = np.arange(64, dtype=float).reshape(8, 8)
+    arr.from_numpy(ref)
+    snapshot = arr.checkpoint()
+    assert arr[7, 7] == 63.0  # cached under the pre-restore stamp
+    arr.from_numpy(ref * 2)
+    arr.restore(snapshot)
+    # The restore advanced the durability epoch: the cached copy (and any
+    # copy of the doubled data) must not survive it.
+    assert arr[7, 7] == 63.0
+    state = get_array_manager(machine).durability_state(arr.array_id)
+    assert state.epoch >= 2
+
+
+def test_recovery_rebuild_invalidates(machine):
+    install_recovery(machine)
+    arr = make_array(machine, replication=1)
+    ref = np.arange(64, dtype=float).reshape(8, 8)
+    arr.from_numpy(ref)
+    assert arr[7, 7] == 63.0  # cached, stamped with epoch 0
+    machine.fail(3)  # kills section 3's owner; a spare adopts the mirror
+    state = get_array_manager(machine).durability_state(arr.array_id)
+    assert 3 not in state.processors
+    assert state.epoch >= 1
+    # The read must miss (epoch moved) and refetch from the adopter.
+    assert arr[7, 7] == 63.0
+    assert get_perf_layer(machine).cache.diagnostics()["invalidations"] >= 1
+
+
+def test_cache_disabled_by_default():
+    m = Machine(4)
+    am_util.load_all(m)
+    assert not get_perf_layer(m).cache.enabled
+
+
+def test_toggle_clears_cache(machine):
+    arr = make_array(machine)
+    arr.from_numpy(np.ones((8, 8)))
+    assert arr[7, 7] == 1.0
+    cache = get_perf_layer(machine).cache
+    assert len(cache) == 1
+    am_user.set_read_cache(machine, False)
+    assert len(cache) == 0 and not cache.enabled
+
+
+def test_free_drops_cached_sections(machine):
+    arr = make_array(machine)
+    arr.from_numpy(np.ones((8, 8)))
+    assert arr[7, 7] == 1.0
+    cache = get_perf_layer(machine).cache
+    assert len(cache) == 1
+    arr.free()
+    assert len(cache) == 0
+
+
+def test_lru_capacity_bounded(machine):
+    cache = get_perf_layer(machine).cache
+    cache.capacity = 2
+    arrays = [make_array(machine) for _ in range(3)]
+    for i, arr in enumerate(arrays):
+        arr.from_numpy(np.full((8, 8), float(i)))
+        assert arr[7, 7] == float(i)
+    assert len(cache) == 2  # oldest entry evicted, not grown unbounded

@@ -1,0 +1,203 @@
+"""The write-behind coalescer: batching, flush points, and equivalence.
+
+The §3.3 contract under test: a program whose writes ride the
+write-behind buffer must be observationally equivalent to the per-write
+path at every point where the writes *could* be observed — reads,
+collectives, checkpoints, and distributed-call boundaries all force the
+queue out first.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arrays import am_user, am_util
+from repro.calls import Local, distributed_call
+from repro.core.darray import DistributedArray
+from repro.perf import coalescing_disabled, get_perf_layer
+from repro.status import Status
+from repro.vp.machine import Machine
+
+
+@pytest.fixture
+def m8():
+    machine = Machine(8)
+    am_util.load_all(machine)
+    return machine
+
+
+def make_array(machine, n=16, owners=4, **kwargs):
+    procs = am_util.node_array(0, 1, owners)
+    return DistributedArray.create(
+        machine, "double", (n,), procs, ["block"], **kwargs
+    )
+
+
+class TestBatching:
+    def test_element_writes_are_queued_not_routed(self, m8):
+        arr = make_array(m8)
+        m8.reset_traffic()
+        for i in range(8):
+            arr[i] = float(i)
+        perf = get_perf_layer(m8)
+        # Below the flush threshold nothing has shipped: the writes sit
+        # in the buffer and no array traffic was routed.
+        assert perf.coalescer.pending_ops(arr.array_id) == 8
+        assert m8.traffic_snapshot()["messages"] == 0
+
+    def test_flush_ships_one_batch_per_dirty_section(self, m8):
+        arr = make_array(m8, n=16, owners=4)
+        for i in range(16):
+            arr[i] = float(i)
+        m8.reset_traffic()
+        flushed = am_user.flush_writes(m8)
+        assert flushed == 16
+        # Four dirty sections; the section owned by the requesting node
+        # (processor 0) applies inline, so three batches route.
+        assert m8.traffic_snapshot()["messages"] == 3
+        assert arr.to_numpy().tolist() == [float(i) for i in range(16)]
+
+    def test_threshold_forces_flush(self, m8):
+        arr = make_array(m8, n=64, owners=1)
+        perf = get_perf_layer(m8)
+        perf.coalescer.flush_ops = 4
+        for i in range(8):
+            arr[i] = 1.0
+        # Two threshold crossings -> at most 4 writes still pending.
+        assert perf.coalescer.pending_ops(arr.array_id) < 4 + 1
+        assert perf.coalescer.flushes >= 2
+
+    def test_coalescing_disabled_restores_per_write_path(self, m8):
+        arr = make_array(m8, n=16, owners=4)
+        with coalescing_disabled(m8):
+            m8.reset_traffic()
+            for i in range(4, 8):  # section 1, owned by processor 1
+                arr[i] = float(i)
+            # One write_element_local request per element.
+            assert m8.traffic_snapshot()["messages"] == 4
+        assert get_perf_layer(m8).coalescer.enabled
+
+    def test_statuses_match_per_write_path(self, m8):
+        arr = make_array(m8)
+        aid = arr.array_id
+        assert am_user.write_element(m8, aid, (0,), 1.0) is Status.OK
+        assert am_user.write_element(m8, aid, (99,), 1.0) is Status.INVALID
+        assert am_user.write_element(m8, aid, (0,), "x") is Status.INVALID
+        from repro.arrays.record import ArrayID
+
+        assert (
+            am_user.write_element(m8, ArrayID(0, 999), (0,), 1.0)
+            is Status.NOT_FOUND
+        )
+
+
+class TestFlushPoints:
+    def test_read_element_flushes_dirty_section(self, m8):
+        arr = make_array(m8)
+        arr[5] = 7.5
+        assert arr[5] == 7.5  # read-your-writes through the flush
+
+    def test_read_region_flushes(self, m8):
+        arr = make_array(m8, n=16, owners=4)
+        for i in range(16):
+            arr[i] = float(i)
+        assert arr.read_region([(0, 16)]).tolist() == [
+            float(i) for i in range(16)
+        ]
+
+    def test_find_local_flushes(self, m8):
+        arr = make_array(m8, n=16, owners=4)
+        for i in range(16):
+            arr[i] = float(i)
+        section, st = am_user.find_local(m8, arr.array_id, processor=2)
+        assert st is Status.OK
+        assert section.interior().tolist() == [8.0, 9.0, 10.0, 11.0]
+
+    def test_region_write_orders_after_queued_element_writes(self, m8):
+        arr = make_array(m8, n=16, owners=4)
+        for i in range(16):
+            arr[i] = 1.0
+        arr.from_numpy(np.full(16, 2.0))  # region write = ordering barrier
+        assert arr.to_numpy().tolist() == [2.0] * 16
+
+    def test_collective_flushes(self, m8):
+        from repro.spmd.collectives import barrier
+        from repro.spmd.comm import GroupComm
+
+        arr = make_array(m8, n=16, owners=4)
+        arr[0] = 3.0
+        perf = get_perf_layer(m8)
+        assert perf.coalescer.pending_ops(arr.array_id) == 1
+        comm = GroupComm(m8, [0], 0, ("test", "flush", 0))
+        barrier(comm)
+        assert perf.coalescer.pending_ops(arr.array_id) == 0
+        assert arr[0] == 3.0
+
+    def test_distributed_call_flushes(self, m8):
+        procs = am_util.node_array(0, 1, 4)
+        arr = make_array(m8, n=16, owners=4)
+        for i in range(16):
+            arr[i] = float(i)
+
+        def body(ctx, section):
+            section.interior()[...] += 100.0
+
+        result = distributed_call(m8, procs, body, [Local(arr.array_id)])
+        assert result.status is Status.OK
+        assert arr.to_numpy().tolist() == [100.0 + i for i in range(16)]
+
+    def test_checkpoint_includes_queued_writes(self, m8):
+        arr = make_array(m8, n=16, owners=4)
+        for i in range(16):
+            arr[i] = float(i)
+        snapshot = arr.checkpoint()
+        assert snapshot.assemble().tolist() == [float(i) for i in range(16)]
+
+    def test_free_discards_pending_writes(self, m8):
+        arr = make_array(m8)
+        arr[0] = 1.0
+        perf = get_perf_layer(m8)
+        assert perf.coalescer.pending_ops(arr.array_id) == 1
+        arr.free()
+        assert perf.coalescer.pending_ops(arr.array_id) == 0
+
+    def test_explicit_flush_helper(self, m8):
+        arr = make_array(m8)
+        arr[1] = 4.0
+        assert arr.flush() == 1
+        assert arr.flush() == 0
+
+
+class TestDiagnostics:
+    def test_perf_counters_in_machine_diagnostics(self, m8):
+        arr = make_array(m8, n=16, owners=4)
+        for i in range(16):
+            arr[i] = float(i)
+        am_user.flush_writes(m8)
+        perf = m8.diagnostics()["perf"]
+        assert perf["enabled"]
+        assert perf["flushes"] >= 1
+        assert perf["coalesced_writes"] == 16
+        assert "cache_hits" in perf and "cache_misses" in perf
+
+    def test_observer_metrics(self, m8):
+        with m8.observe() as observer:
+            arr = make_array(m8, n=16, owners=4)
+            for i in range(16):
+                arr[i] = float(i)
+            am_user.flush_writes(m8)
+            snap = observer.metrics.snapshot()
+            assert snap["repro_perf_flushes_total"] >= 1
+            assert snap["repro_perf_coalesced_writes_total"] == 16
+
+    def test_flush_span_annotated(self, m8):
+        with m8.observe() as observer:
+            arr = make_array(m8, n=16, owners=4)
+            arr[0] = 1.0
+            am_user.flush_writes(m8)
+            spans = [
+                s for s in observer.recorder.spans()
+                if s["name"] == "perf:flush"
+            ]
+            assert spans and spans[0]["attrs"]["ops"] == 1
