@@ -25,6 +25,15 @@ from repro.arrays.durability import (
     install_recovery,
 )
 from repro.arrays.layout import ArrayLayout
+from repro.arrays.placement import (
+    MIGRATE_KIND,
+    MigrationError,
+    PlacementPlan,
+    SectionMove,
+    SectionMover,
+    SectionSourceError,
+)
+from repro.arrays.rebalance import Rebalancer
 from repro.arrays.record import ArrayID, ArrayRecord
 from repro.arrays.local_section import LocalSection
 from repro.arrays.manager import ArrayManager, install_array_manager
@@ -37,6 +46,13 @@ __all__ = [
     "ReplicaMap",
     "ReplicaUpdate",
     "install_recovery",
+    "MIGRATE_KIND",
+    "MigrationError",
+    "PlacementPlan",
+    "Rebalancer",
+    "SectionMove",
+    "SectionMover",
+    "SectionSourceError",
     "BLOCK",
     "STAR",
     "Block",

@@ -281,6 +281,61 @@ def restore_array(
     return Status(status.read())
 
 
+def migrate_sections(
+    machine: Machine,
+    array_id: ArrayID,
+    assignments: Any,
+    processor: int = 0,
+    moved_out: Optional[DefVar] = None,
+    status_out: Optional[DefVar] = None,
+) -> tuple[Any, Status]:
+    """am_user:migrate_sections — planned section migration (extension).
+
+    ``assignments`` maps section number -> destination processor (or is a
+    prebuilt :class:`~repro.arrays.placement.PlacementPlan`).  Returns
+    ``(moved_sections, status)``; the move is transactional — on failure
+    it is rolled back under a fresh epoch and status is ERROR.
+    """
+    moved = _out(moved_out, "Moved")
+    status = _out(status_out, "Status")
+    machine.server.request(
+        "migrate_sections",
+        array_id,
+        assignments,
+        moved,
+        status,
+        processor=processor,
+    )
+    return moved.read(), Status(status.read())
+
+
+def rebalance_array(
+    machine: Machine,
+    array_id: ArrayID,
+    targets: Optional[Sequence[int]] = None,
+    processor: int = 0,
+    moved_out: Optional[DefVar] = None,
+    status_out: Optional[DefVar] = None,
+) -> tuple[Any, Status]:
+    """am_user:rebalance_array — repair/respread placement (extension).
+
+    Moves sections off dead owners (and, when ``targets`` is given, off
+    processors outside the target set) onto spare processors — including
+    ones added at runtime with ``Machine.add_processor()``.
+    """
+    moved = _out(moved_out, "Moved")
+    status = _out(status_out, "Status")
+    machine.server.request(
+        "rebalance_array",
+        array_id,
+        None if targets is None else tuple(int(t) for t in targets),
+        moved,
+        status,
+        processor=processor,
+    )
+    return moved.read(), Status(status.read())
+
+
 def distributed_call(*args, **kwargs):
     """am_user:distributed_call (§4.3.1) — re-exported from
     :mod:`repro.calls.api` to mirror the paper's single ``am_user`` module."""

@@ -44,11 +44,13 @@ import numpy as np
 
 from repro.arrays.layout import ArrayLayout
 from repro.arrays.local_section import dtype_for
+from repro.arrays.placement import (
+    PlacementPlan,
+    SectionMover,
+    SectionSourceError,
+)
 from repro.arrays.record import ArrayID
 from repro.obs.spans import span as obs_span
-from repro.pcn.defvar import DefVar
-from repro.status import Status
-from repro.vp import fabric
 
 REPLICA_UPDATE_KIND = "replica_update"
 RECOVERY_KIND = "recovery"
@@ -256,6 +258,7 @@ class DurabilityState:
     last_checkpoint_epoch: Optional[int] = None
     last_checkpoint: Optional[ArraySnapshot] = None
     sections_rebuilt: int = 0
+    sections_migrated: int = 0
     stale_rejected: int = 0
     recovered_procs: set = field(default_factory=set)
     unrecovered: list = field(default_factory=list)
@@ -267,6 +270,21 @@ class DurabilityState:
         with self.lock:
             self.stale_rejected += 1
 
+    def placement(self) -> dict:
+        """``{section: {"owner", "backups"}}`` under the state lock."""
+        with self.lock:
+            return {
+                section: {
+                    "owner": int(owner),
+                    "backups": (
+                        list(self.replica_map.backups_for(section))
+                        if self.replica_map is not None
+                        else []
+                    ),
+                }
+                for section, owner in enumerate(self.processors)
+            }
+
     def diagnostics(self) -> dict:
         with self.lock:
             return {
@@ -275,8 +293,20 @@ class DurabilityState:
                 "epoch": self.epoch,
                 "last_checkpoint_epoch": self.last_checkpoint_epoch,
                 "sections_rebuilt": self.sections_rebuilt,
+                "sections_migrated": self.sections_migrated,
                 "stale_replica_updates_rejected": self.stale_rejected,
                 "unrecovered": list(self.unrecovered),
+                "placement": {
+                    section: {
+                        "owner": int(owner),
+                        "backups": (
+                            list(self.replica_map.backups_for(section))
+                            if self.replica_map is not None
+                            else []
+                        ),
+                    }
+                    for section, owner in enumerate(self.processors)
+                },
             }
 
 
@@ -362,10 +392,24 @@ class RecoveryCoordinator:
             ):
                 return self._rebuild_locked(array_id, state, dead)
 
+    def _mover(self) -> SectionMover:
+        """The machine's section mover (shared with planned migration)."""
+        manager = getattr(self.machine, "_array_manager", None)
+        if manager is not None:
+            return manager.mover
+        return SectionMover(self.machine, None)
+
     def _rebuild_locked(
         self, array_id: ArrayID, state: DurabilityState, dead: int
     ) -> None:
-        """Rebuild ``dead``'s sections; ``state.lock`` is held throughout."""
+        """Rebuild ``dead``'s sections; ``state.lock`` is held throughout.
+
+        All bookkeeping (the recovery event log, ``unrecovered`` entries,
+        ``recovered_procs``) stays here; the actual section movement —
+        sourcing from replicas/checkpoints, adoption, membership rewrite,
+        epoch bump — is one :class:`~repro.arrays.placement.PlacementPlan`
+        executed by the shared :class:`~repro.arrays.placement.SectionMover`.
+        """
         machine = self.machine
         state.recovered_procs.add(dead)
         event: dict = {
@@ -377,9 +421,8 @@ class RecoveryCoordinator:
         alive = [
             p for p in range(machine.num_nodes) if not machine.is_failed(p)
         ]
-        spare = next(
-            (p for p in alive if p not in state.processors), None
-        )
+        mover = self._mover()
+        spare = mover.select_spare(state, alive)
         if spare is None:
             state.unrecovered.append((dead, "no spare processor"))
             event["error"] = "no spare processor"
@@ -387,127 +430,31 @@ class RecoveryCoordinator:
                 self.recoveries.append(event)
             return
         event["spare"] = spare
-        dead_sections = [
-            s for s, p in enumerate(state.processors) if p == dead
-        ]
-        new_epoch = state.epoch + 1
-        new_processors = tuple(
-            spare if p == dead else p for p in state.processors
-        )
-        new_map = (
-            ReplicaMap.assign(state.layout, new_processors, state.replication)
-            if state.replication > 0
-            else None
-        )
-        coordinator_proc = alive[0]
-        # The failure listener may run on the dead VP's own thread (a
-        # kill after its Nth send); recovery traffic must originate
-        # from a surviving node.
-        with fabric.execution_context(processor=coordinator_proc):
-            for section in dead_sections:
-                data = self._section_data(state, array_id, section, alive)
-                if data is None:
-                    state.unrecovered.append(
-                        (dead, f"section {section}: no replica or checkpoint")
-                    )
-                    event["error"] = f"section {section} unrecoverable"
-                    with self._lock:
-                        self.recoveries.append(event)
-                    return
-                self._request(
-                    "adopt_section",
-                    array_id,
-                    state.type_name,
-                    state.layout,
-                    new_processors,
-                    state.border_spec,
-                    state.replication,
-                    new_map,
-                    new_epoch,
-                    data,
-                    processor=spare,
-                )
-                event["sections"].append(section)
-            holders = (set(new_processors) | {state.creator}) - {spare}
-            for holder in sorted(holders):
-                if machine.is_failed(holder):
-                    continue
-                self._request(
-                    "update_membership_local",
-                    array_id,
-                    new_processors,
-                    new_map,
-                    new_epoch,
-                    processor=holder,
-                )
-            if state.replica_map is not None:
-                for owner in new_processors:
-                    if machine.is_failed(owner):
-                        continue
-                    self._request(
-                        "reseed_replicas_local", array_id, processor=owner
-                    )
-        state.processors = new_processors
-        state.replica_map = new_map
-        state.epoch = new_epoch
-        state.sections_rebuilt += len(dead_sections)
-        observer = getattr(machine, "_observer", None)
-        if observer is not None:
-            for _ in dead_sections:
-                observer.section_rebuilt(array_id)
-            observer.array_epoch(array_id, new_epoch)
+        plan = PlacementPlan.for_failure(state, dead, spare)
+        try:
+            # rollback=False: partial recovery progress is recorded as
+            # unrecovered by our caller, never undone; flush=False: the
+            # kill may have fired inside a coalescer flush on this very
+            # thread, and the per-key flush locks are not reentrant.
+            outcome = mover.execute_locked(
+                state,
+                plan,
+                kind=RECOVERY_KIND,
+                origin=alive[0],
+                rollback=False,
+                flush=False,
+            )
+        except SectionSourceError as exc:
+            state.unrecovered.append((dead, str(exc)))
+            event["error"] = f"section {exc.section} unrecoverable"
+            with self._lock:
+                self.recoveries.append(event)
+            return
+        event["sections"] = outcome["sections"]
         event["ok"] = True
-        event["epoch"] = new_epoch
+        event["epoch"] = outcome["epoch"]
         with self._lock:
             self.recoveries.append(event)
-
-    def _section_data(
-        self,
-        state: DurabilityState,
-        array_id: ArrayID,
-        section: int,
-        alive: List[int],
-    ) -> Optional[np.ndarray]:
-        """A copy of the lost section: freshest surviving replica first,
-        the latest checkpoint as the replication=0 fallback."""
-        if state.replica_map is not None:
-            for backup in state.replica_map.backups_for(section):
-                if backup not in alive:
-                    continue
-                out = DefVar(f"replica_fetch@{backup}")
-                status = DefVar(f"replica_fetch_status@{backup}")
-                self.machine.server.request(
-                    "replica_fetch",
-                    array_id,
-                    section,
-                    out,
-                    status,
-                    processor=backup,
-                    kind=RECOVERY_KIND,
-                )
-                if Status(status.read()) is Status.OK:
-                    _epoch, data = out.read()
-                    return data
-        if state.last_checkpoint is not None:
-            data = state.last_checkpoint.sections.get(section)
-            if data is not None:
-                return data.copy()
-        return None
-
-    def _request(self, request_type: str, *parameters: Any, processor: int) -> None:
-        status = DefVar(f"{request_type}@{processor}")
-        self.machine.server.request(
-            request_type,
-            *parameters,
-            status,
-            processor=processor,
-            kind=RECOVERY_KIND,
-        )
-        if Status(status.read()) is not Status.OK:
-            raise RuntimeError(
-                f"recovery request {request_type!r} on processor {processor} "
-                f"failed with {Status(status.read()).name}"
-            )
 
 
 def install_recovery(machine) -> RecoveryCoordinator:

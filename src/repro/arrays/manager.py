@@ -45,6 +45,12 @@ from repro.arrays.durability import (
 )
 from repro.arrays.layout import ArrayLayout, normalize_indexing
 from repro.arrays.local_section import LocalSection, dtype_for
+from repro.arrays.placement import (
+    MIGRATE_KIND,
+    MigrationError,
+    PlacementPlan,
+    SectionMover,
+)
 from repro.arrays.record import SERIALS, ArrayID, ArrayRecord
 from repro.obs.spans import span as obs_span
 from repro.perf import ARRAY_BATCH_KIND, PerfLayer, define_once
@@ -91,6 +97,12 @@ class ArrayManager:
         self._durability: dict[ArrayID, DurabilityState] = {}
         self._durability_lock = threading.Lock()
         self._checkpoint_serials = itertools.count()
+        # The shared section-migration engine (repro.arrays.placement):
+        # failure recovery and planned migration both execute their
+        # placement plans through this one mover.
+        self.mover = SectionMover(machine, self)
+        # Planned-migration log, surfaced via diagnostics and tests.
+        self.migrations: list[dict] = []
 
     # -- bookkeeping ----------------------------------------------------------
 
@@ -152,6 +164,9 @@ class ArrayManager:
             "adopt_section": self.adopt_section,
             "update_membership_local": self.update_membership_local,
             "reseed_replicas_local": self.reseed_replicas_local,
+            "yield_section_local": self.yield_section_local,
+            "migrate_sections": self.migrate_sections,
+            "rebalance_array": self.rebalance_array,
         }
         return {
             name: self._instrumented(name, handler)
@@ -329,14 +344,19 @@ class ArrayManager:
         self._note("array_batch", node.number, batch.array_id)
         perf = self._perf()
         key = (batch.array_id, batch.section)
+        record = self._lookup(node, batch.array_id)
+        if record is None or record.section is None:
+            # No section here (it migrated away, or never existed): the
+            # batch is *not* applied, so do not consume its sequence
+            # number — the coalescer retries the same batch against the
+            # re-resolved owner, and exactly-once dedup happens at the
+            # node that actually holds the section.
+            define_once(batch.done, "not_found")
+            return
         if perf is not None and not perf.coalescer.should_apply(
             key, batch.seq
         ):
             define_once(batch.done, "duplicate")
-            return
-        record = self._lookup(node, batch.array_id)
-        if record is None or record.section is None:
-            define_once(batch.done, "not_found")
             return
         with obs_span(
             self.machine,
@@ -1435,8 +1455,16 @@ class ArrayManager:
         in-flight updates are rejected as stale."""
         self._note("reseed_replicas_local", node.number, array_id)
         record = self._lookup(node, array_id)
-        if record is None or record.section is None:
+        if record is None:
             _define(status, Status.NOT_FOUND)
+            return
+        if record.section is None:
+            # A record without a section (the creating processor, or an
+            # owner that just yielded its section to a migration) has
+            # nothing to reseed — an OK no-op, so recovery running
+            # reentrantly under a mid-migration kill is not tripped by
+            # the section being legitimately in flight.
+            _define(status, Status.OK)
             return
         with record.lock:
             self._replicate(
@@ -1444,6 +1472,161 @@ class ArrayManager:
                 record.section.interior().copy(),
             )
         _define(status, Status.OK)
+
+    # -- planned migration (repro.arrays.placement) -----------------------------------
+
+    def yield_section_local(
+        self,
+        node: VirtualProcessor,
+        array_id: ArrayID,
+        expected_epoch: int,
+        out: DefVar,
+        status: DefVar,
+    ) -> None:
+        """Surrender this processor's section to a migration: copy the
+        interior, free the storage, and leave the record section-less.
+
+        Guarded by the epoch the plan was computed at: a fault-delayed
+        yield arriving after a rollback (or any other epoch bump) is
+        refused with INVALID instead of destroying restored data.
+        """
+        self._note("yield_section_local", node.number, array_id)
+        record = self._lookup(node, array_id)
+        if record is None or record.section is None:
+            define_once(out, None)
+            define_once(status, Status.NOT_FOUND)
+            return
+        with record.lock:
+            if record.epoch != int(expected_epoch):
+                define_once(out, None)
+                define_once(status, Status.INVALID)
+                return
+            data = record.section.interior().copy()
+            record.section.free()
+            record.section = None
+            self._bump_version(node, record)
+        define_once(out, data)
+        define_once(status, Status.OK)
+
+    def _run_plan(
+        self,
+        node: VirtualProcessor,
+        array_id: ArrayID,
+        state: DurabilityState,
+        plan: Optional[PlacementPlan],
+        moved_out: DefVar,
+        status: DefVar,
+    ) -> None:
+        """Execute one planned migration, logging the outcome."""
+        if plan is None or not plan.moves:
+            _define(moved_out, [])
+            _define(status, Status.OK)
+            return
+        entry = {
+            "array": array_id.as_tuple(),
+            "moves": [(m.section, m.source, m.dest) for m in plan.moves],
+            "ok": False,
+        }
+        try:
+            with obs_span(
+                self.machine,
+                "migrate",
+                array=str(array_id.as_tuple()),
+                moves=len(plan.moves),
+            ):
+                outcome = self.mover.execute_locked(
+                    state, plan, kind=MIGRATE_KIND, origin=node.number
+                )
+        except Exception as exc:  # noqa: BLE001 - rolled back -> Status
+            entry["error"] = repr(exc)
+            with self._trace_lock:
+                self.migrations.append(entry)
+            _define(moved_out, None)
+            _define(status, Status.ERROR)
+            return
+        entry["ok"] = True
+        entry["epoch"] = outcome["epoch"]
+        with self._trace_lock:
+            self.migrations.append(entry)
+        _define(moved_out, outcome["sections"])
+        _define(status, Status.OK)
+
+    def migrate_sections(
+        self,
+        node: VirtualProcessor,
+        array_id: Any,
+        assignments: Any,
+        moved_out: DefVar,
+        status: DefVar,
+    ) -> None:
+        """Move sections per an explicit ``{section: destination}`` map
+        (or a prebuilt :class:`PlacementPlan`).  Defines ``moved_out``
+        with the list of section numbers that moved.
+
+        The move is transactional against failure: a mid-plan death or
+        dropped message rolls the sourced sections back onto the current
+        owners under a fresh epoch and returns ERROR.
+        """
+        self._note("migrate_sections", node.number, array_id)
+        state = (
+            self.durability_state(array_id)
+            if isinstance(array_id, ArrayID)
+            else None
+        )
+        if state is None:
+            _define(moved_out, None)
+            _define(status, Status.NOT_FOUND)
+            return
+        with state.lock:
+            try:
+                plan = (
+                    assignments
+                    if isinstance(assignments, PlacementPlan)
+                    else PlacementPlan.from_assignments(
+                        state, dict(assignments)
+                    )
+                )
+            except MigrationError:
+                _define(moved_out, None)
+                _define(status, Status.INVALID)
+                return
+            self._run_plan(node, array_id, state, plan, moved_out, status)
+
+    def rebalance_array(
+        self,
+        node: VirtualProcessor,
+        array_id: Any,
+        targets: Any,
+        moved_out: DefVar,
+        status: DefVar,
+    ) -> None:
+        """Repair/respread one array: keep sections whose owner is alive
+        (and within ``targets``, when given); move the rest onto spare
+        processors — including processors added at runtime, which is how
+        ``add_processor()`` + ``rebalance()`` repairs an array recovery
+        had to leave unrecovered for want of a spare."""
+        self._note("rebalance_array", node.number, array_id)
+        state = (
+            self.durability_state(array_id)
+            if isinstance(array_id, ArrayID)
+            else None
+        )
+        if state is None:
+            _define(moved_out, None)
+            _define(status, Status.NOT_FOUND)
+            return
+        with state.lock:
+            try:
+                plan = PlacementPlan.rebalance(
+                    state,
+                    self.machine,
+                    None if targets is None else tuple(targets),
+                )
+            except MigrationError:
+                _define(moved_out, None)
+                _define(status, Status.INVALID)
+                return
+            self._run_plan(node, array_id, state, plan, moved_out, status)
 
     # -- info ---------------------------------------------------------------------------
 
@@ -1496,6 +1679,10 @@ def install_array_manager(
         REPLICA_UPDATE_KIND, manager._on_replica_update
     )
     machine.register_kind_handler(RECOVERY_KIND, machine.server._execute)
+    # Planned-migration RPCs (yield/adopt/membership rewrites issued by
+    # the section mover) travel under their own kind, so meters and
+    # fault plans can target elective moves separately from recovery.
+    machine.register_kind_handler(MIGRATE_KIND, machine.server._execute)
     # The batching-and-caching layer (repro.perf): fused write batches
     # arrive under their own kind and apply atomically at the owner.
     machine.register_kind_handler(ARRAY_BATCH_KIND, manager._on_array_batch)

@@ -1,0 +1,605 @@
+"""Section placement: one engine that moves array sections between VPs.
+
+PR 3's recovery coordinator grew the machinery for relocating a local
+section — pick a destination, source the bytes (live owner, surviving
+replica, or checkpoint), adopt them on the new owner, rewrite every
+survivor's membership and replica map, bump the epoch.  That machinery
+was buried inside ``RecoveryCoordinator._rebuild_locked`` and therefore
+only ran as a side effect of death.  This module extracts it into a
+standalone engine so *planned* migration (elastic rebalancing onto
+processors added at runtime, ``DistributedArray.rebalance()``) and
+*failure* recovery share exactly one code path that moves a section:
+
+* :class:`PlacementPlan` — an immutable description of a membership
+  change: which sections move where, the resulting processor tuple, and
+  the replica map recomputed for it.  Built by
+  :meth:`PlacementPlan.for_failure` (recovery: dead owner -> spare),
+  :meth:`PlacementPlan.from_assignments` (explicit ``{section: dest}``),
+  or :meth:`PlacementPlan.rebalance` (repair dead owners / respread onto
+  a target set).
+
+* :class:`SectionMover` — executes a plan under the array's
+  ``DurabilityState`` lock: source each moving section, adopt it on its
+  destination, rewrite membership on every holder, reseed mirrors, and
+  commit the epoch bump.  Planned migration runs with ``rollback=True``
+  — a failure mid-plan (destination dies, fault-injected drop times
+  out, concurrent recovery rewrites membership underneath) restores the
+  sourced sections onto the current owners under a *fresh* epoch, so a
+  delayed ``yield_section_local`` from the abandoned attempt is refused
+  by its epoch guard instead of destroying restored data.  Recovery
+  runs with ``rollback=False`` and ``flush=False``: its caller already
+  records partial progress as ``unrecovered``, and flushing the write
+  coalescer from inside a failure listener could self-deadlock on the
+  non-reentrant per-key flush locks when the kill fired mid-flush.
+
+The migration barrier (docs/elasticity.md): a planned move first drains
+the write coalescer for the array, so write-behind batches aimed at the
+old owner land before the section leaves it; the commit's epoch bump
+invalidates every ``SectionCache`` entry for the moved sections, and the
+coalescer re-resolves owners from the durability state at ship time, so
+batches racing the move chase the section to its new owner.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.pcn.defvar import DefVar
+from repro.status import ProcessorFailedError, Status
+from repro.vp import fabric
+
+# Envelope kind for planned-migration RPCs: yield/adopt/membership
+# traffic is distinguishable from recovery's on the wire (meters,
+# tracers, fault plans can target one without the other).
+MIGRATE_KIND = "migrate"
+
+
+class MigrationError(RuntimeError):
+    """A planned migration could not be completed (and was rolled back)."""
+
+
+class SectionSourceError(Exception):
+    """No copy of a section survives anywhere (owner dead, no replica,
+    no checkpoint).  Carries the section number so recovery can record
+    its exact per-section diagnostic."""
+
+    def __init__(self, section: int) -> None:
+        super().__init__(f"section {section}: no replica or checkpoint")
+        self.section = section
+
+
+@dataclass(frozen=True)
+class SectionMove:
+    """One section changing owners: ``source`` may be dead (recovery)."""
+
+    section: int
+    source: int
+    dest: int
+
+
+@dataclass(frozen=True)
+class PlacementPlan:
+    """An immutable membership change for one array.
+
+    ``base_processors`` is the membership the plan was computed against;
+    the mover refuses a plan whose base no longer matches the live state
+    (stale plan).  ``reason`` is ``"recovery"`` or ``"migrate"`` and
+    selects which statistic (``sections_rebuilt`` / ``sections_migrated``)
+    and observer metric the commit advances.
+    """
+
+    array_id: Any
+    reason: str
+    base_processors: Tuple[int, ...]
+    new_processors: Tuple[int, ...]
+    new_replica_map: Any
+    moves: Tuple[SectionMove, ...]
+
+    @staticmethod
+    def _replica_map(state: Any, processors: Tuple[int, ...]) -> Any:
+        if state.replication <= 0:
+            return None
+        from repro.arrays.durability import ReplicaMap
+
+        return ReplicaMap.assign(state.layout, processors, state.replication)
+
+    @classmethod
+    def for_failure(cls, state: Any, dead: int, spare: int) -> "PlacementPlan":
+        """Recovery's plan: every section of ``dead`` moves to ``spare``."""
+        base = tuple(state.processors)
+        moves = tuple(
+            SectionMove(section, dead, spare)
+            for section, proc in enumerate(base)
+            if proc == dead
+        )
+        new_processors = tuple(spare if p == dead else p for p in base)
+        return cls(
+            array_id=state.array_id,
+            reason="recovery",
+            base_processors=base,
+            new_processors=new_processors,
+            new_replica_map=cls._replica_map(state, new_processors),
+            moves=moves,
+        )
+
+    @classmethod
+    def from_assignments(
+        cls, state: Any, assignments: Dict[int, int]
+    ) -> Optional["PlacementPlan"]:
+        """Plan an explicit ``{section: destination}`` migration.
+
+        Destinations must be processors holding no section of the array
+        (each VP hosts at most one section, and adopt replaces the
+        record wholesale), and distinct from each other — chained moves
+        (A->B while B->C) are rejected rather than ordered.  Returns
+        ``None`` when every assignment is already satisfied.
+        """
+        base = tuple(state.processors)
+        new = list(base)
+        moves: List[SectionMove] = []
+        dests: set = set()
+        for section in sorted(assignments):
+            dest = int(assignments[section])
+            section = int(section)
+            if not 0 <= section < len(base):
+                raise MigrationError(
+                    f"array {state.array_id} has no section {section}"
+                )
+            if dest == base[section]:
+                continue  # already there
+            if dest in base:
+                raise MigrationError(
+                    f"processor {dest} already holds a section of "
+                    f"{state.array_id}"
+                )
+            if dest in dests:
+                raise MigrationError(
+                    f"two sections assigned to processor {dest}"
+                )
+            dests.add(dest)
+            moves.append(SectionMove(section, base[section], dest))
+            new[section] = dest
+        if not moves:
+            return None
+        new_processors = tuple(new)
+        return cls(
+            array_id=state.array_id,
+            reason="migrate",
+            base_processors=base,
+            new_processors=new_processors,
+            new_replica_map=cls._replica_map(state, new_processors),
+            moves=tuple(moves),
+        )
+
+    @classmethod
+    def rebalance(
+        cls,
+        state: Any,
+        machine: Any,
+        targets: Optional[Sequence[int]] = None,
+    ) -> Optional["PlacementPlan"]:
+        """Plan a repair/respread: keep each section on its owner when
+        the owner is alive and inside the target set; move every other
+        section (dead owner, or owner outside an explicit ``targets``)
+        onto a spare target holding no section of the array.
+
+        Raises :class:`MigrationError` when a section must move but no
+        spare target exists — the caller can ``Machine.add_processor()``
+        and retry.  Returns ``None`` when the array is already placed.
+        """
+        alive = [
+            p for p in range(machine.num_nodes) if not machine.is_failed(p)
+        ]
+        pool = (
+            alive
+            if targets is None
+            else [int(t) for t in targets if not machine.is_failed(int(t))]
+        )
+        base = tuple(state.processors)
+        homeless = [
+            section
+            for section, owner in enumerate(base)
+            if machine.is_failed(owner) or owner not in pool
+        ]
+        if not homeless:
+            return None
+        spares = [p for p in pool if p not in base]
+        assignments: Dict[int, int] = {}
+        for section in homeless:
+            if not spares:
+                raise MigrationError(
+                    f"no spare processor for section {section} of "
+                    f"{state.array_id}"
+                )
+            assignments[section] = spares.pop(0)
+        return cls.from_assignments(state, assignments)
+
+
+class SectionMover:
+    """Executes placement plans — the single code path that moves a
+    section, shared by failure recovery and planned migration."""
+
+    def __init__(self, machine: Any, manager: Any) -> None:
+        self.machine = machine
+        self.manager = manager
+        self._lock = threading.Lock()
+        # Executed-plan log, surfaced through ArrayManager.migrations.
+        self.moves_executed = 0
+        self.aborts = 0
+
+    # -- plan helpers ---------------------------------------------------------
+
+    def select_spare(self, state: Any, alive: Sequence[int]) -> Optional[int]:
+        """Recovery's spare choice: first alive VP holding no section."""
+        return next((p for p in alive if p not in state.processors), None)
+
+    # -- execution ------------------------------------------------------------
+
+    def execute_locked(
+        self,
+        state: Any,
+        plan: PlacementPlan,
+        *,
+        kind: str,
+        origin: Optional[int] = None,
+        rollback: bool = True,
+        flush: bool = True,
+    ) -> dict:
+        """Run one plan; the caller holds ``state.lock`` throughout.
+
+        The protocol, in order: (migration barrier) flush coalesced
+        writes for the array; source each moving section — a live yield
+        from its owner, else the freshest surviving replica, else the
+        latest checkpoint; adopt it on the destination at the new epoch;
+        rewrite membership on every holder; reseed mirrors; commit the
+        state.  ``rollback=True`` (planned migration) restores sourced
+        sections under a fresh epoch on any failure and re-raises;
+        ``rollback=False`` (recovery) propagates the failure with state
+        untouched, matching the pre-extraction recovery semantics.
+        """
+        machine = self.machine
+        array_id = plan.array_id
+        if tuple(plan.base_processors) != tuple(state.processors):
+            raise MigrationError(
+                f"stale plan for {array_id}: membership is "
+                f"{tuple(state.processors)}, plan assumed "
+                f"{tuple(plan.base_processors)}"
+            )
+        entry_epoch = state.epoch
+        new_epoch = entry_epoch + 1
+        if flush:
+            # Migration barrier: write-behind batches aimed at the old
+            # owner must land before the section leaves it.  Recovery
+            # passes flush=False — a kill that fired inside a flush
+            # already holds this key's flush lock on this very thread.
+            perf = getattr(machine, "_perf", None)
+            if perf is not None:
+                perf.coalescer.flush(array_id)
+        if origin is None or machine.is_failed(origin):
+            origin = next(
+                p for p in range(machine.num_nodes) if not machine.is_failed(p)
+            )
+        sourced: List[Tuple[SectionMove, np.ndarray]] = []
+        try:
+            # Moves and membership traffic must originate from a live
+            # node: recovery may be running on the dead VP's own thread.
+            with fabric.execution_context(processor=origin):
+                for move in plan.moves:
+                    data = self._section_data(
+                        state, array_id, move, entry_epoch, kind
+                    )
+                    sourced.append((move, data))
+                    self._request(
+                        "adopt_section",
+                        array_id,
+                        state.type_name,
+                        state.layout,
+                        plan.new_processors,
+                        state.border_spec,
+                        state.replication,
+                        plan.new_replica_map,
+                        new_epoch,
+                        data,
+                        processor=move.dest,
+                        kind=kind,
+                    )
+                if rollback:
+                    dead_dests = [
+                        move.dest
+                        for move in plan.moves
+                        if machine.is_failed(move.dest)
+                    ]
+                    if dead_dests:
+                        # A destination died *after* adopting (kills fire
+                        # once the delivery completes): committing would
+                        # hand the section to a corpse.
+                        raise MigrationError(
+                            f"destination processor {dead_dests[0]} of "
+                            f"{array_id} failed mid-migration"
+                        )
+                    if state.epoch != entry_epoch:
+                        # A kill during our own traffic ran recovery
+                        # reentrantly (state.lock is an RLock) and rewrote
+                        # the membership underneath the plan.
+                        raise MigrationError(
+                            f"membership of {array_id} changed mid-migration "
+                            f"(concurrent recovery)"
+                        )
+                dests = {move.dest for move in plan.moves}
+                holders = (
+                    set(plan.new_processors)
+                    | set(plan.base_processors)
+                    | {state.creator}
+                ) - dests
+                for holder in sorted(holders):
+                    if machine.is_failed(holder):
+                        continue
+                    self._request(
+                        "update_membership_local",
+                        array_id,
+                        plan.new_processors,
+                        plan.new_replica_map,
+                        new_epoch,
+                        processor=holder,
+                        kind=kind,
+                    )
+                if state.replication > 0 and plan.new_replica_map is not None:
+                    for owner in plan.new_processors:
+                        if machine.is_failed(owner):
+                            continue
+                        self._request(
+                            "reseed_replicas_local",
+                            array_id,
+                            processor=owner,
+                            kind=kind,
+                        )
+        except Exception:
+            if rollback:
+                self._abort_locked(state, plan, sourced, new_epoch, kind)
+            raise
+        state.processors = plan.new_processors
+        state.replica_map = plan.new_replica_map
+        state.epoch = new_epoch
+        if plan.reason == "recovery":
+            state.sections_rebuilt += len(plan.moves)
+        else:
+            state.sections_migrated += len(plan.moves)
+        with self._lock:
+            self.moves_executed += len(plan.moves)
+        observer = getattr(machine, "_observer", None)
+        if observer is not None:
+            for _ in plan.moves:
+                if plan.reason == "recovery":
+                    observer.section_rebuilt(array_id)
+                else:
+                    observer.section_migrated(array_id)
+            observer.array_epoch(array_id, new_epoch)
+        return {
+            "sections": [move.section for move in plan.moves],
+            "epoch": new_epoch,
+            "moves": [
+                (move.section, move.source, move.dest) for move in plan.moves
+            ],
+        }
+
+    # -- sourcing -------------------------------------------------------------
+
+    def _section_data(
+        self,
+        state: Any,
+        array_id: Any,
+        move: SectionMove,
+        entry_epoch: int,
+        kind: str,
+    ) -> np.ndarray:
+        """A copy of the moving section.
+
+        Live source: yield it (destructive copy-and-free, guarded by the
+        epoch the plan was computed at, so a fault-delayed yield from an
+        aborted attempt is refused).  Dead source: freshest surviving
+        replica, then the latest checkpoint — recovery's sourcing order.
+        """
+        machine = self.machine
+        if not machine.is_failed(move.source):
+            out = DefVar(f"yield_section@{move.source}")
+            status = DefVar(f"yield_section_status@{move.source}")
+            try:
+                machine.server.request(
+                    "yield_section_local",
+                    array_id,
+                    entry_epoch,
+                    out,
+                    status,
+                    processor=move.source,
+                    kind=kind,
+                )
+                result = Status(
+                    status.read(timeout=machine.default_recv_timeout)
+                )
+            except ProcessorFailedError:
+                # The source died under us: fall through to the replica
+                # path exactly as if the plan had targeted a dead owner.
+                result = None
+            except TimeoutError:
+                # The yield request was dropped or delayed in transit
+                # while the source is still alive.  A late execution
+                # would free the section, so adopt nothing — abort and
+                # let the epoch guard refuse the straggler.
+                raise MigrationError(
+                    f"yield of section {move.section} from processor "
+                    f"{move.source} timed out"
+                )
+            if result is Status.OK:
+                return out.read()
+            if result is not None:
+                raise MigrationError(
+                    f"yield of section {move.section} from processor "
+                    f"{move.source} failed with {result.name}"
+                )
+        if state.replica_map is not None:
+            for backup in state.replica_map.backups_for(move.section):
+                if machine.is_failed(backup):
+                    continue
+                out = DefVar(f"replica_fetch@{backup}")
+                status = DefVar(f"replica_fetch_status@{backup}")
+                machine.server.request(
+                    "replica_fetch",
+                    array_id,
+                    move.section,
+                    out,
+                    status,
+                    processor=backup,
+                    kind=kind,
+                )
+                if Status(status.read()) is Status.OK:
+                    _epoch, data = out.read()
+                    return data
+        if state.last_checkpoint is not None:
+            data = state.last_checkpoint.sections.get(move.section)
+            if data is not None:
+                return data.copy()
+        raise SectionSourceError(move.section)
+
+    # -- rollback -------------------------------------------------------------
+
+    def _abort_locked(
+        self,
+        state: Any,
+        plan: PlacementPlan,
+        sourced: List[Tuple[SectionMove, np.ndarray]],
+        new_epoch: int,
+        kind: str,
+    ) -> None:
+        """Rollback of a half-executed plan.
+
+        Restores every sourced section onto the *current* authoritative
+        owner (``state.processors`` — concurrent recovery may have
+        rewritten it while we were mid-plan) under a fresh epoch above
+        both the entry epoch and the abandoned plan's, so straggling
+        yields and replica updates stamped with either are refused as
+        stale.
+
+        Every request runs inside the *target's* own execution context,
+        so it executes node-locally with zero routed messages: the fault
+        injector that failed the forward pass (drops, duplicate storms,
+        kills) cannot also eat the restore.  Dead processors are skipped
+        — each step is individually best-effort against concurrent
+        death, but never against message faults.
+        """
+        machine = self.machine
+        array_id = plan.array_id
+        rollback_epoch = max(state.epoch, new_epoch) + 1
+        restore_procs = tuple(state.processors)
+        restore_map = state.replica_map
+        with self._lock:
+            self.aborts += 1
+        for move, data in sourced:
+            # Free the half-installed copy at the destination so the
+            # abandoned adopt cannot shadow the restored section.
+            if not machine.is_failed(move.dest):
+                try:
+                    with fabric.execution_context(processor=move.dest):
+                        out = DefVar(f"unadopt@{move.dest}")
+                        st = DefVar(f"unadopt_status@{move.dest}")
+                        machine.server.request(
+                            "yield_section_local",
+                            array_id,
+                            new_epoch,
+                            out,
+                            st,
+                            processor=move.dest,
+                            kind=kind,
+                        )
+                        st.read(timeout=machine.default_recv_timeout)
+                except Exception:  # noqa: BLE001 - best effort
+                    pass
+            owner = (
+                restore_procs[move.section]
+                if move.section < len(restore_procs)
+                else move.source
+            )
+            if machine.is_failed(owner):
+                continue
+            try:
+                with fabric.execution_context(processor=owner):
+                    self._request(
+                        "adopt_section",
+                        array_id,
+                        state.type_name,
+                        state.layout,
+                        restore_procs,
+                        state.border_spec,
+                        state.replication,
+                        restore_map,
+                        rollback_epoch,
+                        data,
+                        processor=owner,
+                        kind=kind,
+                    )
+            except Exception:  # noqa: BLE001 - best effort
+                pass
+        holders = (
+            set(restore_procs)
+            | set(plan.base_processors)
+            | {state.creator}
+            | {move.dest for move, _ in sourced}
+        )
+        for holder in sorted(holders):
+            if machine.is_failed(holder):
+                continue
+            try:
+                with fabric.execution_context(processor=holder):
+                    self._request(
+                        "update_membership_local",
+                        array_id,
+                        restore_procs,
+                        restore_map,
+                        rollback_epoch,
+                        processor=holder,
+                        kind=kind,
+                    )
+            except Exception:  # noqa: BLE001 - best effort
+                pass
+        if state.replication > 0 and restore_map is not None:
+            for owner in restore_procs:
+                if machine.is_failed(owner):
+                    continue
+                try:
+                    with fabric.execution_context(processor=owner):
+                        self._request(
+                            "reseed_replicas_local",
+                            array_id,
+                            processor=owner,
+                            kind=kind,
+                        )
+                except Exception:  # noqa: BLE001 - best effort
+                    pass
+        state.epoch = rollback_epoch
+        observer = getattr(machine, "_observer", None)
+        if observer is not None:
+            observer.array_epoch(array_id, rollback_epoch)
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _request(
+        self, request_type: str, *parameters: Any, processor: int, kind: str
+    ) -> None:
+        """One status-checked server request on ``processor``."""
+        status = DefVar(f"{request_type}@{processor}")
+        self.machine.server.request(
+            request_type,
+            *parameters,
+            status,
+            processor=processor,
+            kind=kind,
+        )
+        result = Status(status.read(timeout=self.machine.default_recv_timeout))
+        if result is not Status.OK:
+            raise RuntimeError(
+                f"placement request {request_type!r} on processor "
+                f"{processor} failed with {result.name}"
+            )

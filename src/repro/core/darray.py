@@ -215,6 +215,44 @@ class DistributedArray:
         self._check_live()
         return am_user.flush_writes(self.machine, self.array_id)
 
+    # -- elastic placement --------------------------------------------------------------------
+
+    def _refresh_processors(self) -> None:
+        procs, status = am_user.find_info(
+            self.machine, self.array_id, "processors"
+        )
+        check_status(status, "find_info('processors') failed")
+        self.processors = tuple(int(p) for p in procs)
+
+    def migrate(self, assignments: Any) -> list[int]:
+        """Move sections per ``{section: destination processor}``.
+
+        A migration barrier: pending coalesced writes flush first, the
+        epoch bump invalidates cached section copies, and the move rolls
+        back under a fresh epoch if anything fails mid-flight (see
+        ``docs/elasticity.md``).  Returns the moved section numbers.
+        """
+        self._check_live()
+        moved, status = am_user.migrate_sections(
+            self.machine, self.array_id, assignments
+        )
+        check_status(status, f"migrate_sections({assignments!r}) failed")
+        self._refresh_processors()
+        return list(moved)
+
+    def rebalance(self, targets: Optional[Sequence[int]] = None) -> list[int]:
+        """Repair/respread placement: sections on dead owners (or owners
+        outside ``targets``) move to spare processors — including ones
+        added at runtime with ``Machine.add_processor()``.  Returns the
+        moved section numbers (empty when already balanced)."""
+        self._check_live()
+        moved, status = am_user.rebalance_array(
+            self.machine, self.array_id, targets
+        )
+        check_status(status, "rebalance_array failed")
+        self._refresh_processors()
+        return list(moved)
+
     # -- lifetime ------------------------------------------------------------------------------
 
     def free(self) -> None:

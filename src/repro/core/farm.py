@@ -51,20 +51,57 @@ class FarmResult:
 
 
 class TaskFarm:
-    """Dynamic job farm over disjoint processor groups."""
+    """Dynamic job farm over disjoint processor groups.
+
+    Elastic: :meth:`add_group` may be called at any time — including
+    while :meth:`run` is in flight — and spawns a worker for the new
+    group immediately, so capacity added at runtime
+    (``Machine.add_processor``) starts absorbing queued jobs without
+    waiting for the next farm run.
+    """
 
     def __init__(self, groups: Sequence[Sequence[int]]) -> None:
         if not groups:
             raise ValueError("a task farm needs at least one group")
-        flat: list[int] = []
-        for g in groups:
-            flat.extend(int(p) for p in g)
-        if len(set(flat)) != len(flat):
+        self.groups: list[tuple[int, ...]] = []
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        # The in-flight run's shared state (None when idle); add_group
+        # uses it to splice a worker into a live run.
+        self._run: Optional[dict] = None
+        for group in groups:
+            self._admit(group)
+
+    def _admit(self, group: Sequence[int]) -> int:
+        """Validate and append one group; caller holds no lock or _lock."""
+        members = tuple(int(p) for p in group)
+        if not members:
+            raise ValueError("a task-farm group needs at least one processor")
+        taken = {p for g in self.groups for p in g}
+        if len(set(members)) != len(members) or taken & set(members):
             raise ValueError(
                 "task-farm groups must be disjoint (Fig 3.4: concurrent "
                 "distributed calls run on disjoint processor groups)"
             )
-        self.groups = [tuple(int(p) for p in g) for g in groups]
+        self.groups.append(members)
+        return len(self.groups) - 1
+
+    def add_group(self, group: Sequence[int]) -> int:
+        """Add one disjoint processor group; returns its index.
+
+        If a run is active, a worker for the group is spawned into it
+        immediately and the queue is re-notified, so the new capacity
+        starts pulling jobs at once.
+        """
+        with self._cond:
+            index = self._admit(group)
+            run = self._run
+            if run is not None:
+                run["counts"].append(0)
+                run["state"]["alive_workers"] += 1
+                run["pg"].spawn(run["worker"], index)
+                self._cond.notify_all()
+        return index
 
     def run(
         self, jobs: Sequence[Job], timeout: Optional[float] = None
@@ -75,14 +112,18 @@ class TaskFarm:
         which job.  A job that raises ``ProcessorFailedError`` retires its
         group and is requeued for a surviving group; any other exception
         propagates unchanged.
+
+        Idle workers block on the queue's condition variable with **no
+        timeout**: they are woken only by job completion, a requeue, a
+        new group, or an abort — an idle farm does zero timed polling.
         """
         pending: collections.deque = collections.deque(enumerate(jobs))
-        lock = threading.Lock()
-        cond = threading.Condition(lock)
+        cond = self._cond
         state = {
             "unfinished": len(jobs),
             "alive_workers": len(self.groups),
             "requeued": 0,
+            "aborted": False,
         }
         results: list[Any] = [None] * len(jobs)
         counts = [0] * len(self.groups)
@@ -92,12 +133,14 @@ class TaskFarm:
             group = self.groups[group_index]
             while True:
                 with cond:
-                    while not pending and state["unfinished"] > 0:
-                        cond.wait(timeout=0.02)
-                    if state["unfinished"] == 0 or not pending:
-                        if state["unfinished"] == 0:
-                            return
-                        continue
+                    while (
+                        not pending
+                        and state["unfinished"] > 0
+                        and not state["aborted"]
+                    ):
+                        cond.wait()
+                    if state["unfinished"] == 0 or state["aborted"]:
+                        return
                     item = pending.popleft()
                 job_index, job = item
                 try:
@@ -111,6 +154,8 @@ class TaskFarm:
                         state["requeued"] += 1
                         dead_groups.append(group_index)
                         last_alive = state["alive_workers"] == 0
+                        if last_alive:
+                            state["aborted"] = True
                         cond.notify_all()
                     if last_alive:
                         raise ProcessorFailedError(
@@ -118,6 +163,14 @@ class TaskFarm:
                             f"{state['unfinished']} job(s) unfinished"
                         )
                     return
+                except BaseException:
+                    # Unexpected job failure: without a timed poll, the
+                    # peers blocked on cond.wait() must be woken or the
+                    # join below would hang on them forever.
+                    with cond:
+                        state["aborted"] = True
+                        cond.notify_all()
+                    raise
                 results[job_index] = result
                 with cond:
                     counts[group_index] += 1
@@ -125,10 +178,27 @@ class TaskFarm:
                     cond.notify_all()
 
         pg = ProcessGroup()
+        run_ctx = {
+            "state": state,
+            "counts": counts,
+            "pg": pg,
+            "worker": worker,
+        }
         started = time.perf_counter()
-        for gi in range(len(self.groups)):
-            pg.spawn(worker, gi)
-        pg.join_all(timeout=timeout)
+        with cond:
+            if self._run is not None:
+                raise RuntimeError("task farm is already running")
+            self._run = run_ctx
+            for gi in range(len(self.groups)):
+                pg.spawn(worker, gi)
+        try:
+            pg.join_all(timeout=timeout)
+        finally:
+            with cond:
+                self._run = None
+                # Leave no worker blocked if join_all raised (timeout).
+                state["aborted"] = True
+                cond.notify_all()
         wall = time.perf_counter() - started
         return FarmResult(
             results=results,

@@ -197,6 +197,13 @@ class Observer:
             array=str(getattr(array_id, "as_tuple", lambda: array_id)()),
         ).inc()
 
+    def section_migrated(self, array_id: Any) -> None:
+        """One section moved by a *planned* migration (not recovery)."""
+        self.metrics.counter(
+            "repro_sections_migrated_total",
+            array=str(getattr(array_id, "as_tuple", lambda: array_id)()),
+        ).inc()
+
     def _on_defvar_suspend(self, label: str) -> None:
         processor = fabric.current_processor()
         self.metrics.counter(

@@ -304,11 +304,19 @@ class WriteCoalescer:
                         self.retries += 1
                         continue
                 try:
-                    done.read(timeout=self.retry_timeout)
+                    outcome = done.read(timeout=self.retry_timeout)
                 except TimeoutError:
                     # The batch was dropped or delayed in transit: retry
                     # the whole unit under the same sequence number (the
                     # owner deduplicates if the original shows up late).
+                    self.retries += 1
+                    continue
+                if outcome == "not_found":
+                    # The resolved owner no longer holds the section — a
+                    # migration landed between resolve and apply.  The
+                    # next attempt re-resolves the owner from the
+                    # durability membership and chases the section to
+                    # its new home instead of silently losing the batch.
                     self.retries += 1
                     continue
                 self.flushes += 1

@@ -74,6 +74,9 @@ class Machine:
         # Instrumentation sites across every layer probe this one attribute
         # and no-op when it is None, keeping the hot path cheap.
         self._observer: Optional[Any] = None
+        # Processors added after construction (Machine.add_processor),
+        # recorded for diagnostics: elastic membership is inspectable.
+        self._added_processors: list[int] = []
         self.routed_count = 0
         self.routed_bytes = 0
         self.dropped_to_dead = 0
@@ -95,6 +98,29 @@ class Machine:
 
     def processors(self) -> list[VirtualProcessor]:
         return list(self._processors)
+
+    def add_processor(self) -> int:
+        """Grow the machine by one virtual processor at runtime.
+
+        The new VP joins with the next free number, an empty mailbox, and
+        no failure history; it is immediately routable (the transport
+        stack, kind handlers, and server registry are machine-wide, so no
+        per-processor registration is needed) and immediately placeable —
+        recovery's spare selection and ``rebalance()`` consider it like
+        any original processor.  If an observer is installed its mailbox
+        is hooked, so depth/wait metrics cover the newcomer too.
+
+        Returns the new processor number.
+        """
+        with self._lock:
+            number = len(self._processors)
+            node = VirtualProcessor(number, self)
+            self._processors.append(node)
+            self._added_processors.append(number)
+            observer = self._observer
+        if observer is not None and getattr(observer, "metrics_enabled", False):
+            node.mailbox.obs_hooks = observer
+        return number
 
     # -- failure semantics ----------------------------------------------------
 
@@ -120,8 +146,9 @@ class Machine:
             )
         )
         # Fail-fast for peers: wake any receiver elsewhere that is
-        # suspended waiting specifically on the dead node.
-        for other in self._processors:
+        # suspended waiting specifically on the dead node.  Snapshot the
+        # processor list — add_processor may grow it concurrently.
+        for other in list(self._processors):
             if other.number != number:
                 other.mailbox.mark_source_dead(number)
         # Notify outside the machine lock: listeners (e.g. the recovery
@@ -140,7 +167,7 @@ class Machine:
         with self._lock:
             self._failed.discard(number)
         node.mailbox.unpoison()
-        for other in self._processors:
+        for other in list(self._processors):
             if other.number != number:
                 other.mailbox.mark_source_alive(number)
 
@@ -331,7 +358,7 @@ class Machine:
         pending = {}
         blocked = []
         live = {}
-        for node in self._processors:
+        for node in list(self._processors):
             count = node.mailbox.pending()
             if count:
                 pending[node.number] = count
@@ -365,6 +392,7 @@ class Machine:
             return {
                 "num_nodes": self.num_nodes,
                 "failed": sorted(self._failed),
+                "added_processors": list(self._added_processors),
                 "pending_messages": pending,
                 "blocked_receivers": blocked,
                 "live_processes": live,

@@ -1,0 +1,457 @@
+"""The section-placement engine: plans, the mover, and elastic membership.
+
+Planned migration and failure recovery share exactly one code path that
+moves a section (``SectionMover.execute_locked``); these tests exercise
+the plan builders, the transactional move (commit, stale-plan refusal,
+rollback on mid-plan failure), the migration barrier's interplay with
+the perf layer (coalesced writes flushed, cached sections invalidated),
+runtime membership growth, and the metrics-driven :class:`Rebalancer`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arrays import am_user, am_util
+from repro.arrays.manager import get_array_manager
+from repro.arrays.placement import (
+    MigrationError,
+    PlacementPlan,
+    SectionMove,
+)
+from repro.arrays.rebalance import Rebalancer
+from repro.core.darray import DistributedArray
+from repro.faults import install_recovery
+from repro.perf import get_perf_layer
+from repro.status import Status
+from repro.vp.machine import Machine
+
+DISTRIB_2X2 = (("block", 2), ("block", 2))
+
+
+@pytest.fixture
+def machine():
+    m = Machine(6, default_recv_timeout=10)
+    am_util.load_all(m)
+    return m
+
+
+def make_array(machine, replication=0, procs=(0, 1, 2, 3)):
+    return DistributedArray.create(
+        machine, "double", (8, 8), list(procs), DISTRIB_2X2,
+        replication=replication,
+    )
+
+
+def durability(machine, arr):
+    return get_array_manager(machine).durability_state(arr.array_id)
+
+
+# -- plan builders ------------------------------------------------------------
+
+
+class TestPlanBuilders:
+    def test_for_failure_moves_every_section_of_the_dead(self, machine):
+        arr = make_array(machine, replication=1)
+        state = durability(machine, arr)
+        plan = PlacementPlan.for_failure(state, dead=2, spare=4)
+        assert plan.reason == "recovery"
+        assert plan.base_processors == (0, 1, 2, 3)
+        assert plan.new_processors == (0, 1, 4, 3)
+        assert plan.moves == (SectionMove(2, 2, 4),)
+        assert plan.new_replica_map is not None
+
+    def test_from_assignments_skips_satisfied_assignments(self, machine):
+        arr = make_array(machine)
+        state = durability(machine, arr)
+        # Every section already on its requested owner: nothing to do.
+        assert PlacementPlan.from_assignments(state, {0: 0, 3: 3}) is None
+
+    def test_from_assignments_rejects_unknown_section(self, machine):
+        arr = make_array(machine)
+        state = durability(machine, arr)
+        with pytest.raises(MigrationError, match="no section 9"):
+            PlacementPlan.from_assignments(state, {9: 4})
+
+    def test_from_assignments_rejects_occupied_destination(self, machine):
+        arr = make_array(machine)
+        state = durability(machine, arr)
+        with pytest.raises(MigrationError, match="already holds a section"):
+            PlacementPlan.from_assignments(state, {0: 1})
+
+    def test_from_assignments_rejects_duplicate_destination(self, machine):
+        arr = make_array(machine)
+        state = durability(machine, arr)
+        with pytest.raises(MigrationError, match="two sections"):
+            PlacementPlan.from_assignments(state, {0: 4, 1: 4})
+
+    def test_rebalance_is_none_when_already_placed(self, machine):
+        arr = make_array(machine)
+        state = durability(machine, arr)
+        assert PlacementPlan.rebalance(state, machine) is None
+
+    def test_rebalance_repairs_dead_owner(self, machine):
+        arr = make_array(machine, replication=1)
+        state = durability(machine, arr)
+        machine.fail(1)
+        plan = PlacementPlan.rebalance(state, machine)
+        assert plan.moves == (SectionMove(1, 1, 4),)
+        assert plan.new_processors == (0, 4, 2, 3)
+
+    def test_rebalance_respects_explicit_targets(self, machine):
+        arr = make_array(machine)
+        state = durability(machine, arr)
+        # Owner 3 is outside the target set: its section must move to a
+        # spare target (4 or 5).
+        plan = PlacementPlan.rebalance(state, machine, targets=[0, 1, 2, 4, 5])
+        assert [m.section for m in plan.moves] == [3]
+        assert plan.moves[0].dest in (4, 5)
+
+    def test_rebalance_raises_when_no_spare(self):
+        m = Machine(4, default_recv_timeout=10)
+        am_util.load_all(m)
+        arr = make_array(m, replication=1)
+        state = durability(m, arr)
+        m.fail(2)
+        with pytest.raises(MigrationError, match="no spare processor"):
+            PlacementPlan.rebalance(state, m)
+
+
+# -- planned migration end to end ---------------------------------------------
+
+
+class TestPlannedMigration:
+    def test_migrate_preserves_contents_and_rewrites_membership(self, machine):
+        arr = make_array(machine, replication=1)
+        ref = np.arange(64, dtype=float).reshape(8, 8)
+        arr.from_numpy(ref)
+
+        moved = arr.migrate({2: 4})
+
+        assert moved == [2]
+        assert arr.processors == (0, 1, 4, 3)
+        state = durability(machine, arr)
+        assert state.processors == (0, 1, 4, 3)
+        assert state.sections_migrated == 1
+        assert state.sections_rebuilt == 0
+        assert state.epoch == 1
+        assert np.array_equal(arr.to_numpy(), ref)
+        assert (
+            am_user.verify_array(machine, arr.array_id, 2, [0, 0, 0, 0], "row")
+            is Status.OK
+        )
+
+    def test_old_owner_no_longer_holds_a_section(self, machine):
+        arr = make_array(machine)
+        arr.from_numpy(np.ones((8, 8)))
+        arr.migrate({2: 4})
+        _section, status = am_user.find_local(machine, arr.array_id, 2)
+        assert status is Status.NOT_FOUND
+
+    def test_survivors_route_through_new_membership(self, machine):
+        arr = make_array(machine)
+        arr.from_numpy(np.full((8, 8), 3.0))
+        arr.migrate({3: 5})
+        value, status = am_user.read_element(
+            machine, arr.array_id, (7, 7), processor=1
+        )
+        assert status is Status.OK and value == 3.0
+
+    def test_migrated_array_still_recovers_from_failure(self, machine):
+        install_recovery(machine)
+        arr = make_array(machine, replication=1)
+        ref = np.arange(64, dtype=float).reshape(8, 8)
+        arr.from_numpy(ref)
+        arr.migrate({0: 4})
+        machine.fail(4)  # kill the adopted owner: replicas must cover it
+        state = durability(machine, arr)
+        assert 4 not in state.processors
+        assert state.sections_rebuilt == 1
+        assert np.array_equal(arr.to_numpy(), ref)
+
+    def test_writes_after_migration_land_on_new_owner(self, machine):
+        arr = make_array(machine)
+        arr.from_numpy(np.zeros((8, 8)))
+        arr.migrate({1: 4})
+        arr[0, 7] = 9.0  # section 1's corner
+        block_origin, block = arr.local_block(4)
+        assert block_origin == (0, 4)
+        assert block[0, 3] == 9.0
+
+    def test_migration_is_an_error_for_unknown_array(self, machine):
+        from repro.arrays.record import ArrayID
+
+        get_array_manager(machine)
+        bogus = ArrayID(creating_processor=0, serial=999)
+        _moved, status = am_user.migrate_sections(machine, bogus, {0: 4})
+        assert status is Status.NOT_FOUND
+
+    def test_invalid_assignment_is_invalid_not_crash(self, machine):
+        arr = make_array(machine)
+        _moved, status = am_user.migrate_sections(
+            machine, arr.array_id, {0: 1}
+        )
+        assert status is Status.INVALID
+
+
+# -- transactional failure handling -------------------------------------------
+
+
+class TestMoveTransactionality:
+    def test_stale_plan_is_refused(self, machine):
+        arr = make_array(machine)
+        arr.from_numpy(np.ones((8, 8)))
+        state = durability(machine, arr)
+        stale = PlacementPlan.from_assignments(state, {2: 4})
+        arr.migrate({2: 5})  # membership moves on before the plan runs
+        _moved, status = am_user.migrate_sections(
+            machine, arr.array_id, stale
+        )
+        assert status is Status.ERROR
+        log = get_array_manager(machine).migrations[-1]
+        assert "stale plan" in log["error"]
+        # The refused plan changed nothing.
+        assert durability(machine, arr).processors == (0, 1, 5, 3)
+        assert np.array_equal(arr.to_numpy(), np.ones((8, 8)))
+
+    def test_dead_destination_rolls_back_and_preserves_contents(
+        self, machine
+    ):
+        arr = make_array(machine, replication=1)
+        ref = np.arange(64, dtype=float).reshape(8, 8)
+        arr.from_numpy(ref)
+        machine.fail(4)  # the destination is already a corpse
+
+        _moved, status = am_user.migrate_sections(
+            machine, arr.array_id, {2: 4}
+        )
+
+        assert status is Status.ERROR
+        state = durability(machine, arr)
+        # Rollback restored the yielded section onto its original owner
+        # under a fresh epoch (stragglers from the abandoned attempt are
+        # refused by the epoch guard).
+        assert state.processors == (0, 1, 2, 3)
+        assert state.epoch >= 2
+        assert state.sections_migrated == 0
+        assert np.array_equal(arr.to_numpy(), ref)
+        mover = get_array_manager(machine).mover
+        assert mover.aborts == 1
+
+    def test_rolled_back_array_accepts_further_writes(self, machine):
+        arr = make_array(machine, replication=1)
+        arr.from_numpy(np.zeros((8, 8)))
+        machine.fail(5)
+        _moved, status = am_user.migrate_sections(
+            machine, arr.array_id, {1: 5}
+        )
+        assert status is Status.ERROR
+        arr.from_numpy(np.full((8, 8), 2.0))
+        assert np.array_equal(arr.to_numpy(), np.full((8, 8), 2.0))
+        assert (
+            am_user.verify_array(machine, arr.array_id, 2, [0, 0, 0, 0], "row")
+            is Status.OK
+        )
+
+
+# -- the migration barrier and the perf layer ---------------------------------
+
+
+class TestPerfInterplay:
+    def test_pending_coalesced_writes_flush_before_the_move(self, machine):
+        arr = make_array(machine)
+        arr.from_numpy(np.zeros((8, 8)))
+        perf = get_perf_layer(machine)
+        arr[7, 7] = 5.0  # rides the write-behind buffer toward owner 3
+        assert perf.coalescer.pending_ops(arr.array_id) == 1
+
+        arr.migrate({3: 4})
+
+        # The barrier drained the queue; the write landed on the *old*
+        # owner before the section left it, and travelled with it.
+        assert perf.coalescer.pending_ops(arr.array_id) == 0
+        assert arr[7, 7] == 5.0
+
+    def test_epoch_bump_invalidates_cached_sections(self, machine):
+        am_user.set_read_cache(machine, True)
+        arr = make_array(machine)
+        arr.from_numpy(np.arange(64, dtype=float).reshape(8, 8))
+        assert arr[7, 7] == 63.0  # miss: populate the cache
+        machine.reset_traffic()
+        assert arr[7, 6] == 62.0  # hit: no messages
+        assert machine.traffic_snapshot()["messages"] == 0
+
+        arr.migrate({3: 4})
+
+        # The cached copy is stamped with the old epoch: the next read
+        # must refetch from the new owner, not serve the stale entry.
+        machine.reset_traffic()
+        assert arr[7, 7] == 63.0
+        assert machine.traffic_snapshot()["messages"] > 0
+
+
+# -- diagnostics --------------------------------------------------------------
+
+
+class TestPlacementDiagnostics:
+    def test_placement_map_updates_after_migration(self, machine):
+        arr = make_array(machine, replication=1)
+        arr.from_numpy(np.ones((8, 8)))
+        before = durability(machine, arr).diagnostics()["placement"]
+        assert before[2]["owner"] == 2
+
+        arr.migrate({2: 4})
+
+        after = durability(machine, arr).diagnostics()["placement"]
+        assert after[2]["owner"] == 4
+        assert 4 not in after[2]["backups"]
+        assert all(
+            isinstance(entry["backups"], list) for entry in after.values()
+        )
+
+    def test_placement_map_updates_after_recovery(self, machine):
+        install_recovery(machine)
+        arr = make_array(machine, replication=1)
+        arr.from_numpy(np.ones((8, 8)))
+        machine.fail(1)
+        placement = durability(machine, arr).diagnostics()["placement"]
+        assert placement[1]["owner"] == 4
+        assert 1 not in {entry["owner"] for entry in placement.values()}
+
+    def test_machine_diagnostics_expose_placement(self, machine):
+        arr = make_array(machine, replication=1)
+        arr.migrate({0: 5})
+        arrays = machine.diagnostics()["arrays"]
+        entry = arrays[str(arr.array_id.as_tuple())]
+        assert entry["placement"][0]["owner"] == 5
+        assert entry["sections_migrated"] == 1
+
+    def test_migration_log_records_moves(self, machine):
+        arr = make_array(machine)
+        arr.migrate({1: 4})
+        log = get_array_manager(machine).migrations[-1]
+        assert log["ok"]
+        assert log["moves"] == [(1, 1, 4)]
+        assert log["epoch"] == 1
+
+
+# -- runtime membership -------------------------------------------------------
+
+
+class TestAddProcessor:
+    def test_add_processor_grows_the_machine(self, machine):
+        assert machine.num_nodes == 6
+        number = machine.add_processor()
+        assert number == 6
+        assert machine.num_nodes == 7
+        assert not machine.is_failed(6)
+        assert machine.diagnostics()["added_processors"] == [6]
+
+    def test_migrate_onto_added_processor(self, machine):
+        arr = make_array(machine, replication=1)
+        ref = np.arange(64, dtype=float).reshape(8, 8)
+        arr.from_numpy(ref)
+        new = machine.add_processor()
+        moved = arr.migrate({0: new})
+        assert moved == [0]
+        assert arr.processors[0] == new
+        assert np.array_equal(arr.to_numpy(), ref)
+
+    def test_added_processor_serves_requests(self, machine):
+        arr = make_array(machine)
+        arr.from_numpy(np.full((8, 8), 7.0))
+        new = machine.add_processor()
+        arr.migrate({2: new})
+        value, status = am_user.read_element(
+            machine, arr.array_id, (4, 0), processor=new
+        )
+        assert status is Status.OK and value == 7.0
+
+
+# -- the metrics-driven rebalancer --------------------------------------------
+
+
+class TestRebalancer:
+    def test_loads_empty_without_observer(self, machine):
+        assert Rebalancer(machine).loads() == {}
+
+    def test_invalid_ratio_rejected(self, machine):
+        with pytest.raises(ValueError, match="imbalance_ratio"):
+            Rebalancer(machine, imbalance_ratio=0.5)
+
+    def test_loads_fold_depth_and_wait(self, machine):
+        observer = machine.observe()
+        try:
+            observer.metrics.gauge("repro_mailbox_depth", vp=1).set(10)
+            observer.metrics.histogram(
+                "repro_mailbox_recv_wait_seconds", vp=2
+            ).observe(4.0)
+            loads = Rebalancer(machine, wait_weight=1.0).loads()
+        finally:
+            observer.close()
+        assert loads[1] == 10.0
+        assert loads[2] == -4.0  # idle wait discounts the score
+        assert loads[0] == 0.0  # untouched VPs still get a score
+
+    def test_propose_repairs_dead_owner_unconditionally(self, machine):
+        # No recovery installed: the dead owner stays in the membership
+        # until the rebalancer repairs it.
+        arr = make_array(machine, replication=1)
+        ref = np.arange(64, dtype=float).reshape(8, 8)
+        arr.from_numpy(ref)
+        machine.fail(2)
+
+        rebalancer = Rebalancer(machine)
+        plans = rebalancer.propose()
+        assert len(plans) == 1
+        assert [m.section for m in plans[0].moves] == [2]
+
+        applied = rebalancer.step()
+        assert applied[0]["ok"] and applied[0]["moved"] == [2]
+        state = durability(machine, arr)
+        assert 2 not in state.processors
+        assert np.array_equal(arr.to_numpy(), ref)
+        assert rebalancer.history == applied
+
+    def test_propose_spreads_hottest_owner_to_coldest_spare(self, machine):
+        arr = make_array(machine, replication=1)
+        arr.from_numpy(np.ones((8, 8)))
+        observer = machine.observe()
+        try:
+            observer.metrics.gauge("repro_mailbox_depth", vp=1).set(50)
+            rebalancer = Rebalancer(machine, min_load=1.0)
+            plans = rebalancer.propose()
+            assert len(plans) == 1
+            move = plans[0].moves[0]
+            assert move.section == 1 and move.source == 1
+            assert move.dest in (4, 5)
+
+            applied = rebalancer.step()
+        finally:
+            observer.close()
+        assert applied and applied[0]["ok"]
+        assert 1 not in durability(machine, arr).processors
+        assert np.array_equal(arr.to_numpy(), np.ones((8, 8)))
+
+    def test_balanced_machine_proposes_nothing(self, machine):
+        make_array(machine, replication=1)
+        observer = machine.observe()
+        try:
+            assert Rebalancer(machine).propose() == []
+        finally:
+            observer.close()
+
+    def test_migration_counter_advances(self, machine):
+        observer = machine.observe()
+        try:
+            arr = make_array(machine)
+            arr.migrate({0: 4})
+            counters = [
+                inst
+                for inst in observer.metrics.instruments()
+                if inst.name == "repro_sections_migrated_total"
+            ]
+        finally:
+            observer.close()
+        assert counters and counters[0].value == 1

@@ -10,6 +10,7 @@ bit-identical to the fault-free expectation.  The seed window shifts with
 
 import os
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -56,6 +57,121 @@ def durable_write(machine, array_id, row, data, errors):
         if status is Status.OK:
             return
     errors.append(f"row {row}: write never committed")
+
+
+MIGRATE_SEEDS = list(range(SEED_BASE, SEED_BASE + 10))
+
+
+@pytest.mark.parametrize("seed", MIGRATE_SEEDS)
+def test_migrations_interleaved_with_kills_stay_epoch_consistent(seed):
+    """Planned migrations racing scripted kills and concurrent writes.
+
+    A migrator thread keeps moving sections onto spare VPs while the
+    writers hammer the array and the fault plan kills section owners;
+    any individual migration may fail (rolled back, or refused as stale
+    when recovery rewrites membership underneath it) — but after
+    quiesce the array must verify and match the fault-free expectation
+    bit for bit under its final epoch-consistent membership.
+    """
+    from repro.arrays.placement import MigrationError
+
+    machine = Machine(6, default_recv_timeout=5)
+    am_util.load_all(machine)
+    install_recovery(machine)
+    arr = DistributedArray.create(
+        machine, "double", DIMS, [0, 1, 2, 3], DISTRIB_2X2, replication=1
+    )
+    manager = get_array_manager(machine)
+
+    plan = FaultPlan(
+        seed=seed,
+        kills=random_kills(seed, processors=[1, 2, 3], count=1 + seed % 2),
+    )
+    errors: list = []
+    stop = threading.Event()
+
+    def patient_write(row, data):
+        """Like durable_write but tolerant of sections in flight: a row
+        aimed at a migrating section may bounce for several rounds."""
+        for _ in range(40):
+            try:
+                status = am_user.write_region(
+                    machine, arr.array_id, [(row, row + 1), (0, DIMS[1])], data
+                )
+            except (ProcessorFailedError, TimeoutError):
+                continue
+            if status is Status.OK:
+                return
+            time.sleep(0.001)  # let the in-flight move land or roll back
+        errors.append(f"row {row}: write never committed")
+
+    def writer(band, lo, hi):
+        for pass_no in range(PASSES):
+            for row in range(lo, hi):
+                data = np.full((1, DIMS[1]), row_value(seed, band, row, pass_no))
+                patient_write(row, data)
+
+    def migrator():
+        """Shuttle sections onto spares until the writers finish."""
+        rounds = 0
+        while not stop.is_set() and rounds < 12:
+            rounds += 1
+            time.sleep(0.002)
+            state = manager.durability_state(arr.array_id)
+            if state is None:
+                return
+            with state.lock:
+                owners = tuple(state.processors)
+            spares = [
+                p
+                for p in range(machine.num_nodes)
+                if not machine.is_failed(p) and p not in owners
+            ]
+            movable = [
+                s
+                for s, p in enumerate(owners)
+                if p != 0 and not machine.is_failed(p)
+            ]
+            if not spares or not movable:
+                continue
+            section = movable[rounds % len(movable)]
+            try:
+                am_user.migrate_sections(
+                    machine, arr.array_id, {section: spares[0]}
+                )
+            except (
+                ProcessorFailedError,
+                TimeoutError,
+                MigrationError,
+            ):
+                continue  # rolled back or refused: both are fine
+
+    with FaultyTransport(machine, plan) as ft:
+        threads = [
+            threading.Thread(target=writer, args=(band, lo, hi))
+            for band, (lo, hi) in enumerate(BANDS)
+        ]
+        mover_thread = threading.Thread(target=migrator)
+        for t in threads:
+            t.start()
+        mover_thread.start()
+        for t in threads:
+            t.join()
+        stop.set()
+        mover_thread.join()
+
+    assert not errors, errors
+    state = manager.durability_state(arr.array_id)
+    if ft.stats.killed:
+        assert set(state.processors).isdisjoint(ft.stats.killed)
+    # Epoch-consistent membership after quiesce: every owner's record
+    # sits at the state's authoritative epoch.
+    assert len(set(state.processors)) == len(state.processors)
+    assert (
+        am_user.verify_array(machine, arr.array_id, 2, [0, 0, 0, 0], "row")
+        is Status.OK
+    )
+    assert np.array_equal(arr.to_numpy(), expected_array(seed))
 
 
 @pytest.mark.parametrize("seed", SEEDS)
