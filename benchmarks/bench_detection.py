@@ -1,0 +1,171 @@
+"""Failure-detection latency and false-positive behavior
+(docs/fault_model.md §9).
+
+Claims reproduced:
+
+* detection latency is governed by the heartbeat interval: a silent VP
+  is declared dead within ``dead_after * interval`` plus one evaluation
+  round of slack, so halving the interval halves the time a partition
+  goes unnoticed (and doubles the background heartbeat traffic — the
+  classic failure-detector trade-off);
+* lossy evidence does not harden false verdicts: delay injection aimed
+  at ``kind="heartbeat"`` traffic produces transient suspicion (flaps)
+  at worst, never a dead verdict, as long as delays stay inside the
+  dead window.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import report
+from repro.faults import FaultPlan, FaultyTransport, PartitionCut, PartitionPlan
+from repro.health import FailureDetector, HealthState
+from repro.vp.machine import Machine
+
+SUSPECT_AFTER = 2.0
+DEAD_AFTER = 6.0
+
+
+def _wait_until(predicate, timeout=30.0, interval=0.002):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+def _detect_once(interval: float) -> float:
+    """Seconds from cutting VP 3 off to the detector's dead verdict."""
+    machine = Machine(4)
+    plan = PartitionPlan([PartitionCut("iso", (3,), (0, 1, 2))])
+    plan.heal("iso")
+    with FaultyTransport(machine, FaultPlan(seed=0), partitions=plan):
+        detector = FailureDetector(
+            machine,
+            interval=interval,
+            suspect_after=SUSPECT_AFTER,
+            dead_after=DEAD_AFTER,
+        ).install()
+        try:
+            assert _wait_until(
+                lambda: detector.snapshot()["heartbeats_received"] > 8
+            )
+            plan.cut("iso")
+            cut_at = time.monotonic()
+            assert _wait_until(
+                lambda: detector.state_of(3) is HealthState.DEAD
+            )
+            return time.monotonic() - cut_at
+        finally:
+            detector.close()
+
+
+class TestDetectionLatency:
+    def test_latency_tracks_heartbeat_interval(self, benchmark):
+        intervals = (0.01, 0.02, 0.04)
+        latencies = {i: _detect_once(i) for i in intervals}
+
+        # The timed entry for bench_compare: one full detect cycle at
+        # the middle interval.
+        benchmark.pedantic(
+            _detect_once, args=(0.02,), rounds=3, iterations=1
+        )
+        benchmark.extra_info["latencies_seconds"] = {
+            str(i): round(lat, 4) for i, lat in latencies.items()
+        }
+
+        rows = [("interval s", "dead window s", "latency s", "rounds over")]
+        for i in intervals:
+            window = DEAD_AFTER * i
+            rows.append(
+                (
+                    f"{i:.3f}",
+                    f"{window:.3f}",
+                    f"{latencies[i]:.3f}",
+                    f"{(latencies[i] - window) / i:+.1f}",
+                )
+            )
+        report("Detection latency vs heartbeat interval", rows)
+
+        for i in intervals:
+            window = DEAD_AFTER * i
+            # Silence must actually accrue: the verdict can land at most
+            # one pre-cut heartbeat early ...
+            assert latencies[i] > window - 2 * i, (
+                f"interval {i}: dead verdict after {latencies[i]:.3f}s, "
+                f"impossibly early for a {window:.3f}s window"
+            )
+            # ... and scheduling slack on a loaded box stays bounded.
+            assert latencies[i] < window + max(0.6, 20 * i), (
+                f"interval {i}: dead verdict took {latencies[i]:.3f}s "
+                f"against a {window:.3f}s window"
+            )
+        # The governing claim: a coarser interval detects more slowly.
+        assert latencies[0.04] > latencies[0.01]
+
+
+class TestFalsePositiveRate:
+    def test_delay_injection_never_hardens_to_dead(self):
+        """Heartbeat delays inside the dead window cause flaps at worst.
+
+        The suspect window (2 intervals) is deliberately tight enough
+        that injected delays *can* trip it — the claim under test is
+        that suspicion stays reversible, not that it never fires.
+        """
+        interval = 0.02
+        observation = 80 * interval
+        rows = [("delay prob", "suspects", "flaps", "dead", "fp rate/s")]
+        suspects_by_prob = {}
+        for prob in (0.0, 0.3, 0.6):
+            machine = Machine(4)
+            plan = FaultPlan(
+                seed=11,
+                delay=prob,
+                delay_seconds=3 * interval,
+                kinds=("heartbeat",),
+            )
+            with FaultyTransport(machine, plan):
+                detector = FailureDetector(
+                    machine,
+                    interval=interval,
+                    suspect_after=SUSPECT_AFTER,
+                    dead_after=DEAD_AFTER,
+                ).install()
+                try:
+                    time.sleep(observation)
+                    events = detector.events()
+                finally:
+                    detector.close()
+            suspects = sum(
+                1 for e in events if e.transition == "suspect"
+            )
+            flaps = sum(1 for e in events if e.transition == "alive")
+            dead = sum(1 for e in events if e.transition == "dead")
+            suspects_by_prob[prob] = suspects
+            rows.append(
+                (
+                    f"{prob:.1f}",
+                    suspects,
+                    flaps,
+                    dead,
+                    f"{suspects / observation:.2f}",
+                )
+            )
+            # Never a false dead verdict: every delayed heartbeat lands
+            # well inside the dead window, so suspicion must always
+            # flap back instead of hardening.
+            assert dead == 0, (
+                f"delay={prob}: {dead} false dead verdicts"
+            )
+            # Every suspicion flapped back, modulo at most one
+            # still-in-flight suspect per VP when observation ended.
+            assert suspects - flaps <= 4
+        report(
+            "False positives under heartbeat delay "
+            f"({observation:.1f}s observation, 4 VPs)",
+            rows,
+        )
+        # A fault-free fabric produces no suspicion at all.
+        assert suspects_by_prob[0.0] == 0

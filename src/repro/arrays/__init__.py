@@ -32,6 +32,7 @@ from repro.arrays.placement import (
     SectionMove,
     SectionMover,
     SectionSourceError,
+    StalePlanError,
 )
 from repro.arrays.rebalance import Rebalancer
 from repro.arrays.record import ArrayID, ArrayRecord
@@ -53,6 +54,7 @@ __all__ = [
     "SectionMove",
     "SectionMover",
     "SectionSourceError",
+    "StalePlanError",
     "BLOCK",
     "STAR",
     "Block",

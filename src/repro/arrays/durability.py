@@ -48,6 +48,7 @@ from repro.arrays.placement import (
     PlacementPlan,
     SectionMover,
     SectionSourceError,
+    StalePlanError,
 )
 from repro.arrays.record import ArrayID
 from repro.obs.spans import span as obs_span
@@ -260,6 +261,7 @@ class DurabilityState:
     sections_rebuilt: int = 0
     sections_migrated: int = 0
     stale_rejected: int = 0
+    fenced_writes: int = 0
     recovered_procs: set = field(default_factory=set)
     unrecovered: list = field(default_factory=list)
     lock: threading.RLock = field(
@@ -269,6 +271,13 @@ class DurabilityState:
     def note_stale(self) -> None:
         with self.lock:
             self.stale_rejected += 1
+
+    def note_fenced(self) -> None:
+        """One write/adopt/batch refused by the epoch fencing token (a
+        stale owner — e.g. the minority side of a healed partition —
+        attempted to commit)."""
+        with self.lock:
+            self.fenced_writes += 1
 
     def placement(self) -> dict:
         """``{section: {"owner", "backups"}}`` under the state lock."""
@@ -295,6 +304,7 @@ class DurabilityState:
                 "sections_rebuilt": self.sections_rebuilt,
                 "sections_migrated": self.sections_migrated,
                 "stale_replica_updates_rejected": self.stale_rejected,
+                "fenced_writes": self.fenced_writes,
                 "unrecovered": list(self.unrecovered),
                 "placement": {
                     section: {
@@ -342,13 +352,24 @@ class RecoveryCoordinator:
 
     def install(self) -> "RecoveryCoordinator":
         if not self._installed:
-            self.machine.add_failure_listener(self._on_failure)
+            health = getattr(self.machine, "_health", None)
+            if health is not None and getattr(health, "installed", False):
+                # A failure detector is the machine's health authority:
+                # death notifications arrive as detector verdicts (which
+                # include oracle kills — the detector subscribes to those
+                # itself), so recovery has exactly one source of truth.
+                health.add_listener(self._on_health_event)
+            else:
+                self.machine.add_failure_listener(self._on_failure)
             self._installed = True
         return self
 
     def uninstall(self) -> None:
         if self._installed:
             self.machine.remove_failure_listener(self._on_failure)
+            health = getattr(self.machine, "_health", None)
+            if health is not None:
+                health.remove_listener(self._on_health_event)
             self._installed = False
 
     def __enter__(self) -> "RecoveryCoordinator":
@@ -358,6 +379,67 @@ class RecoveryCoordinator:
         self.uninstall()
 
     # -- failure handling ----------------------------------------------------
+
+    def _on_health_event(self, event) -> None:
+        """Detector verdict: only a hardened ``"dead"`` triggers
+        rebuilds.  Suspicion (and flapping back to alive) deliberately
+        does nothing — recovery is destructive to the suspect's
+        ownership, so it waits for confirmation.  A VP *returning* to
+        the fabric retries recoveries that failed while it was away."""
+        if event.transition == "dead":
+            self._on_failure(event.vp)
+        elif event.transition in ("alive", "rejoin"):
+            self._retry_unrecovered()
+
+    def _retry_unrecovered(self) -> None:
+        """Re-run recoveries stranded by unreachability.
+
+        A rebuild can fail transiently when the only surviving backup of
+        a dead owner's section sits on the minority side of a partition:
+        the replica fetch times out and the episode lands in
+        ``state.unrecovered``.  When any VP returns (heals or rejoins),
+        walk those entries — a dead member still unavailable gets its
+        ``recovered_procs`` guard cleared and recovery re-fired (the
+        returned VP may hold the backup it needs); an entry whose VP is
+        reachable again or no longer a member is moot and dropped."""
+        machine = self.machine
+        manager = getattr(machine, "_array_manager", None)
+        if manager is None:
+            return
+        for array_id, state in manager.durability_states():
+            with state.lock:
+                pending = []
+                for dead, _reason in state.unrecovered:
+                    if (
+                        dead in state.processors
+                        and machine.is_unavailable(dead)
+                        and dead not in pending
+                    ):
+                        pending.append(dead)
+                        state.recovered_procs.discard(dead)
+                state.unrecovered = [
+                    entry
+                    for entry in state.unrecovered
+                    if entry[0] in state.processors
+                    and machine.is_unavailable(entry[0])
+                    and entry[0] not in pending
+                ]
+            for dead in pending:
+                try:
+                    self._recover_array(array_id, state, dead)
+                except Exception as exc:  # noqa: BLE001 - same contract
+                    # as _on_failure: a failed retry re-queues itself.
+                    with state.lock:
+                        state.unrecovered.append((dead, repr(exc)))
+                    with self._lock:
+                        self.recoveries.append(
+                            {
+                                "array": array_id.as_tuple(),
+                                "dead": dead,
+                                "ok": False,
+                                "error": repr(exc),
+                            }
+                        )
 
     def _on_failure(self, dead: int) -> None:
         manager = getattr(self.machine, "_array_manager", None)
@@ -418,41 +500,60 @@ class RecoveryCoordinator:
             "sections": [],
             "ok": False,
         }
-        alive = [
-            p for p in range(machine.num_nodes) if not machine.is_failed(p)
-        ]
         mover = self._mover()
-        spare = mover.select_spare(state, alive)
-        if spare is None:
-            state.unrecovered.append((dead, "no spare processor"))
-            event["error"] = "no spare processor"
+        # The plan is recomputed per attempt: a kill firing during this
+        # rebuild's own traffic runs recovery *reentrantly* (state.lock
+        # is an RLock), and the nested rebuild rewrites membership under
+        # us — execute_locked detects that and raises StalePlanError
+        # rather than committing a plan whose base no longer exists.
+        for _attempt in range(3):
+            if dead not in state.processors:
+                # A nested rebuild already superseded this owner.
+                return
+            alive = [
+                p
+                for p in range(machine.num_nodes)
+                if not machine.is_unavailable(p)
+            ]
+            spare = mover.select_spare(state, alive)
+            if spare is None:
+                state.unrecovered.append((dead, "no spare processor"))
+                event["error"] = "no spare processor"
+                with self._lock:
+                    self.recoveries.append(event)
+                return
+            event["spare"] = spare
+            plan = PlacementPlan.for_failure(state, dead, spare)
+            try:
+                # rollback=False: partial recovery progress is recorded
+                # as unrecovered by our caller, never undone;
+                # flush=False: the kill may have fired inside a
+                # coalescer flush on this very thread, and the per-key
+                # flush locks are not reentrant.
+                outcome = mover.execute_locked(
+                    state,
+                    plan,
+                    kind=RECOVERY_KIND,
+                    origin=alive[0],
+                    rollback=False,
+                    flush=False,
+                )
+            except StalePlanError:
+                continue
+            except SectionSourceError as exc:
+                state.unrecovered.append((dead, str(exc)))
+                event["error"] = f"section {exc.section} unrecoverable"
+                with self._lock:
+                    self.recoveries.append(event)
+                return
+            event["sections"] = outcome["sections"]
+            event["ok"] = True
+            event["epoch"] = outcome["epoch"]
             with self._lock:
                 self.recoveries.append(event)
             return
-        event["spare"] = spare
-        plan = PlacementPlan.for_failure(state, dead, spare)
-        try:
-            # rollback=False: partial recovery progress is recorded as
-            # unrecovered by our caller, never undone; flush=False: the
-            # kill may have fired inside a coalescer flush on this very
-            # thread, and the per-key flush locks are not reentrant.
-            outcome = mover.execute_locked(
-                state,
-                plan,
-                kind=RECOVERY_KIND,
-                origin=alive[0],
-                rollback=False,
-                flush=False,
-            )
-        except SectionSourceError as exc:
-            state.unrecovered.append((dead, str(exc)))
-            event["error"] = f"section {exc.section} unrecoverable"
-            with self._lock:
-                self.recoveries.append(event)
-            return
-        event["sections"] = outcome["sections"]
-        event["ok"] = True
-        event["epoch"] = outcome["epoch"]
+        state.unrecovered.append((dead, "membership kept changing"))
+        event["error"] = "stale plan after retries"
         with self._lock:
             self.recoveries.append(event)
 

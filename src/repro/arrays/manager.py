@@ -56,9 +56,16 @@ from repro.obs.spans import span as obs_span
 from repro.perf import ARRAY_BATCH_KIND, PerfLayer, define_once
 from repro.pcn.defvar import DefVar
 from repro.status import ProcessorFailedError, Status
+from repro.vp import fabric
 from repro.vp.machine import Machine
 from repro.vp.message import Message
 from repro.vp.processor import VirtualProcessor
+
+# Envelope kind for the rejoin protocol: membership rewrites pushed onto
+# a falsely-suspected VP leaving quarantine.  Exempt from the machine's
+# "queue" dead_send_policy (a quarantined dest is still a suspect) and
+# catalogued in docs/transport.md.
+REJOIN_KIND = "rejoin"
 
 _RECORDS_KEY = "am.records"
 
@@ -164,6 +171,7 @@ class ArrayManager:
             "adopt_section": self.adopt_section,
             "update_membership_local": self.update_membership_local,
             "reseed_replicas_local": self.reseed_replicas_local,
+            "rejoin_local": self.rejoin_local,
             "yield_section_local": self.yield_section_local,
             "migrate_sections": self.migrate_sections,
             "rebalance_array": self.rebalance_array,
@@ -353,6 +361,14 @@ class ArrayManager:
             # node that actually holds the section.
             define_once(batch.done, "not_found")
             return
+        if self._fence_stale(record):
+            # Fenced batch apply: this record was left behind by a
+            # membership rewrite (stale minority-side owner).  Refuse
+            # *before* consuming the sequence number, so the coalescer
+            # can re-resolve the authoritative owner and retry there.
+            self._refuse_stale(record.array_id, None)
+            define_once(batch.done, "stale")
+            return
         if perf is not None and not perf.coalescer.should_apply(
             key, batch.seq
         ):
@@ -382,6 +398,37 @@ class ArrayManager:
     def _on_array_batch(self, message: Message) -> None:
         """Final delivery of a ``kind="array_batch"`` message."""
         self._apply_batch(self.machine.processor(message.dest), message.payload)
+
+    # -- epoch fencing ---------------------------------------------------------
+
+    def _fence_stale(self, record: ArrayRecord) -> bool:
+        """The fencing-token check (docs/fault_model.md §9): is this
+        record's epoch behind the machine-wide authoritative epoch?
+
+        A record left behind by a membership rewrite that could not
+        reach its node — the minority side of a partition whose owner
+        was falsely declared dead and replaced — carries the old epoch,
+        so every commit it attempts is identifiable.  Reads ``state
+        .epoch`` without the state lock (a single attribute read;
+        taking ``state.lock`` under ``record.lock`` would invert the
+        mover's lock order), so callers must treat a pass as
+        best-effort ordering, exactly like a write racing the rewrite
+        itself.
+        """
+        state = self.durability_state(record.array_id)
+        return state is not None and record.epoch < state.epoch
+
+    def _refuse_stale(self, array_id: ArrayID, status: Optional[DefVar]) -> None:
+        """Account one fenced commit and report STALE_EPOCH.  Called
+        *outside* ``record.lock`` (``note_fenced`` takes the state
+        lock)."""
+        state = self.durability_state(array_id)
+        if state is not None:
+            state.note_fenced()
+        observer = getattr(self.machine, "_observer", None)
+        if observer is not None:
+            observer.fenced_write(str(array_id.as_tuple()))
+        _define(status, Status.STALE_EPOCH)
 
     def _write_status(self, node: VirtualProcessor, status: DefVar) -> None:
         """Define a write's status, downgrading OK to ERROR when this node
@@ -781,11 +828,16 @@ class ArrayManager:
             _define(status, Status.NOT_FOUND)
             return
         with record.lock:
-            record.section.write(local_indices, element)
-            self._bump_version(node, record)
-            self._replicate(
-                node, record, "element", tuple(local_indices), element
-            )
+            fenced = self._fence_stale(record)
+            if not fenced:
+                record.section.write(local_indices, element)
+                self._bump_version(node, record)
+                self._replicate(
+                    node, record, "element", tuple(local_indices), element
+                )
+        if fenced:
+            self._refuse_stale(record.array_id, status)
+            return
         self._write_status(node, status)
 
     # -- local sections ------------------------------------------------------------------
@@ -900,9 +952,16 @@ class ArrayManager:
             record.array_id, record.section_number_for(node.number)
         )
         with record.lock:
-            interior[...] = data
-            self._bump_version(node, record)
-            self._replicate(node, record, "section", None, interior.copy())
+            fenced = self._fence_stale(record)
+            if not fenced:
+                interior[...] = data
+                self._bump_version(node, record)
+                self._replicate(
+                    node, record, "section", None, interior.copy()
+                )
+        if fenced:
+            self._refuse_stale(record.array_id, status)
+            return
         self._write_status(node, status)
 
     # -- region access -----------------------------------------------------------------
@@ -1057,11 +1116,16 @@ class ArrayManager:
             _define(status, Status.NOT_FOUND)
             return
         with record.lock:
-            record.section.interior()[tuple(local_slices)] = data
-            self._bump_version(node, record)
-            self._replicate(
-                node, record, "region", tuple(local_slices), data
-            )
+            fenced = self._fence_stale(record)
+            if not fenced:
+                record.section.interior()[tuple(local_slices)] = data
+                self._bump_version(node, record)
+                self._replicate(
+                    node, record, "region", tuple(local_slices), data
+                )
+        if fenced:
+            self._refuse_stale(record.array_id, status)
+            return
         self._write_status(node, status)
 
     def get_local_block(
@@ -1402,6 +1466,14 @@ class ArrayManager:
     ) -> None:
         """Install a rebuilt section on a spare processor (recovery)."""
         self._note("adopt_section", node.number, array_id)
+        state = self.durability_state(array_id)
+        if state is not None and int(epoch) < state.epoch:
+            # Fenced adopt: the epoch this adopt was computed at has
+            # been superseded (a stale mover, or a minority-side plan
+            # surviving past heal).  Installing it would resurrect old
+            # data under an old epoch — refuse instead.
+            self._refuse_stale(array_id, status)
+            return
         section = LocalSection(
             type_name, layout.local_dims, layout.borders, layout.indexing
         )
@@ -1438,10 +1510,20 @@ class ArrayManager:
             _define(status, Status.NOT_FOUND)
             return
         with record.lock:
-            record.processors = tuple(processors)
-            record.replica_map = replica_map
-            record.epoch = int(epoch)
-            record.invalidate_section_index()
+            if int(epoch) < record.epoch:
+                # Fenced membership rewrite: a delayed rewrite from a
+                # superseded plan must not roll this record's epoch (its
+                # fencing token) backwards.
+                stale = True
+            else:
+                stale = False
+                record.processors = tuple(processors)
+                record.replica_map = replica_map
+                record.epoch = int(epoch)
+                record.invalidate_section_index()
+        if stale:
+            self._refuse_stale(array_id, status)
+            return
         _define(status, Status.OK)
 
     def reseed_replicas_local(
@@ -1472,6 +1554,109 @@ class ArrayManager:
                 record.section.interior().copy(),
             )
         _define(status, Status.OK)
+
+    # -- quarantine rejoin (repro.health) -----------------------------------------
+
+    def rejoin_local(
+        self,
+        node: VirtualProcessor,
+        array_id: ArrayID,
+        processors: tuple[int, ...],
+        replica_map: Any,
+        epoch: int,
+        status: DefVar,
+    ) -> None:
+        """Rewrite authoritative membership onto a falsely-suspected VP
+        leaving quarantine.
+
+        While the VP was unreachable, recovery may have reassigned its
+        sections: any section this node still holds that the new
+        membership places elsewhere is freed (the rebuilt copy is
+        authoritative — keeping both would be split-brain), then the
+        record's membership, replica map, and epoch are rewritten so the
+        node's fencing token is current again and its routing view
+        matches the survivors'.
+        """
+        self._note("rejoin_local", node.number, array_id)
+        record = _records(node).get(array_id)
+        if record is None or not record.valid:
+            # Nothing of the array here: the rejoin is a no-op, not an
+            # error — the VP may simply never have held a section.
+            _define(status, Status.OK)
+            return
+        new_processors = tuple(processors)
+        with record.lock:
+            if record.section is not None:
+                try:
+                    section_number = record.section_number_for(node.number)
+                except ValueError:
+                    section_number = None
+                still_owner = (
+                    section_number is not None
+                    and section_number < len(new_processors)
+                    and new_processors[section_number] == node.number
+                )
+                if not still_owner:
+                    record.section.free()
+                    record.section = None
+            record.processors = new_processors
+            record.replica_map = replica_map
+            record.epoch = int(epoch)
+            record.invalidate_section_index()
+            if node.number in new_processors:
+                self._bump_version(node, record)
+        _define(status, Status.OK)
+
+    def rejoin_processor(self, vp: int, origin: int = 0) -> dict:
+        """Run the rejoin protocol for one quarantined VP across every
+        durable array: push current membership/epoch onto it (freeing
+        sections it lost to recovery) and clear the per-array
+        ``recovered_procs`` guard so a *real* death of this VP later
+        fires recovery again.
+
+        Called by the failure detector's monitor thread when a
+        false-positive resumes heartbeating.  Best-effort per array: a
+        re-cut partition or concurrent death leaves the VP quarantined
+        and the next quarantine round retries.
+        """
+        machine = self.machine
+        results: dict = {}
+        if machine.is_failed(vp):
+            return results
+        if origin == vp or machine.is_unavailable(origin):
+            origin = next(
+                (
+                    p
+                    for p in range(machine.num_nodes)
+                    if p != vp and not machine.is_unavailable(p)
+                ),
+                origin,
+            )
+        for array_id, state in self.durability_states():
+            with state.lock:
+                membership = tuple(state.processors)
+                replica_map = state.replica_map
+                epoch = state.epoch
+                state.recovered_procs.discard(vp)
+            try:
+                with fabric.execution_context(processor=origin):
+                    st = DefVar(f"rejoin@{vp}")
+                    machine.server.request(
+                        "rejoin_local",
+                        array_id,
+                        membership,
+                        replica_map,
+                        epoch,
+                        st,
+                        processor=vp,
+                        kind=REJOIN_KIND,
+                    )
+                    results[array_id] = Status(
+                        st.read(timeout=machine.default_recv_timeout)
+                    )
+            except (ProcessorFailedError, TimeoutError):
+                results[array_id] = Status.ERROR
+        return results
 
     # -- planned migration (repro.arrays.placement) -----------------------------------
 
@@ -1683,6 +1868,10 @@ def install_array_manager(
     # the section mover) travel under their own kind, so meters and
     # fault plans can target elective moves separately from recovery.
     machine.register_kind_handler(MIGRATE_KIND, machine.server._execute)
+    # Quarantine-rejoin RPCs (membership rewrites onto a falsely-suspected
+    # VP) carry their own kind: exempt from suspect-send queueing and
+    # targetable by fault plans independently of recovery/migration.
+    machine.register_kind_handler(REJOIN_KIND, machine.server._execute)
     # The batching-and-caching layer (repro.perf): fused write batches
     # arrive under their own kind and apply atomically at the owner.
     machine.register_kind_handler(ARRAY_BATCH_KIND, manager._on_array_batch)

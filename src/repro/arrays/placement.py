@@ -62,6 +62,14 @@ class MigrationError(RuntimeError):
     """A planned migration could not be completed (and was rolled back)."""
 
 
+class StalePlanError(MigrationError):
+    """The membership/epoch a plan was computed against changed before
+    it could commit — a kill fired during the plan's own traffic and ran
+    recovery reentrantly (``state.lock`` is an RLock, so the nested
+    rebuild completes inside the outer one).  The caller recomputes the
+    plan from the rewritten state and retries."""
+
+
 class SectionSourceError(Exception):
     """No copy of a section survives anywhere (owner dead, no replica,
     no checkpoint).  Carries the section number so recovery can record
@@ -192,18 +200,22 @@ class PlacementPlan:
         and retry.  Returns ``None`` when the array is already placed.
         """
         alive = [
-            p for p in range(machine.num_nodes) if not machine.is_failed(p)
+            p
+            for p in range(machine.num_nodes)
+            if not machine.is_unavailable(p)
         ]
         pool = (
             alive
             if targets is None
-            else [int(t) for t in targets if not machine.is_failed(int(t))]
+            else [
+                int(t) for t in targets if not machine.is_unavailable(int(t))
+            ]
         )
         base = tuple(state.processors)
         homeless = [
             section
             for section, owner in enumerate(base)
-            if machine.is_failed(owner) or owner not in pool
+            if machine.is_unavailable(owner) or owner not in pool
         ]
         if not homeless:
             return None
@@ -264,7 +276,7 @@ class SectionMover:
         machine = self.machine
         array_id = plan.array_id
         if tuple(plan.base_processors) != tuple(state.processors):
-            raise MigrationError(
+            raise StalePlanError(
                 f"stale plan for {array_id}: membership is "
                 f"{tuple(state.processors)}, plan assumed "
                 f"{tuple(plan.base_processors)}"
@@ -279,9 +291,11 @@ class SectionMover:
             perf = getattr(machine, "_perf", None)
             if perf is not None:
                 perf.coalescer.flush(array_id)
-        if origin is None or machine.is_failed(origin):
+        if origin is None or machine.is_unavailable(origin):
             origin = next(
-                p for p in range(machine.num_nodes) if not machine.is_failed(p)
+                p
+                for p in range(machine.num_nodes)
+                if not machine.is_unavailable(p)
             )
         sourced: List[Tuple[SectionMove, np.ndarray]] = []
         try:
@@ -292,6 +306,14 @@ class SectionMover:
                     data = self._section_data(
                         state, array_id, move, entry_epoch, kind
                     )
+                    if state.epoch != entry_epoch:
+                        # A kill during our sourcing traffic ran recovery
+                        # reentrantly and committed a new membership;
+                        # adopting against the old one would clobber it.
+                        raise StalePlanError(
+                            f"membership of {array_id} changed while "
+                            f"sourcing section {move.section}"
+                        )
                     sourced.append((move, data))
                     self._request(
                         "adopt_section",
@@ -311,7 +333,7 @@ class SectionMover:
                     dead_dests = [
                         move.dest
                         for move in plan.moves
-                        if machine.is_failed(move.dest)
+                        if machine.is_unavailable(move.dest)
                     ]
                     if dead_dests:
                         # A destination died *after* adopting (kills fire
@@ -321,14 +343,14 @@ class SectionMover:
                             f"destination processor {dead_dests[0]} of "
                             f"{array_id} failed mid-migration"
                         )
-                    if state.epoch != entry_epoch:
-                        # A kill during our own traffic ran recovery
-                        # reentrantly (state.lock is an RLock) and rewrote
-                        # the membership underneath the plan.
-                        raise MigrationError(
-                            f"membership of {array_id} changed mid-migration "
-                            f"(concurrent recovery)"
-                        )
+                if state.epoch != entry_epoch:
+                    # A kill during our own traffic ran recovery
+                    # reentrantly (state.lock is an RLock) and rewrote
+                    # the membership underneath the plan.
+                    raise StalePlanError(
+                        f"membership of {array_id} changed mid-migration "
+                        f"(concurrent recovery)"
+                    )
                 dests = {move.dest for move in plan.moves}
                 holders = (
                     set(plan.new_processors)
@@ -336,7 +358,11 @@ class SectionMover:
                     | {state.creator}
                 ) - dests
                 for holder in sorted(holders):
-                    if machine.is_failed(holder):
+                    if machine.is_unavailable(holder):
+                        # An unreachable holder keeps its old record at
+                        # the old epoch — exactly what the fencing check
+                        # (docs/fault_model.md §9) exists to refuse if
+                        # the holder was falsely suspected and returns.
                         continue
                     self._request(
                         "update_membership_local",
@@ -349,7 +375,7 @@ class SectionMover:
                     )
                 if state.replication > 0 and plan.new_replica_map is not None:
                     for owner in plan.new_processors:
-                        if machine.is_failed(owner):
+                        if machine.is_unavailable(owner):
                             continue
                         self._request(
                             "reseed_replicas_local",
@@ -357,6 +383,15 @@ class SectionMover:
                             processor=owner,
                             kind=kind,
                         )
+                if state.epoch != entry_epoch:
+                    # Final gate at the commit point: the rewrite/reseed
+                    # traffic above can itself trigger a kill, whose
+                    # reentrant recovery commits a new epoch after the
+                    # mid-migration check already passed.
+                    raise StalePlanError(
+                        f"membership of {array_id} changed during "
+                        f"commit traffic"
+                    )
         except Exception:
             if rollback:
                 self._abort_locked(state, plan, sourced, new_epoch, kind)
@@ -404,7 +439,7 @@ class SectionMover:
         replica, then the latest checkpoint — recovery's sourcing order.
         """
         machine = self.machine
-        if not machine.is_failed(move.source):
+        if not machine.is_unavailable(move.source):
             out = DefVar(f"yield_section@{move.source}")
             status = DefVar(f"yield_section_status@{move.source}")
             try:
@@ -441,8 +476,9 @@ class SectionMover:
                     f"{move.source} failed with {result.name}"
                 )
         if state.replica_map is not None:
-            for backup in state.replica_map.backups_for(move.section):
-                if machine.is_failed(backup):
+            chain = state.replica_map.backups_for(move.section)
+            for backup in chain:
+                if machine.is_unavailable(backup):
                     continue
                 out = DefVar(f"replica_fetch@{backup}")
                 status = DefVar(f"replica_fetch_status@{backup}")
@@ -458,6 +494,33 @@ class SectionMover:
                 if Status(status.read()) is Status.OK:
                     _epoch, data = out.read()
                     return data
+            # The chain came up empty.  A membership rewrite (another
+            # owner's recovery) re-derives every chain for the new ring,
+            # which can orphan the only surviving mirror on a processor
+            # the new chain no longer names — e.g. the mirror's host was
+            # partitioned away when its owner died, then healed.  Sweep
+            # the remaining live processors and take the freshest mirror.
+            best: Optional[Tuple[int, np.ndarray]] = None
+            for host in range(machine.num_nodes):
+                if host in chain or machine.is_unavailable(host):
+                    continue
+                out = DefVar(f"replica_sweep@{host}")
+                status = DefVar(f"replica_sweep_status@{host}")
+                machine.server.request(
+                    "replica_fetch",
+                    array_id,
+                    move.section,
+                    out,
+                    status,
+                    processor=host,
+                    kind=kind,
+                )
+                if Status(status.read()) is Status.OK:
+                    epoch, data = out.read()
+                    if best is None or epoch > best[0]:
+                        best = (int(epoch), data)
+            if best is not None:
+                return best[1]
         if state.last_checkpoint is not None:
             data = state.last_checkpoint.sections.get(move.section)
             if data is not None:
@@ -500,7 +563,7 @@ class SectionMover:
         for move, data in sourced:
             # Free the half-installed copy at the destination so the
             # abandoned adopt cannot shadow the restored section.
-            if not machine.is_failed(move.dest):
+            if not machine.is_unavailable(move.dest):
                 try:
                     with fabric.execution_context(processor=move.dest):
                         out = DefVar(f"unadopt@{move.dest}")
@@ -522,7 +585,7 @@ class SectionMover:
                 if move.section < len(restore_procs)
                 else move.source
             )
-            if machine.is_failed(owner):
+            if machine.is_unavailable(owner):
                 continue
             try:
                 with fabric.execution_context(processor=owner):
@@ -549,7 +612,7 @@ class SectionMover:
             | {move.dest for move, _ in sourced}
         )
         for holder in sorted(holders):
-            if machine.is_failed(holder):
+            if machine.is_unavailable(holder):
                 continue
             try:
                 with fabric.execution_context(processor=holder):
@@ -566,7 +629,7 @@ class SectionMover:
                 pass
         if state.replication > 0 and restore_map is not None:
             for owner in restore_procs:
-                if machine.is_failed(owner):
+                if machine.is_unavailable(owner):
                     continue
                 try:
                     with fabric.execution_context(processor=owner):

@@ -115,13 +115,17 @@ class Rebalancer:
         for array_id, state in manager.durability_states():
             with state.lock:
                 owners = tuple(state.processors)
+                # Detector verdicts count: a VP the failure detector has
+                # declared dead is as unplaceable as an oracle-failed one.
                 dead_owned = [
-                    s for s, p in enumerate(owners) if machine.is_failed(p)
+                    s
+                    for s, p in enumerate(owners)
+                    if machine.is_unavailable(p)
                 ]
                 spares = [
                     p
                     for p in range(machine.num_nodes)
-                    if not machine.is_failed(p) and p not in owners
+                    if not machine.is_unavailable(p) and p not in owners
                 ]
                 spares.sort(key=lambda p: scores.get(p, 0.0))
                 assignments: Dict[int, int] = {}
@@ -133,7 +137,7 @@ class Rebalancer:
                     live = [
                         (scores.get(p, 0.0), s, p)
                         for s, p in enumerate(owners)
-                        if not machine.is_failed(p)
+                        if not machine.is_unavailable(p)
                     ]
                     if live:
                         hot_load, hot_section, _hot = max(live)

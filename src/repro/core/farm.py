@@ -18,6 +18,15 @@ job is requeued onto the surviving groups, so the farm completes every job
 with degraded concurrency — the failure-resilience-by-re-execution posture
 of Chunks and Tasks (arXiv:1210.7427).  Only when *every* group has died
 does the farm raise.
+
+With a failure detector attached (:meth:`TaskFarm.attach_detector`) the
+farm distinguishes *suspected* from *confirmed-dead* processors: a group
+containing a suspect is **parked** — its worker stops pulling jobs and an
+in-flight job that times out is requeued, not failed — until the suspect
+either proves alive (group resumes) or hardens to a dead verdict (group
+retires, and is revived if the VP is later quarantined and rejoined as a
+false positive).  Parking instead of retiring is what keeps a transient
+network partition from permanently halving farm concurrency.
 """
 
 from __future__ import annotations
@@ -69,6 +78,12 @@ class TaskFarm:
         # The in-flight run's shared state (None when idle); add_group
         # uses it to splice a worker into a live run.
         self._run: Optional[dict] = None
+        # Detector-driven state (empty/None without attach_detector):
+        # parked groups (a member is suspected) and groups retired by a
+        # dead verdict (revivable on false-positive rejoin).
+        self._detector: Optional[Any] = None
+        self._quarantined: set[int] = set()
+        self._dead_by_verdict: set[int] = set()
         for group in groups:
             self._admit(group)
 
@@ -103,6 +118,75 @@ class TaskFarm:
                 self._cond.notify_all()
         return index
 
+    # -- failure-detector integration -----------------------------------------
+
+    def attach_detector(self, detector: Any) -> None:
+        """Subscribe the farm to a :class:`repro.health.FailureDetector`.
+
+        Suspicion parks groups, dead verdicts retire them, and a
+        false-positive rejoin revives a retired group mid-run.
+        """
+        with self._cond:
+            if self._detector is detector:
+                return
+            if self._detector is not None:
+                self._detector.remove_listener(self._on_health_event)
+            self._detector = detector
+        detector.add_listener(self._on_health_event)
+
+    def detach_detector(self) -> None:
+        with self._cond:
+            detector, self._detector = self._detector, None
+            self._quarantined.clear()
+            self._dead_by_verdict.clear()
+            self._cond.notify_all()
+        if detector is not None:
+            detector.remove_listener(self._on_health_event)
+
+    def _groups_with(self, vp: int) -> list[int]:
+        return [gi for gi, group in enumerate(self.groups) if vp in group]
+
+    def _group_clear(self, group_index: int) -> bool:
+        """True when no member of the group is suspected or dead."""
+        detector = self._detector
+        if detector is None:
+            return True
+        machine = detector.machine
+        return all(
+            not detector.is_suspect(p) and not machine.is_unavailable(p)
+            for p in self.groups[group_index]
+        )
+
+    def _on_health_event(self, event: Any) -> None:
+        """Detector listener: translate per-VP verdicts into group state.
+
+        Runs on the detector's monitor (or heartbeat-delivery) thread;
+        takes only the farm condition lock, never detector internals.
+        """
+        with self._cond:
+            if self._detector is None:
+                return
+            if event.transition in ("suspect", "quarantine"):
+                self._quarantined.update(self._groups_with(event.vp))
+            elif event.transition == "dead":
+                for gi in self._groups_with(event.vp):
+                    self._quarantined.discard(gi)
+                    self._dead_by_verdict.add(gi)
+            elif event.transition in ("alive", "rejoin"):
+                for gi in self._groups_with(event.vp):
+                    if not self._group_clear(gi):
+                        continue
+                    self._quarantined.discard(gi)
+                    if gi in self._dead_by_verdict:
+                        self._dead_by_verdict.discard(gi)
+                        run = self._run
+                        if run is not None:
+                            # Revive: splice a fresh worker for the
+                            # falsely-declared-dead group into the run.
+                            run["state"]["alive_workers"] += 1
+                            run["pg"].spawn(run["worker"], gi)
+            self._cond.notify_all()
+
     def run(
         self, jobs: Sequence[Job], timeout: Optional[float] = None
     ) -> FarmResult:
@@ -129,22 +213,62 @@ class TaskFarm:
         counts = [0] * len(self.groups)
         dead_groups: list[int] = []
 
+        def retire_locked(group_index: int) -> bool:
+            """Drop the group from the run; True when it was the last one.
+
+            Caller holds ``cond`` and, on True, must abort + raise.
+            """
+            state["alive_workers"] -= 1
+            dead_groups.append(group_index)
+            last_alive = state["alive_workers"] == 0 and state["unfinished"] > 0
+            if last_alive:
+                state["aborted"] = True
+            cond.notify_all()
+            return last_alive
+
         def worker(group_index: int) -> None:
             group = self.groups[group_index]
             while True:
                 with cond:
                     while (
-                        not pending
+                        (not pending or group_index in self._quarantined)
                         and state["unfinished"] > 0
                         and not state["aborted"]
+                        and group_index not in self._dead_by_verdict
                     ):
                         cond.wait()
                     if state["unfinished"] == 0 or state["aborted"]:
+                        return
+                    if group_index in self._dead_by_verdict:
+                        # Detector verdict: retire without touching a job
+                        # (a rejoin may later revive the group).
+                        if retire_locked(group_index):
+                            raise ProcessorFailedError(
+                                "every task-farm group failed with "
+                                f"{state['unfinished']} job(s) unfinished"
+                            )
                         return
                     item = pending.popleft()
                 job_index, job = item
                 try:
                     result = job(group)
+                except TimeoutError:
+                    with cond:
+                        if (
+                            group_index in self._quarantined
+                            or group_index in self._dead_by_verdict
+                        ):
+                            # The group is merely suspected (or freshly
+                            # verdicted): park, don't fail the run — the
+                            # job goes back for survivors or for this
+                            # group once it proves alive.
+                            pending.append(item)
+                            state["requeued"] += 1
+                            cond.notify_all()
+                            continue
+                        state["aborted"] = True
+                        cond.notify_all()
+                    raise
                 except ProcessorFailedError:
                     # This group's processors died: give the job back and
                     # retire the group so survivors pick up the slack.

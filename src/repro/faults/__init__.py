@@ -8,6 +8,11 @@ package makes partial failure an *input*.  It provides:
   duplicate, reorder) and scheduled VP deaths;
 * :class:`~repro.faults.transport.FaultyTransport` — installs a plan on a
   machine's transport hook, composable with every existing workload;
+* :class:`~repro.faults.partition.PartitionPlan` /
+  :class:`~repro.faults.partition.PartitionCut` — named network cuts
+  between VP groups with scripted heal times (and one-way asymmetric
+  variants), composed into the transport to starve the failure detector
+  and manufacture split-brain scenarios;
 * :class:`~repro.faults.retry.RetryPolicy` — bounded re-execution with
   deterministic backoff for idempotent distributed calls (the
   Chunks-and-Tasks resilience posture, arXiv:1210.7427);
@@ -19,6 +24,11 @@ See ``docs/fault_model.md`` for the taxonomy and a cookbook.
 """
 
 from repro.arrays.durability import RecoveryCoordinator, install_recovery
+from repro.faults.partition import (
+    PartitionCut,
+    PartitionPlan,
+    random_partitions,
+)
 from repro.faults.plan import FaultDecision, FaultPlan, KillSpec, random_kills
 from repro.faults.retry import (
     AttemptRecord,
@@ -36,12 +46,15 @@ __all__ = [
     "FaultStats",
     "FaultyTransport",
     "KillSpec",
+    "PartitionCut",
+    "PartitionPlan",
     "RecoveryCoordinator",
     "RetryPolicy",
     "WaitEdge",
     "Watchdog",
     "install_recovery",
     "random_kills",
+    "random_partitions",
     "run_with_retry",
     "supervised_call",
 ]

@@ -1,0 +1,234 @@
+"""Network partitions: named cuts between VP groups, with heal times.
+
+A :class:`PartitionCut` severs traffic between two disjoint groups of
+virtual processors — symmetric (no traffic either way) or asymmetric
+(one-way: ``side_a`` cannot reach ``side_b`` but replies still flow).
+A :class:`PartitionPlan` holds a set of cuts with scripted activation
+(``start_after`` seconds from attach) and heal (``heal_after``) times,
+plus manual :meth:`~PartitionPlan.cut` / :meth:`~PartitionPlan.heal`
+overrides for tests that want to script the window explicitly.
+
+The plan composes into :class:`~repro.faults.transport.FaultyTransport`
+(``FaultyTransport(machine, plan, partitions=...)``): a routed message
+whose (source, dest) crosses an active cut is silently discarded —
+counted in ``FaultStats.partitioned`` — exactly as a real network drops
+packets into a cable break.  Because heartbeats ride the same fabric,
+a partition starves the :class:`~repro.health.detector.FailureDetector`
+of evidence and drives false suspicion, which is the scenario §9 of
+``docs/fault_model.md`` is about: the minority side is declared dead,
+its sections are rebuilt on the majority, and after heal the stale
+owner must be fenced (epoch check) and rejoined rather than trusted.
+
+:func:`random_partitions` is the seeded schedule factory, sibling to
+:func:`~repro.faults.plan.random_kills`, for the fuzz suite.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class PartitionCut:
+    """One named cut between two disjoint VP groups.
+
+    ``start_after`` / ``heal_after`` are seconds since the owning plan
+    was attached to a transport; ``heal_after=None`` means the cut
+    never heals on its own (manual :meth:`PartitionPlan.heal` only).
+    ``symmetric=False`` severs only ``side_a -> side_b`` — an
+    asymmetric cut, the classic one-way-link failure where A's requests
+    vanish but B can still reach A.
+    """
+
+    name: str
+    side_a: Tuple[int, ...]
+    side_b: Tuple[int, ...]
+    start_after: float = 0.0
+    heal_after: Optional[float] = None
+    symmetric: bool = True
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.side_a, tuple):
+            object.__setattr__(self, "side_a", tuple(self.side_a))
+        if not isinstance(self.side_b, tuple):
+            object.__setattr__(self, "side_b", tuple(self.side_b))
+        if not self.side_a or not self.side_b:
+            raise ValueError(f"cut {self.name!r}: both sides must be non-empty")
+        overlap = set(self.side_a) & set(self.side_b)
+        if overlap:
+            raise ValueError(
+                f"cut {self.name!r}: sides overlap on {sorted(overlap)}"
+            )
+        if self.start_after < 0:
+            raise ValueError(f"cut {self.name!r}: start_after must be >= 0")
+        if self.heal_after is not None and self.heal_after <= self.start_after:
+            raise ValueError(
+                f"cut {self.name!r}: heal_after must exceed start_after"
+            )
+
+    def crosses(self, src: int, dst: int) -> bool:
+        """Does (src, dst) traverse this cut (ignoring schedule)?"""
+        if src in self.side_a and dst in self.side_b:
+            return True
+        if self.symmetric and src in self.side_b and dst in self.side_a:
+            return True
+        return False
+
+
+class PartitionPlan:
+    """A set of cuts with scripted and manual activation.
+
+    The plan is a clock-relative schedule: :meth:`attach` (called by
+    ``FaultyTransport.install``, or lazily on first use) starts the
+    clock, and each cut is active while
+    ``start_after <= elapsed < heal_after``.  Manual overrides win over
+    the schedule in both directions: :meth:`cut` forces a named cut
+    active, :meth:`heal` forces one (or all) inactive — the fuzz suite
+    uses ``heal()`` to close every window before asserting
+    convergence.
+    """
+
+    def __init__(self, cuts: Iterable[PartitionCut] = ()) -> None:
+        self.cuts: Tuple[PartitionCut, ...] = tuple(cuts)
+        names = [c.name for c in self.cuts]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate cut names in {names}")
+        self._lock = threading.Lock()
+        self._attached_at: Optional[float] = None
+        # Manual overrides by cut name: True = forced active, False =
+        # forced healed.  Absent = follow the schedule.
+        self._forced: Dict[str, bool] = {}
+        self.severed_count = 0
+
+    def attach(self, now: Optional[float] = None) -> "PartitionPlan":
+        """Start (or restart) the schedule clock."""
+        with self._lock:
+            self._attached_at = time.monotonic() if now is None else now
+        return self
+
+    def _elapsed_locked(self) -> float:
+        if self._attached_at is None:
+            self._attached_at = time.monotonic()
+        return time.monotonic() - self._attached_at
+
+    def _active_locked(self, cut: PartitionCut, elapsed: float) -> bool:
+        forced = self._forced.get(cut.name)
+        if forced is not None:
+            return forced
+        if elapsed < cut.start_after:
+            return False
+        return cut.heal_after is None or elapsed < cut.heal_after
+
+    def severs(self, src: int, dst: int) -> Optional[str]:
+        """Name of the first active cut severing ``src -> dst``, else
+        None.  This is the transport's per-message query."""
+        with self._lock:
+            elapsed = self._elapsed_locked()
+            for cut in self.cuts:
+                if cut.crosses(src, dst) and self._active_locked(cut, elapsed):
+                    self.severed_count += 1
+                    return cut.name
+        return None
+
+    def active(self) -> List[str]:
+        with self._lock:
+            elapsed = self._elapsed_locked()
+            return [
+                c.name for c in self.cuts if self._active_locked(c, elapsed)
+            ]
+
+    def cut(self, name: str) -> None:
+        """Force the named cut active now (overrides its schedule)."""
+        self._require(name)
+        with self._lock:
+            self._forced[name] = True
+
+    def heal(self, name: Optional[str] = None) -> None:
+        """Force the named cut — or, with no name, every cut — healed."""
+        if name is None:
+            with self._lock:
+                for c in self.cuts:
+                    self._forced[c.name] = False
+            return
+        self._require(name)
+        with self._lock:
+            self._forced[name] = False
+
+    def _require(self, name: str) -> PartitionCut:
+        for c in self.cuts:
+            if c.name == name:
+                return c
+        raise ValueError(f"no cut named {name!r}")
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            elapsed = (
+                self._elapsed_locked() if self._attached_at is not None else 0.0
+            )
+            return {
+                "cuts": [c.name for c in self.cuts],
+                "active": [
+                    c.name
+                    for c in self.cuts
+                    if self._active_locked(c, elapsed)
+                ],
+                "severed": self.severed_count,
+            }
+
+    def __repr__(self) -> str:
+        return f"<PartitionPlan cuts={[c.name for c in self.cuts]}>"
+
+
+def random_partitions(
+    seed: int,
+    processors: Sequence[int],
+    isolate: Optional[Sequence[int]] = None,
+    count: int = 1,
+    max_start: float = 0.3,
+    min_duration: float = 0.4,
+    max_duration: float = 1.2,
+    oneway: float = 0.25,
+) -> Tuple[PartitionCut, ...]:
+    """Seeded random partition schedule for fuzzing.
+
+    Draws ``count`` cuts from a generator seeded by ``seed`` alone (same
+    seed, same schedule — the :func:`~repro.faults.plan.random_kills`
+    discipline).  Each cut isolates a strict minority drawn from
+    ``isolate`` (default: every processor but the first, so the monitor
+    and quorum side stays connected) from the rest of ``processors``,
+    starts within ``max_start`` seconds, heals after a duration in
+    ``[min_duration, max_duration]``, and is one-way (minority's sends
+    vanish, majority's still arrive) with probability ``oneway``.
+    """
+    processors = [int(p) for p in processors]
+    if len(processors) < 2:
+        raise ValueError("random_partitions needs at least two processors")
+    pool = (
+        [int(p) for p in isolate] if isolate is not None else processors[1:]
+    )
+    pool = [p for p in pool if p in processors]
+    if not pool:
+        raise ValueError("random_partitions: empty isolation pool")
+    max_minority = max(1, (len(processors) - 1) // 2)
+    rng = random.Random(f"partitions:{seed}")
+    cuts = []
+    for i in range(count):
+        size = rng.randint(1, min(max_minority, len(pool)))
+        minority = tuple(sorted(rng.sample(pool, size)))
+        majority = tuple(p for p in processors if p not in minority)
+        start = rng.uniform(0.0, max_start)
+        cuts.append(
+            PartitionCut(
+                name=f"part{seed}-{i}",
+                side_a=minority,
+                side_b=majority,
+                start_after=start,
+                heal_after=start + rng.uniform(min_duration, max_duration),
+                symmetric=rng.random() >= oneway,
+            )
+        )
+    return tuple(cuts)

@@ -68,6 +68,7 @@ class FaultPlan:
     delay_seconds: float = 0.002
     reorder: float = 0.0
     mtypes: Optional[Tuple[MessageType, ...]] = None
+    kinds: Optional[Tuple[str, ...]] = None
     kills: Tuple[KillSpec, ...] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
@@ -79,12 +80,20 @@ class FaultPlan:
         # stays hashable and immutable.
         if self.mtypes is not None and not isinstance(self.mtypes, tuple):
             object.__setattr__(self, "mtypes", tuple(self.mtypes))
+        if self.kinds is not None and not isinstance(self.kinds, tuple):
+            object.__setattr__(self, "kinds", tuple(self.kinds))
         if not isinstance(self.kills, tuple):
             object.__setattr__(self, "kills", tuple(self.kills))
 
     def applies_to(self, message: Message) -> bool:
-        """Is this message's type eligible for fault injection?"""
-        return self.mtypes is None or message.mtype in self.mtypes
+        """Is this message eligible for fault injection?  Filters on the
+        §3.4.1 message type and, orthogonally, on the fabric envelope
+        ``kind`` — so a plan can perturb e.g. only ``"heartbeat"``
+        traffic (detector edge-case tests) or only ``"replica_update"``
+        shipments while leaving everything else intact."""
+        if self.mtypes is not None and message.mtype not in self.mtypes:
+            return False
+        return self.kinds is None or message.kind in self.kinds
 
     def decide(self, message: Message, channel_ordinal: int) -> FaultDecision:
         """Deterministic fault decision for one message.

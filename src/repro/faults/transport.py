@@ -32,6 +32,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.faults.partition import PartitionPlan
 from repro.faults.plan import FaultPlan
 from repro.vp.machine import Machine
 from repro.vp.message import Message
@@ -49,6 +50,7 @@ class FaultStats:
     duplicated: int = 0
     delayed: int = 0
     reordered: int = 0
+    partitioned: int = 0
     killed: list = field(default_factory=list)
 
     def as_dict(self) -> dict:
@@ -59,6 +61,7 @@ class FaultStats:
             "duplicated": self.duplicated,
             "delayed": self.delayed,
             "reordered": self.reordered,
+            "partitioned": self.partitioned,
             "killed": list(self.killed),
         }
 
@@ -66,9 +69,15 @@ class FaultStats:
 class FaultyTransport:
     """Stack interceptor applying plan-driven fault injection."""
 
-    def __init__(self, machine: Machine, plan: FaultPlan) -> None:
+    def __init__(
+        self,
+        machine: Machine,
+        plan: FaultPlan,
+        partitions: Optional[PartitionPlan] = None,
+    ) -> None:
         self.machine = machine
         self.plan = plan
+        self.partitions = partitions
         self.stats = FaultStats()
         self._lock = threading.Lock()
         self._channel_ordinals: dict[tuple[int, int], int] = {}
@@ -85,6 +94,10 @@ class FaultyTransport:
 
     def install(self) -> "FaultyTransport":
         if not self._installed:
+            if self.partitions is not None:
+                # The partition schedule is clock-relative: cuts start
+                # counting from the moment injection begins.
+                self.partitions.attach()
             self.machine.transport_stack.push(self)
             self._installed = True
         return self
@@ -105,6 +118,14 @@ class FaultyTransport:
 
     def __call__(self, message: Message, forward=None) -> None:
         plan = self.plan
+        # Partition check first: a message into a cable break never even
+        # reaches the lossy-network dice.  (The plan's own lock guards the
+        # schedule; ours guards the stats/ordinal state.)
+        severed = (
+            self.partitions.severs(message.source, message.dest)
+            if self.partitions is not None
+            else None
+        )
         with self._lock:
             self.stats.routed += 1
             channel = (message.source, message.dest)
@@ -119,7 +140,11 @@ class FaultyTransport:
         kills: list[int] = []
         deliver_now: list[Message] = []
 
-        if decision.drop:
+        if severed is not None:
+            with self._lock:
+                self.stats.partitioned += 1
+            self._count_fault("partition")
+        elif decision.drop:
             with self._lock:
                 self.stats.dropped += 1
             self._count_fault("drop")

@@ -34,13 +34,21 @@ from repro.vp.machine import Machine
 
 @dataclass(frozen=True)
 class WaitEdge:
-    """One edge of the wait-graph: ``waiter`` is suspended on ``resource``."""
+    """One edge of the wait-graph: ``waiter`` is suspended on ``resource``.
+
+    ``suspect`` marks an edge whose resource is a selective receive on a
+    peer the machine's failure detector currently suspects: such a wait
+    is explained by (possibly transient) silence, not by a circular
+    dependency, so the watchdog reports it rather than raising.
+    """
 
     waiter: str
     resource: str
+    suspect: bool = False
 
     def __str__(self) -> str:
-        return f"{self.waiter} -> {self.resource}"
+        base = f"{self.waiter} -> {self.resource}"
+        return f"{base} [waiting on suspect]" if self.suspect else base
 
 
 class Watchdog:
@@ -60,17 +68,32 @@ class Watchdog:
 
     # -- sampling ------------------------------------------------------------
 
-    def _blocked_map(self) -> dict[int, str]:
-        """thread ident -> description of the resource it is suspended on."""
-        blocked = {
-            ident: f"defvar:{name}"
+    def _blocked_map(self) -> dict[int, tuple[str, Optional[int]]]:
+        """thread ident -> (resource description, awaited source VP or
+        None) for every suspended thread."""
+        blocked: dict[int, tuple[str, Optional[int]]] = {
+            ident: (f"defvar:{name}", None)
             for ident, name in _defvar.blocked_reads().items()
         }
         if self.machine is not None:
             for node in self.machine.processors():
-                for ident, describe in node.mailbox.blocked_receivers().items():
-                    blocked[ident] = f"mailbox:vp{node.number} {describe}"
+                detailed = node.mailbox.blocked_receivers_detailed()
+                for ident, (describe, source) in detailed.items():
+                    blocked[ident] = (
+                        f"mailbox:vp{node.number} {describe}",
+                        source,
+                    )
         return blocked
+
+    def _source_suspect(self, source: Optional[int]) -> bool:
+        if source is None or self.machine is None:
+            return False
+        health = getattr(self.machine, "_health", None)
+        return health is not None and health.is_suspect(source)
+
+    def _edge(self, name: str, entry: tuple[str, Optional[int]]) -> WaitEdge:
+        describe, source = entry
+        return WaitEdge(name, describe, suspect=self._source_suspect(source))
 
     def wait_graph(self, processes: Sequence[Process]) -> list[WaitEdge]:
         """The current wait-graph restricted to ``processes``."""
@@ -78,7 +101,7 @@ class Watchdog:
         edges = []
         for proc in processes:
             if proc.is_alive() and proc.ident in blocked:
-                edges.append(WaitEdge(proc.name, blocked[proc.ident]))
+                edges.append(self._edge(proc.name, blocked[proc.ident]))
         return edges
 
     # -- joining -------------------------------------------------------------
@@ -102,13 +125,27 @@ class Watchdog:
                 break
             blocked = self._blocked_map()
             if all(p.ident in blocked for p in alive):
+                edges = [self._edge(p.name, blocked[p.ident]) for p in alive]
+                if any(e.suspect for e in edges):
+                    # A wait on a suspected peer is explained by silence
+                    # the detector is still adjudicating — either the
+                    # suspect resumes (the wait satisfies) or it is
+                    # declared dead (the receiver fails fast / times
+                    # out).  Neither is a circular wait, so the grace
+                    # clock resets instead of a false DeadlockError.
+                    suspended_since = None
+                    if deadline is not None and time.monotonic() >= deadline:
+                        raise TimeoutError(
+                            f"watchdog join timed out with {len(alive)} "
+                            "process(es) still running: "
+                            + "; ".join(str(e) for e in edges)
+                        )
+                    time.sleep(self.poll)
+                    continue
                 now = time.monotonic()
                 if suspended_since is None:
                     suspended_since = now
                 elif now - suspended_since >= self.grace:
-                    edges = [
-                        WaitEdge(p.name, blocked[p.ident]) for p in alive
-                    ]
                     graph = "; ".join(str(e) for e in edges)
                     observer = getattr(self.machine, "_observer", None)
                     if observer is not None:

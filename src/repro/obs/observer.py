@@ -204,6 +204,40 @@ class Observer:
             array=str(getattr(array_id, "as_tuple", lambda: array_id)()),
         ).inc()
 
+    # -- health (repro.health failure detection) --------------------------------
+
+    def heartbeat(self, vp: int) -> None:
+        self.metrics.counter("repro_heartbeats_total", vp=vp).inc()
+
+    def health_transition(self, vp: int, transition: str) -> None:
+        """One detector verdict transition (suspect/alive/dead/
+        quarantine/rejoin) for one VP."""
+        self.metrics.counter(
+            "repro_health_transitions_total", vp=vp, transition=transition
+        ).inc()
+        if transition == "suspect":
+            self.metrics.counter(
+                "repro_health_suspicions_total", vp=vp
+            ).inc()
+
+    def false_positive(self, vp: int) -> None:
+        """A VP the detector declared dead resumed heartbeating."""
+        self.metrics.counter(
+            "repro_health_false_positives_total", vp=vp
+        ).inc()
+
+    def detection_latency(self, seconds: float) -> None:
+        """Observed silence at the moment a timeout verdict hardened."""
+        self.metrics.histogram(
+            "repro_health_detection_latency_seconds"
+        ).observe(seconds)
+
+    def fenced_write(self, array: str) -> None:
+        """A write/adopt/batch refused by the epoch fencing token."""
+        self.metrics.counter(
+            "repro_fenced_writes_total", array=array
+        ).inc()
+
     def _on_defvar_suspend(self, label: str) -> None:
         processor = fabric.current_processor()
         self.metrics.counter(

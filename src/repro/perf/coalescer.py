@@ -311,12 +311,17 @@ class WriteCoalescer:
                     # owner deduplicates if the original shows up late).
                     self.retries += 1
                     continue
-                if outcome == "not_found":
-                    # The resolved owner no longer holds the section — a
-                    # migration landed between resolve and apply.  The
+                if outcome in ("not_found", "stale"):
+                    # "not_found": the resolved owner no longer holds the
+                    # section — a migration landed between resolve and
+                    # apply.  "stale": the owner held the section but its
+                    # fencing epoch lagged the durability state — it was
+                    # on the losing side of a partition or mid-handoff.
+                    # Either way no sequence number was consumed, so the
                     # next attempt re-resolves the owner from the
                     # durability membership and chases the section to
-                    # its new home instead of silently losing the batch.
+                    # its authoritative home instead of silently losing
+                    # the batch.
                     self.retries += 1
                     continue
                 self.flushes += 1

@@ -18,12 +18,14 @@ class Status(enum.IntEnum):
     OK = 0
     INVALID = 1
     NOT_FOUND = 2
+    STALE_EPOCH = 3
     ERROR = 99
 
 
 STATUS_OK = Status.OK
 STATUS_INVALID = Status.INVALID
 STATUS_NOT_FOUND = Status.NOT_FOUND
+STATUS_STALE_EPOCH = Status.STALE_EPOCH
 STATUS_ERROR = Status.ERROR
 
 
@@ -49,6 +51,18 @@ class SystemError_(ReproError):
     """Internal failure of the runtime (paper's STATUS_ERROR)."""
 
     status = Status.ERROR
+
+
+class StaleEpochError(ReproError):
+    """A write, adopt, or batch apply carried (or landed on a record at)
+    an epoch older than the array's authoritative epoch — the fencing
+    token refused it.  This is how a stale owner stranded on the minority
+    side of a network partition is prevented from committing after heal:
+    its record's epoch was left behind by the recovery that reassigned
+    its sections, so every commit it attempts is identifiable and
+    refusable (see docs/fault_model.md §9)."""
+
+    status = Status.STALE_EPOCH
 
 
 class SingleAssignmentError(ReproError):
@@ -97,6 +111,7 @@ class ProcessorFailedError(ReproError):
 _EXCEPTION_FOR_STATUS = {
     Status.INVALID: InvalidParameterError,
     Status.NOT_FOUND: ArrayNotFoundError,
+    Status.STALE_EPOCH: StaleEpochError,
     Status.ERROR: SystemError_,
 }
 

@@ -50,9 +50,9 @@ class Machine:
     ) -> None:
         if num_nodes < 1:
             raise ValueError("a machine needs at least one processor")
-        if dead_send_policy not in ("raise", "drop"):
+        if dead_send_policy not in ("raise", "drop", "queue"):
             raise ValueError(
-                f"dead_send_policy must be 'raise' or 'drop', "
+                f"dead_send_policy must be 'raise', 'drop', or 'queue', "
                 f"not {dead_send_policy!r}"
             )
         self.default_recv_timeout = default_recv_timeout
@@ -74,6 +74,13 @@ class Machine:
         # Instrumentation sites across every layer probe this one attribute
         # and no-op when it is None, keeping the hot path cheap.
         self._observer: Optional[Any] = None
+        # The installed failure detector (repro.health.FailureDetector) or
+        # None.  When present it is the machine's health authority: planning
+        # code consults is_unavailable() (oracle-dead OR detector-dead) and
+        # the "queue" dead_send_policy buffers sends to its suspects.
+        self._health: Optional[Any] = None
+        # Sends buffered by the "queue" policy, keyed by suspected dest.
+        self._suspect_queues: dict[int, list[Message]] = {}
         # Processors added after construction (Machine.add_processor),
         # recorded for diagnostics: elastic membership is inspectable.
         self._added_processors: list[int] = []
@@ -175,6 +182,19 @@ class Machine:
         with self._lock:
             return number in self._failed
 
+    def is_unavailable(self, number: int) -> bool:
+        """Oracle-dead *or* declared dead by the installed failure
+        detector.  Planning code (recovery spare selection, migration
+        membership rewrites, rebalance pools) keys off this so a VP the
+        detector has given up on is excluded even though the oracle never
+        killed it; hard route semantics (`is_failed`) are unchanged — the
+        detector may be wrong, and a misrouted raise would turn a false
+        suspicion into a real failure."""
+        if self.is_failed(number):
+            return True
+        health = self._health
+        return health is not None and health.is_dead(number)
+
     def failed_processors(self) -> list[int]:
         with self._lock:
             return sorted(self._failed)
@@ -252,8 +272,29 @@ class Machine:
                     f"send to failed processor {message.dest}",
                     processor=message.dest,
                 )
+            # "drop" and "queue" both discard sends to an oracle-dead
+            # destination: queueing is for *suspects*, whose death is
+            # unconfirmed; the oracle is ground truth.
             with self._lock:
                 self.dropped_to_dead += 1
+            return
+        health = self._health
+        if (
+            self.dead_send_policy == "queue"
+            and health is not None
+            and message.kind not in ("heartbeat", "rejoin")
+            and health.is_suspect(message.dest)
+        ):
+            # Buffer instead of transmitting into suspected silence.  The
+            # queue flushes (re-routes) when the suspect proves alive or
+            # rejoins, and drains to dropped_to_dead when the verdict
+            # hardens to dead.  Heartbeats are exempt (they *are* the
+            # evidence the verdict rests on), as is the rejoin protocol
+            # (it must reach the quarantined VP to end the quarantine).
+            with self._lock:
+                self._suspect_queues.setdefault(message.dest, []).append(
+                    message
+                )
             return
         if message.source == message.dest and len(self.transport_stack) == 0:
             # Same-node fast path: with no interceptors installed nothing
@@ -283,6 +324,34 @@ class Machine:
             self.routed_count += 1
             self.routed_bytes += message.nbytes()
         self.transport_stack.dispatch(message)
+
+    def flush_suspect_queue(self, dest: int) -> int:
+        """Re-route sends buffered for a once-suspected destination (the
+        "queue" policy's heal path).  Returns the number re-routed; a
+        message whose source died while buffered is dropped and counted."""
+        with self._lock:
+            queued = self._suspect_queues.pop(dest, None)
+        if not queued:
+            return 0
+        flushed = 0
+        for message in queued:
+            try:
+                self.route(message)
+                flushed += 1
+            except ProcessorFailedError:
+                with self._lock:
+                    self.dropped_to_dead += 1
+        return flushed
+
+    def drop_suspect_queue(self, dest: int) -> int:
+        """Discard sends buffered for a destination whose suspicion
+        hardened into a dead verdict; they join ``dropped_to_dead``."""
+        with self._lock:
+            queued = self._suspect_queues.pop(dest, None)
+            if not queued:
+                return 0
+            self.dropped_to_dead += len(queued)
+            return len(queued)
 
     def send(
         self,
@@ -388,7 +457,17 @@ class Machine:
             if perf_layer is not None
             else {"enabled": False}
         )
+        health = (
+            self._health.snapshot()
+            if self._health is not None
+            else {"enabled": False}
+        )
         with self._lock:
+            suspect_queued = {
+                dest: len(queued)
+                for dest, queued in self._suspect_queues.items()
+                if queued
+            }
             return {
                 "num_nodes": self.num_nodes,
                 "failed": sorted(self._failed),
@@ -399,9 +478,11 @@ class Machine:
                 "routed_messages": self.routed_count,
                 "routed_bytes": self.routed_bytes,
                 "dropped_to_dead": self.dropped_to_dead,
+                "suspect_queued": suspect_queued,
                 "arrays": arrays,
                 "observability": observability,
                 "perf": perf,
+                "health": health,
             }
 
     # -- program placement -----------------------------------------------------

@@ -57,10 +57,12 @@ class Mailbox:
         self._cond = threading.Condition()
         self._poison: Optional[BaseException] = None
         self._dead_sources: set[int] = set()
-        # Currently-blocked receivers: thread ident -> human-readable filter
-        # description.  Read by Machine.diagnostics() and the deadlock
-        # watchdog's wait-graph builder.
-        self._waiting: dict[int, str] = {}
+        # Currently-blocked receivers: thread ident -> (human-readable
+        # filter description, selective-receive source or None).  Read by
+        # Machine.diagnostics() and the deadlock watchdog's wait-graph
+        # builder — the source lets the watchdog distinguish "waiting on a
+        # suspected peer" from a true circular wait.
+        self._waiting: dict[int, tuple[str, Optional[int]]] = {}
         # Traffic accounting for the simulated-cost model (DESIGN.md
         # "Fidelity notes"): counts are exact and GIL-independent.
         self.received_count = 0
@@ -138,7 +140,7 @@ class Mailbox:
             raise self._poison
         if find() is None:
             ident = threading.get_ident()
-            self._waiting[ident] = describe
+            self._waiting[ident] = (describe, source)
             try:
                 ok = self._cond.wait_for(
                     lambda: self._poison is not None
@@ -164,6 +166,17 @@ class Mailbox:
 
     def blocked_receivers(self) -> dict[int, str]:
         """Snapshot of currently-blocked receives (ident -> description)."""
+        with self._cond:
+            return {
+                ident: describe
+                for ident, (describe, _source) in self._waiting.items()
+            }
+
+    def blocked_receivers_detailed(
+        self,
+    ) -> dict[int, tuple[str, Optional[int]]]:
+        """Like :meth:`blocked_receivers` but with the selective-receive
+        source (or None) alongside each description."""
         with self._cond:
             return dict(self._waiting)
 

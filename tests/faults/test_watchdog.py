@@ -126,3 +126,88 @@ class TestNoFalsePositives:
     def test_validation(self):
         with pytest.raises(ValueError):
             Watchdog(poll=0.0)
+
+
+class TestSuspectedPeers:
+    """Waiting on a *suspected* peer is silence under adjudication, not
+    a circular dependency: the watchdog must report it, never convert it
+    into a false DeadlockError."""
+
+    @staticmethod
+    def _suspected_machine():
+        from repro.faults import FaultPlan, FaultyTransport
+        from repro.faults.partition import PartitionCut, PartitionPlan
+        from repro.health import FailureDetector
+
+        machine = Machine(2, default_recv_timeout=20.0)
+        plan = PartitionPlan([PartitionCut("iso", (1,), (0,))])
+        plan.heal("iso")
+        transport = FaultyTransport(
+            machine, FaultPlan(seed=0), partitions=plan
+        ).install()
+        detector = FailureDetector(
+            machine, interval=0.02, suspect_after=2.0, dead_after=10_000.0
+        ).install()
+        return machine, plan, transport, detector
+
+    def test_wait_on_suspect_times_out_instead_of_deadlocking(self):
+        machine, plan, transport, detector = self._suspected_machine()
+        try:
+            plan.cut("iso")
+            deadline = time.monotonic() + 8.0
+            while not detector.is_suspect(1) and time.monotonic() < deadline:
+                time.sleep(0.005)
+            assert detector.is_suspect(1)
+
+            def node0():
+                return machine.processor(0).mailbox.recv(
+                    mtype=MessageType.PCN, tag="ping", source=1
+                )
+
+            p = spawn(node0, name="node0")
+            wd = Watchdog(machine, poll=0.01, grace=0.1)
+            # Far beyond the grace window, yet no DeadlockError: the
+            # join hits its own deadline and says why.
+            with pytest.raises(TimeoutError, match="waiting on suspect"):
+                wd.join([p], timeout=1.0)
+            # The suspect proves alive; the wait satisfies normally.
+            plan.heal("iso")
+            while detector.is_suspect(1) and time.monotonic() < deadline:
+                time.sleep(0.005)
+            machine.send(1, 0, "pong", tag="ping")
+            assert wd.join([p], timeout=10.0)[0].payload == "pong"
+        finally:
+            detector.close()
+            transport.uninstall()
+
+    def test_wait_graph_marks_suspect_edges(self):
+        machine, plan, transport, detector = self._suspected_machine()
+        try:
+            plan.cut("iso")
+            deadline = time.monotonic() + 8.0
+            while not detector.is_suspect(1) and time.monotonic() < deadline:
+                time.sleep(0.005)
+
+            def node0():
+                return machine.processor(0).mailbox.recv(
+                    mtype=MessageType.PCN, tag="ping", source=1
+                )
+
+            p = spawn(node0, name="node0")
+            time.sleep(0.1)
+            wd = Watchdog(machine, poll=0.01, grace=0.1)
+            graph = wd.wait_graph([p])
+            assert len(graph) == 1
+            assert graph[0].suspect
+            assert "[waiting on suspect]" in str(graph[0])
+            # A wait on a healthy peer stays an ordinary edge.
+            plan.heal("iso")
+            while detector.is_suspect(1) and time.monotonic() < deadline:
+                time.sleep(0.005)
+            graph = wd.wait_graph([p])
+            assert len(graph) == 1 and not graph[0].suspect
+            machine.send(1, 0, "pong", tag="ping")
+            p.join(timeout=5.0)
+        finally:
+            detector.close()
+            transport.uninstall()

@@ -1,0 +1,321 @@
+"""Failure detector: lifecycle, verdicts, quarantine, and rejoin.
+
+The scripted-partition tests use manual :meth:`PartitionPlan.cut` /
+:meth:`heal` overrides rather than timed windows, so the silence the
+detector observes is under explicit test control.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.arrays import am_user, am_util
+from repro.arrays.manager import _records, get_array_manager
+from repro.core.darray import DistributedArray
+from repro.faults import (
+    FaultPlan,
+    FaultyTransport,
+    PartitionCut,
+    PartitionPlan,
+    install_recovery,
+)
+from repro.health import FailureDetector, HealthState, install_detector
+from repro.status import Status
+from repro.vp.machine import Machine
+
+# Fast-clock parameters: suspect after 0.04 s of silence, dead after
+# 0.12 s.  Polling deadlines are generous (seconds) so slow CI only
+# makes the tests slower, never flaky.
+INTERVAL = 0.02
+SUSPECT_AFTER = 2.0
+DEAD_AFTER = 6.0
+
+
+def wait_until(predicate, timeout=8.0, interval=0.005):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+def make_detector(machine, **overrides) -> FailureDetector:
+    options = dict(
+        interval=INTERVAL,
+        suspect_after=SUSPECT_AFTER,
+        dead_after=DEAD_AFTER,
+    )
+    options.update(overrides)
+    return install_detector(machine, **options)
+
+
+def isolation(vp: int, others) -> PartitionPlan:
+    """A manual-override plan isolating ``vp`` (initially healed)."""
+    plan = PartitionPlan(
+        [PartitionCut("iso", (vp,), tuple(others))]
+    )
+    plan.heal("iso")
+    return plan
+
+
+class TestLifecycle:
+    def test_install_makes_detector_the_health_authority(self):
+        machine = Machine(3)
+        detector = make_detector(machine)
+        try:
+            assert machine._health is detector
+            assert detector.installed
+            # Heartbeats flow: every VP stays alive.
+            assert wait_until(lambda: detector.snapshot()["heartbeats_received"] > 6)
+            for p in range(3):
+                assert detector.state_of(p) is HealthState.ALIVE
+                assert not detector.is_dead(p)
+                assert not detector.is_suspect(p)
+            diag = machine.diagnostics()
+            assert diag["health"]["monitor"] == 0
+            assert diag["health"]["states"] == {
+                0: "alive", 1: "alive", 2: "alive"
+            }
+        finally:
+            detector.close()
+        assert machine._health is None
+        assert machine.diagnostics()["health"] == {"enabled": False}
+
+    def test_install_is_idempotent(self):
+        machine = Machine(2)
+        detector = make_detector(machine)
+        try:
+            assert install_detector(machine) is detector
+        finally:
+            detector.close()
+
+    def test_validation(self):
+        machine = Machine(2)
+        with pytest.raises(ValueError):
+            FailureDetector(machine, interval=0.0)
+        with pytest.raises(ValueError):
+            FailureDetector(machine, suspect_after=5.0, dead_after=3.0)
+        with pytest.raises(Exception):
+            FailureDetector(machine, monitor=7)
+
+    def test_context_manager(self):
+        machine = Machine(2)
+        with FailureDetector(machine, interval=INTERVAL) as detector:
+            assert machine._health is detector
+        assert machine._health is None
+
+
+class TestOracleIntegration:
+    def test_scripted_kill_is_an_immediate_dead_verdict(self):
+        machine = Machine(3)
+        detector = make_detector(machine)
+        try:
+            verdicts = []
+            detector.add_listener(verdicts.append)
+            machine.fail(2)
+            # No timeout wait: the oracle listener fires synchronously.
+            assert detector.state_of(2) is HealthState.DEAD
+            assert detector.is_dead(2)
+            dead = [e for e in verdicts if e.transition == "dead"]
+            assert dead and dead[0].vp == 2 and dead[0].reason == "oracle"
+        finally:
+            detector.close()
+
+    def test_straggler_heartbeat_from_oracle_dead_vp_is_ignored(self):
+        machine = Machine(3)
+        detector = make_detector(machine)
+        try:
+            machine.fail(2)
+            assert detector.state_of(2) is HealthState.DEAD
+            # Forge a late heartbeat from the corpse: the oracle outranks
+            # inference, so no quarantine happens.
+            from repro.vp.message import Message
+
+            detector._on_heartbeat(
+                Message(source=2, dest=0, payload=("heartbeat", 2),
+                        tag="heartbeat", kind="heartbeat")
+            )
+            assert detector.state_of(2) is HealthState.DEAD
+            assert detector.false_positives == 0
+        finally:
+            detector.close()
+
+
+class TestSilenceVerdicts:
+    def test_partition_silence_drives_suspect_then_dead(self):
+        machine = Machine(3)
+        plan = isolation(2, (0, 1))
+        with FaultyTransport(machine, FaultPlan(seed=0), partitions=plan):
+            detector = make_detector(machine)
+            try:
+                assert wait_until(
+                    lambda: detector.snapshot()["heartbeats_received"] > 3
+                )
+                plan.cut("iso")
+                assert wait_until(lambda: detector.is_suspect(2))
+                assert wait_until(
+                    lambda: detector.state_of(2) is HealthState.DEAD
+                )
+                # Not an oracle death: the fabric lost the VP, the
+                # machine did not.
+                assert not machine.is_failed(2)
+                assert machine.is_unavailable(2)
+                transitions = [
+                    (e.vp, e.transition) for e in detector.events()
+                ]
+                assert (2, "suspect") in transitions
+                assert (2, "dead") in transitions
+                # The suspect verdict preceded the dead verdict.
+                assert transitions.index((2, "suspect")) < transitions.index(
+                    (2, "dead")
+                )
+            finally:
+                detector.close()
+
+    def test_false_positive_heals_into_quarantine_and_rejoin(self):
+        machine = Machine(3)
+        plan = isolation(2, (0, 1))
+        with FaultyTransport(machine, FaultPlan(seed=0), partitions=plan):
+            detector = make_detector(machine)
+            try:
+                plan.cut("iso")
+                assert wait_until(
+                    lambda: detector.state_of(2) is HealthState.DEAD
+                )
+                plan.heal("iso")
+                assert wait_until(
+                    lambda: detector.state_of(2) is HealthState.ALIVE
+                )
+                assert detector.false_positives == 1
+                assert detector.rejoins == 1
+                order = [
+                    e.transition for e in detector.events() if e.vp == 2
+                ]
+                assert order == ["suspect", "dead", "quarantine", "rejoin"]
+            finally:
+                detector.close()
+
+    def test_suspicion_score_grows_with_silence(self):
+        machine = Machine(3)
+        plan = isolation(2, (0, 1))
+        with FaultyTransport(machine, FaultPlan(seed=0), partitions=plan):
+            detector = make_detector(machine, dead_after=1000.0)
+            try:
+                assert wait_until(
+                    lambda: detector.snapshot()["heartbeats_received"] > 6
+                )
+                healthy = detector.suspicion(2)
+                plan.cut("iso")
+                assert wait_until(
+                    lambda: detector.suspicion(2) > healthy + 3.0
+                )
+            finally:
+                detector.close()
+
+
+class TestFlapping:
+    def test_flapping_suspect_never_fires_recovery(self):
+        """suspect -> alive -> suspect flaps stay non-destructive: no
+        dead verdict, no recovery, membership untouched."""
+        machine = Machine(6, default_recv_timeout=5)
+        am_util.load_all(machine)
+        coordinator = install_recovery(machine)
+        arr = DistributedArray.create(
+            machine, "double", (8, 8), [0, 1, 2, 3],
+            (("block", 2), ("block", 2)), replication=1,
+        )
+        before = tuple(
+            get_array_manager(machine)
+            .durability_state(arr.array_id)
+            .processors
+        )
+        plan = isolation(3, (0, 1, 2, 4, 5))
+        with FaultyTransport(machine, FaultPlan(seed=0), partitions=plan):
+            # dead_after high enough that a flap window (one suspect
+            # poll) cannot harden into a dead verdict.
+            detector = make_detector(machine, dead_after=400.0)
+            try:
+                flaps = 0
+                for _ in range(3):
+                    plan.cut("iso")
+                    assert wait_until(lambda: detector.is_suspect(3))
+                    plan.heal("iso")
+                    assert wait_until(
+                        lambda: detector.state_of(3) is HealthState.ALIVE
+                    )
+                    flaps += 1
+                events = [e for e in detector.events() if e.vp == 3]
+                assert [e for e in events if e.transition == "suspect"]
+                assert [e for e in events if e.transition == "alive"]
+                assert not [e for e in events if e.transition == "dead"]
+                assert coordinator.recoveries == []
+                state = get_array_manager(machine).durability_state(
+                    arr.array_id
+                )
+                assert tuple(state.processors) == before
+                assert state.sections_rebuilt == 0
+            finally:
+                detector.close()
+
+
+class TestDetectorDrivenRecovery:
+    def test_verdict_triggers_recovery_and_heal_rejoins_cleanly(self):
+        """The full §9 arc: partition -> dead verdict -> recovery moves
+        the lost section -> heal -> quarantine -> rejoin, with the
+        falsely-declared-dead VP fenced out of ownership and recovery
+        fired exactly once."""
+        machine = Machine(6, default_recv_timeout=5)
+        am_util.load_all(machine)
+        coordinator = install_recovery(machine)
+        arr = DistributedArray.create(
+            machine, "double", (8, 8), [0, 1, 2, 3],
+            (("block", 2), ("block", 2)), replication=1,
+        )
+        expected = np.arange(64, dtype=float).reshape(8, 8)
+        assert (
+            am_user.write_region(
+                machine, arr.array_id, [(0, 8), (0, 8)], expected
+            )
+            is Status.OK
+        )
+        manager = get_array_manager(machine)
+        plan = isolation(3, (0, 1, 2, 4, 5))
+        with FaultyTransport(machine, FaultPlan(seed=0), partitions=plan):
+            detector = make_detector(machine)
+            try:
+                plan.cut("iso")
+                assert wait_until(
+                    lambda: detector.state_of(3) is HealthState.DEAD
+                )
+                # Recovery ran off the detector verdict (no oracle kill).
+                assert not machine.is_failed(3)
+                assert wait_until(
+                    lambda: 3
+                    not in manager.durability_state(arr.array_id).processors
+                )
+                ok = [r for r in coordinator.recoveries if r.get("ok")]
+                assert len(ok) == 1 and ok[0]["dead"] == 3
+                plan.heal("iso")
+                assert wait_until(
+                    lambda: detector.state_of(3) is HealthState.ALIVE
+                )
+                # Rejoin must not have re-fired recovery or changed
+                # membership again.
+                assert len(coordinator.recoveries) == 1
+                state = manager.durability_state(arr.array_id)
+                assert 3 not in state.processors
+                # One owner per section: the rejoined VP freed its stale
+                # copy instead of keeping a second live owner.
+                record = _records(machine.processor(3)).get(arr.array_id)
+                assert record is None or record.section is None
+            finally:
+                detector.close()
+        assert (
+            am_user.verify_array(machine, arr.array_id, 2, [0, 0, 0, 0], "row")
+            is Status.OK
+        )
+        assert np.array_equal(arr.to_numpy(), expected)

@@ -1,0 +1,165 @@
+"""Detector edge cases: heartbeats dropped, delayed, and duplicated.
+
+``FaultPlan(kinds=("heartbeat",))`` aims message-level faults at the
+detector's own traffic while leaving the data plane intact — the
+detector must tolerate lossy evidence without hardening false verdicts
+(beyond what its thresholds promise) and without ever *missing* a real
+death.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.arrays import am_util
+from repro.core.darray import DistributedArray
+from repro.faults import FaultPlan, FaultyTransport, install_recovery
+from repro.health import FailureDetector, HealthState
+from repro.vp.machine import Machine
+
+INTERVAL = 0.02
+
+
+def wait_until(predicate, timeout=8.0, interval=0.005):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+def test_dropped_heartbeats_below_threshold_stay_alive():
+    """Losing some heartbeats is indistinguishable from jitter: with
+    drops well under the suspect window, nobody hardens to dead."""
+    machine = Machine(4)
+    plan = FaultPlan(seed=7, drop=0.3, kinds=("heartbeat",))
+    with FaultyTransport(machine, plan) as ft:
+        detector = FailureDetector(
+            machine, interval=INTERVAL, suspect_after=6.0, dead_after=40.0
+        ).install()
+        try:
+            assert wait_until(lambda: ft.stats.dropped >= 5)
+            # Survive a long observation window without a dead verdict.
+            time.sleep(30 * INTERVAL)
+            for p in range(4):
+                assert detector.state_of(p) is not HealthState.DEAD
+            dead = [
+                e for e in detector.events() if e.transition == "dead"
+            ]
+            assert dead == []
+        finally:
+            detector.close()
+
+
+def test_total_heartbeat_loss_is_a_timeout_death():
+    """drop=1.0 on heartbeat traffic only: every VP but the monitor
+    falls silent and hardens to dead — data traffic was never touched,
+    so this is purely the detector's inference."""
+    machine = Machine(3)
+    plan = FaultPlan(seed=1, drop=1.0, kinds=("heartbeat",))
+    with FaultyTransport(machine, plan):
+        detector = FailureDetector(
+            machine, interval=INTERVAL, suspect_after=2.0, dead_after=6.0
+        ).install()
+        try:
+            assert wait_until(
+                lambda: detector.state_of(1) is HealthState.DEAD
+                and detector.state_of(2) is HealthState.DEAD
+            )
+            for event in detector.events():
+                if event.transition == "dead":
+                    assert event.reason == "timeout"
+            assert not machine.is_failed(1)
+        finally:
+            detector.close()
+
+
+def test_delayed_heartbeats_do_not_harden_dead_verdicts():
+    """Delivery delay inflates inter-arrival jitter; the dead window is
+    sized in heartbeat multiples, so bounded delay must not kill."""
+    machine = Machine(3)
+    plan = FaultPlan(
+        seed=3,
+        delay=0.8,
+        delay_seconds=INTERVAL,  # a full interval of extra latency
+        kinds=("heartbeat",),
+    )
+    with FaultyTransport(machine, plan) as ft:
+        detector = FailureDetector(
+            machine, interval=INTERVAL, suspect_after=6.0, dead_after=40.0
+        ).install()
+        try:
+            assert wait_until(lambda: ft.stats.delayed >= 5)
+            time.sleep(30 * INTERVAL)
+            assert not [
+                e for e in detector.events() if e.transition == "dead"
+            ]
+        finally:
+            detector.close()
+
+
+def test_duplicated_heartbeats_are_harmless():
+    """Duplicates refresh last-seen twice; nothing transitions, and the
+    received counter simply runs ahead of the emission count."""
+    machine = Machine(3)
+    plan = FaultPlan(seed=5, duplicate=0.5, kinds=("heartbeat",))
+    with FaultyTransport(machine, plan) as ft:
+        detector = FailureDetector(
+            machine, interval=INTERVAL, suspect_after=4.0, dead_after=12.0
+        ).install()
+        try:
+            assert wait_until(lambda: ft.stats.duplicated >= 5)
+            for p in range(3):
+                assert detector.state_of(p) is HealthState.ALIVE
+            assert not [
+                e
+                for e in detector.events()
+                if e.transition in ("dead", "quarantine")
+            ]
+        finally:
+            detector.close()
+
+
+def test_flapping_under_lossy_heartbeats_never_double_fires_recovery():
+    """Heavy heartbeat loss makes VPs flap suspect -> alive -> suspect;
+    however many flaps occur, recovery fires at most once per VP that
+    actually hardens to dead — and not at all here, because the drop
+    rate keeps every VP under the dead window."""
+    machine = Machine(6, default_recv_timeout=5)
+    am_util.load_all(machine)
+    coordinator = install_recovery(machine)
+    DistributedArray.create(
+        machine, "double", (8, 8), [0, 1, 2, 3],
+        (("block", 2), ("block", 2)), replication=1,
+    )
+    plan = FaultPlan(seed=11, drop=0.6, kinds=("heartbeat",))
+    with FaultyTransport(machine, plan):
+        # The dead window is deliberately enormous (30 s): the test is
+        # about suspect/alive flapping, and no scheduler stall on a
+        # loaded CI box should be able to harden a flap into a dead
+        # verdict and fire real recovery.
+        detector = FailureDetector(
+            machine, interval=INTERVAL, suspect_after=1.5, dead_after=1500.0
+        ).install()
+        try:
+            # Wait for genuine flapping: at least one suspect and one
+            # flap-back-alive somewhere.
+            assert wait_until(
+                lambda: any(
+                    e.transition == "alive" for e in detector.events()
+                ),
+                timeout=15.0,
+            )
+            assert coordinator.recoveries == []
+            # Per-VP sanity: dead verdicts (there should be none) never
+            # outnumber one per episode.
+            for p in range(6):
+                dead = [
+                    e
+                    for e in detector.events()
+                    if e.vp == p and e.transition == "dead"
+                ]
+                assert len(dead) == 0
+        finally:
+            detector.close()
