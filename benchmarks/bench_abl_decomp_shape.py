@@ -36,19 +36,35 @@ def measure(rt, grid):
     rt.machine.reset_traffic()
     rt.call(procs, heat_steps, [grid[0], grid[1], 4, Local(arr.array_id)])
     measured = rt.machine.traffic_snapshot()
+
+    # Messages attributable to one sweep: the 1-step/5-step marginal
+    # cancels the per-call scaffolding (spawn, collect, allreduce).
+    def msgs(steps):
+        rt.machine.reset_traffic()
+        rt.call(
+            procs, heat_steps, [grid[0], grid[1], steps, Local(arr.array_id)]
+        )
+        return rt.machine.traffic_snapshot()["messages"]
+
+    per_sweep = (msgs(5) - msgs(1)) / 4.0
     arr.free()
-    return nbytes, measured
+    return nbytes, measured, per_sweep
 
 
 class TestAbl1DecompositionShape:
     def test_halo_bytes_by_grid_shape(self, benchmark):
         rt = IntegratedRuntime(16)
-        rows = [("grid", "halo bytes/step (model)", "measured bytes (4 steps)")]
+        rows = [("grid", "halo bytes/step (model)",
+                 "measured bytes (4 steps)", "msgs/sweep")]
         results = {}
+        msgs_per_sweep = {}
         for grid in ((4, 4), (16, 1), (1, 16), (8, 2)):
-            model_bytes, measured = measure(rt, grid)
+            model_bytes, measured, per_sweep = measure(rt, grid)
             results[grid] = (model_bytes, measured["bytes"])
-            rows.append((grid, int(model_bytes), measured["bytes"]))
+            msgs_per_sweep[grid] = per_sweep
+            rows.append(
+                (grid, int(model_bytes), measured["bytes"], per_sweep)
+            )
         report("ABL-1 halo traffic by decomposition shape (64x64, P=16)", rows)
 
         # shape claims:
@@ -63,6 +79,15 @@ class TestAbl1DecompositionShape:
         ordered_model = sorted(results, key=lambda g: results[g][0])
         ordered_measured = sorted(results, key=lambda g: results[g][1])
         assert ordered_model == ordered_measured
+        # (5) message count is the *complementary* trade-off: one fused
+        # strip per internal directed edge per sweep, so the strip grid
+        # sends the fewest (largest) messages and the square grid the
+        # most (smallest) — bytes and message count pull opposite ways.
+        assert msgs_per_sweep[(16, 1)] < msgs_per_sweep[(8, 2)]
+        assert msgs_per_sweep[(8, 2)] < msgs_per_sweep[(4, 4)]
+        benchmark.extra_info.update(
+            msgs_per_sweep={str(g): m for g, m in msgs_per_sweep.items()}
+        )
 
         rt8 = IntegratedRuntime(16)
         procs = rt8.all_processors()
@@ -89,6 +114,6 @@ class TestAbl1DecompositionShape:
 
         rt = IntegratedRuntime(16)
         for grid in ((4, 4), (16, 1), (8, 2)):
-            model, _ = measure(rt, grid)
+            model, _, _ = measure(rt, grid)
             assert model == internal_halo_bytes(N, *grid)
         benchmark(lambda: internal_halo_bytes(N, 4, 4))

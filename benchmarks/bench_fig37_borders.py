@@ -64,6 +64,59 @@ class TestFig37Borders:
         benchmark(flip)
         arr.free()
 
+    def test_border_depth_buys_fewer_messages_per_sweep(self, benchmark, rt8):
+        """Deep borders are the §3.2.1.3 buffer space the planned stencil
+        path amortises: one fused exchange phase per ``depth`` sweeps.
+        Reports messages-per-sweep alongside per-sweep latency for each
+        border depth (``verify_borders`` migrates the same array between
+        depths)."""
+        import statistics
+        import time as _time
+
+        from repro.calls import Local
+        from repro.spmd.stencil import heat_steps
+
+        arr = make_array(rt8, 32)
+        procs = list(arr.processors)
+        machine = rt8.machine
+        rows = [("border depth", "msgs/sweep", "seconds/sweep")]
+        stats = {}
+        for depth in (1, 2, 4):
+            arr.verify_borders([depth] * 4)
+
+            def msgs(sweeps):
+                machine.reset_traffic()
+                rt8.call(
+                    procs, heat_steps, [4, 2, sweeps, Local(arr.array_id)]
+                )
+                return machine.traffic_snapshot()["messages"]
+
+            msgs(1)  # warm the plan cache for this depth
+            per_sweep = (msgs(1 + 8) - msgs(1)) / 8.0
+            laps = []
+            for _ in range(5):
+                t0 = _time.perf_counter()
+                rt8.call(procs, heat_steps, [4, 2, 8, Local(arr.array_id)])
+                laps.append((_time.perf_counter() - t0) / 8)
+            latency = statistics.median(laps)
+            stats[depth] = (per_sweep, latency)
+            rows.append((depth, per_sweep, f"{latency:.5f}"))
+        report("FIG-3.7 borders as exchange buffers (32x32 on 4x2)", rows)
+        benchmark.extra_info.update(
+            msgs_per_sweep={str(d): s[0] for d, s in stats.items()},
+            seconds_per_sweep={str(d): s[1] for d, s in stats.items()},
+        )
+        # One phase per `depth` sweeps: messages/sweep shrink as borders
+        # deepen, by the full factor between depth 1 and depth 4.
+        assert stats[2][0] < stats[1][0]
+        assert stats[4][0] <= stats[1][0] / 3
+        benchmark(
+            lambda: rt8.call(
+                procs, heat_steps, [4, 2, 8, Local(arr.array_id)]
+            )
+        )
+        arr.free()
+
     def test_interior_survives_migrations(self, benchmark, rt8):
         arr = make_array(rt8, 16)
         original = arr.to_numpy()

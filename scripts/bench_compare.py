@@ -32,6 +32,7 @@ RESULTS_PATH = REPO_ROOT / "BENCH_results.json"
 
 DEFAULT_BENCHMARKS = [
     "benchmarks/bench_coalescing.py",
+    "benchmarks/bench_commplan.py",
     "benchmarks/bench_detection.py",
     "benchmarks/bench_migration.py",
     "benchmarks/bench_region_access.py",

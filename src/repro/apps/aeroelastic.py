@@ -33,6 +33,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.arrays.local_section import LocalSection
 from repro.calls.params import Local, Reduce
 from repro.core.runtime import IntegratedRuntime
 from repro.pcn.composition import par
@@ -45,6 +46,30 @@ from repro.spmd.linalg import (
 from repro.status import check_status
 
 
+def _deflection_halo(ctx, section):
+    """Open a depth-1 planned halo exchange for the deflection section,
+    or None when the planned path cannot engage (borderless array, no
+    perf layer) — the point-to-point fallback handles those."""
+    if not isinstance(section, LocalSection) or min(section.borders) < 1:
+        return None
+    machine = ctx.machine
+    manager = getattr(machine, "_array_manager", None)
+    plans = getattr(getattr(machine, "_perf", None), "plans", None)
+    if plans is None or manager is None or not plans.enabled:
+        return None
+    record = manager.record_for_section(ctx.node, section)
+    if record is None or record.layout.rank != 1:
+        return None
+    plan = plans.halo_plan("aero_twist", record.array_id)
+    if plan is None:
+        return None
+    sec = record.section_number_for(ctx.processor_number)
+    return plan.begin(
+        plans, record, section.full(), sec, 1,
+        (ctx.group, 0), ctx.processor_number,
+    )
+
+
 def _aero_pressure(ctx, q_dyn, alpha, deflection_in, pressure) -> None:
     """DP aerodynamic model: pressure from incidence minus local twist,
     then one smoothing sweep with halo exchange over the group."""
@@ -52,14 +77,27 @@ def _aero_pressure(ctx, q_dyn, alpha, deflection_in, pressure) -> None:
     p = interior(pressure)
     # local "twist": finite difference of deflection along the span; the
     # first cell of each section differences against the left neighbour's
-    # last cell, fetched point-to-point (root section keeps twist[0] = 0).
+    # last cell (root section keeps twist[0] = 0).
     twist = np.zeros_like(w)
-    twist[1:] = w[1:] - w[:-1]
-    if ctx.index + 1 < ctx.num_procs:
-        ctx.comm.send(ctx.index + 1, float(w[-1]), tag="last")
-    if ctx.index > 0:
-        left_last = ctx.comm.recv(source_rank=ctx.index - 1, tag="last")
-        twist[0] = w[0] - left_last
+    exchange = _deflection_halo(ctx, deflection_in)
+    if exchange is not None:
+        # Planned path: the neighbour's cell travels as a halo_bulk
+        # strip posted here and claimed after the overlapped arithmetic;
+        # complete() waits only on the west border — the one this kernel
+        # reads (the east strip is posted for the neighbour's benefit).
+        exchange.prefetch()
+        twist[1:] = w[1:] - w[:-1]
+        exchange.complete(sides=("west",))
+        if exchange.receives("west"):
+            pad = deflection_in.borders[0]
+            twist[0] = w[0] - float(deflection_in.full()[pad - 1])
+    else:
+        twist[1:] = w[1:] - w[:-1]
+        if ctx.index + 1 < ctx.num_procs:
+            ctx.comm.send(ctx.index + 1, float(w[-1]), tag="last")
+        if ctx.index > 0:
+            left_last = ctx.comm.recv(source_rank=ctx.index - 1, tag="last")
+            twist[0] = w[0] - left_last
     p[:] = float(q_dyn) * (float(alpha) - twist)
     # one smoothing pass (neighbour average) to mimic panel influence
     smoothed = p.copy()
@@ -115,8 +153,11 @@ class AeroelasticSimulation:
         # Aerodynamic state (group A): pressures + the deflection copy the
         # aero solver reads.
         self.pressure = rt.array("double", (span_points,), g_aero, ["block"])
+        # 1-deep borders let the aero solver pull the left neighbour's
+        # last deflection cell through a precompiled halo plan
+        # (prefetch/complete) instead of a point-to-point scalar message.
         self.aero_deflection = rt.array(
-            "double", (span_points,), g_aero, ["block"]
+            "double", (span_points,), g_aero, ["block"], borders=[1, 1]
         )
         # Structural state (group B): stiffness, load, deflection.
         p = len(g_struct)

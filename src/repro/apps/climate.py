@@ -103,8 +103,10 @@ def _exchange_interface(
     coupling: float,
 ) -> None:
     """TP-level boundary exchange: relax both interface rows toward their
-    average (flux matching), moving each row as one region — one message
-    per processor owning a piece of the interface, not one per element."""
+    average (flux matching).  Reads move each row as one region (one
+    request per owning processor, not one per element); writes land as
+    one fused per-owner ``write_region_local`` carrying only the cells
+    that owner holds, executed *at* the owner."""
     o_dims = ocean.array.dims
     a_dims = atmosphere.array.dims
     assert o_dims[1] == a_dims[1], "interface widths must match"
@@ -116,8 +118,14 @@ def _exchange_interface(
     mean = 0.5 * (ocean_top + atmos_bottom)
     new_ocean = (1 - coupling) * ocean_top + coupling * mean
     new_atmos = (1 - coupling) * atmos_bottom + coupling * mean
-    ocean.array.write_region(ocean_row, new_ocean[np.newaxis, :])
-    atmosphere.array.write_region(atmos_row, new_atmos[np.newaxis, :])
+    # Write back only the interface cells, fused per owning processor:
+    # each owner gets one write_region_local carrying exactly its slice
+    # of the row, executed at the owner — no whole-row round trip
+    # through an intermediary manager hop.
+    ocean.array.write_region_targeted(ocean_row, new_ocean[np.newaxis, :])
+    atmosphere.array.write_region_targeted(
+        atmos_row, new_atmos[np.newaxis, :]
+    )
 
 
 @dataclass

@@ -377,6 +377,77 @@ def set_coalescing(machine: Machine, enabled: bool) -> bool:
     return previous
 
 
+def halo_plan(
+    machine: Machine, array_id: ArrayID, op: str = "stencil5"
+) -> Optional[Any]:
+    """Compile (or fetch the cached) halo-exchange :class:`CommPlan` for
+    one array (:mod:`repro.perf.commplan`).
+
+    Returns None when planning cannot engage: no perf layer, planning
+    disabled, unknown array, rank > 2, or missing/non-uniform borders.
+    The registry revalidates the cached plan against the durability
+    ``(epoch, processors)`` on every call, so recovery and migration
+    invalidate transparently.
+    """
+    perf = getattr(machine, "_perf", None)
+    plans = getattr(perf, "plans", None)
+    if plans is None:
+        return None
+    return plans.halo_plan(op, array_id)
+
+
+def write_region_targeted(
+    machine: Machine,
+    array_id: ArrayID,
+    region: Sequence[Sequence[int]],
+    data: Any,
+) -> Status:
+    """Region write fused per owner: one ``write_region_local`` request
+    issued *at* each owning processor, carrying exactly the cells of
+    ``region`` that owner holds (``ArrayLayout.region_sections``).
+
+    From task-parallel level the per-owner requests execute locally at
+    their targets — zero intermediary hops — where the single-hop
+    ``write_region`` ships the whole region through one manager and back
+    out per owner.  Epoch fencing still happens at each owner
+    (``write_region_local`` refuses stale records with ``STALE_EPOCH``).
+    """
+    import numpy as np
+
+    manager = get_array_manager(machine)
+    flush_writes(machine, array_id)
+    state = manager.durability_state(array_id)
+    layout = None
+    if state is not None:
+        for proc in state.processors:
+            record = manager._lookup(machine.processor(proc), array_id)
+            if record is not None:
+                layout = record.layout
+                break
+    if layout is None:
+        # Unknown here (foreign or freed array): the single-hop path
+        # produces the authoritative NOT_FOUND.
+        return write_region(machine, array_id, region, data)
+    dense = np.asarray(data)
+    pending = []
+    for section, local_slices, region_slices in layout.region_sections(
+        region
+    ):
+        owner = state.processors[section]
+        status = DefVar("Status")
+        machine.server.request(
+            "write_region_local",
+            array_id,
+            local_slices,
+            dense[region_slices].copy(),
+            status,
+            processor=owner,
+        )
+        pending.append(status)
+    bad = any(Status(st.read()) is not Status.OK for st in pending)
+    return Status.ERROR if bad else Status.OK
+
+
 def set_read_cache(machine: Machine, enabled: bool) -> bool:
     """Toggle the epoch-validated section read cache (default off);
     returns the previous setting."""

@@ -271,6 +271,30 @@ class ArrayLayout:
                 tuple(entry[2] for entry in combo),
             )
 
+    # -- neighbour geometry ------------------------------------------------------
+
+    def grid_neighbors(
+        self, section: int
+    ) -> dict[tuple[int, str], int]:
+        """The sections adjacent to ``section`` on the processor grid.
+
+        Maps ``(axis, direction)`` — ``direction`` is ``"low"`` (toward
+        index 0) or ``"high"`` — to the neighbouring section number.
+        Physical array edges simply have no entry.  This is the adjacency
+        the halo-plan compiler (:mod:`repro.perf.commplan`) walks to
+        derive per-neighbour exchange schedules from the layout alone.
+        """
+        coords = self.section_coords(section)
+        out: dict[tuple[int, str], int] = {}
+        for axis in range(self.rank):
+            for direction, delta in (("low", -1), ("high", 1)):
+                c = coords[axis] + delta
+                if 0 <= c < self.grid[axis]:
+                    ncoords = list(coords)
+                    ncoords[axis] = c
+                    out[(axis, direction)] = self.section_index(ncoords)
+        return out
+
     # -- replica placement -------------------------------------------------------
 
     def replica_chains(

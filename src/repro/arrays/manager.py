@@ -53,7 +53,12 @@ from repro.arrays.placement import (
 )
 from repro.arrays.record import SERIALS, ArrayID, ArrayRecord
 from repro.obs.spans import span as obs_span
-from repro.perf import ARRAY_BATCH_KIND, PerfLayer, define_once
+from repro.perf import (
+    ARRAY_BATCH_KIND,
+    HALO_BULK_KIND,
+    PerfLayer,
+    define_once,
+)
 from repro.pcn.defvar import DefVar
 from repro.status import ProcessorFailedError, Status
 from repro.vp import fabric
@@ -190,6 +195,21 @@ class ArrayManager:
         if record is None or not record.valid:
             return None
         return record
+
+    def record_for_section(
+        self, node: VirtualProcessor, section: Any
+    ) -> Optional[ArrayRecord]:
+        """Reverse lookup: the valid record whose live local section *is*
+        ``section`` (object identity) on this node.  Lets SPMD kernels
+        that were handed a bare :class:`LocalSection` recover the array
+        it belongs to (the halo-plan engagement path in
+        :mod:`repro.spmd.stencil`)."""
+        if section is None:
+            return None
+        for record in list(_records(node).values()):
+            if record.valid and record.section is section:
+                return record
+        return None
 
     def _peer_request(
         self,
@@ -1876,6 +1896,12 @@ def install_array_manager(
     # arrive under their own kind and apply atomically at the owner.
     machine.register_kind_handler(ARRAY_BATCH_KIND, manager._on_array_batch)
     machine._perf = PerfLayer(machine, manager)  # type: ignore[attr-defined]
+    # Precompiled halo-exchange strips (repro.perf.commplan): one fused
+    # bulk message per neighbour per phase, epoch-fenced at delivery and
+    # parked in a rendezvous until the receiving copy claims it.
+    machine.register_kind_handler(
+        HALO_BULK_KIND, machine._perf.plans.deliver
+    )
     machine._array_manager = manager  # type: ignore[attr-defined]
     return manager
 

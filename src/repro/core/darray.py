@@ -143,6 +143,24 @@ class DistributedArray:
         )
         check_status(status, f"write_region{tuple(region)} failed")
 
+    def write_region_targeted(
+        self, region: Sequence[Sequence[int]], values: Any
+    ) -> None:
+        """Overwrite a region with one fused write per owning processor,
+        issued directly at each owner (``am_user.write_region_targeted``)
+        instead of through a single intermediary hop."""
+        self._check_live()
+        status = am_user.write_region_targeted(
+            self.machine, self.array_id, region, values
+        )
+        check_status(status, f"write_region_targeted{tuple(region)} failed")
+
+    def halo_plan(self, op: str = "stencil5") -> Any:
+        """The compiled halo-exchange plan for this array (or None when
+        planning cannot engage — see ``am_user.halo_plan``)."""
+        self._check_live()
+        return am_user.halo_plan(self.machine, self.array_id, op)
+
     def local_block(self, processor: int) -> tuple[tuple[int, ...], np.ndarray]:
         """``(global origin, interior copy)`` of one processor's section."""
         self._check_live()

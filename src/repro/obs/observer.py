@@ -177,6 +177,24 @@ class Observer:
         if not routed:
             self.metrics.counter("repro_perf_inline_batches_total").inc()
 
+    def comm_plan(self, event: str) -> None:
+        """One halo-plan registry event: ``"compiled"``, ``"hit"``, or
+        ``"invalidated"`` (epoch/membership moved under a cached plan)."""
+        name = {
+            "compiled": "repro_comm_plans_compiled_total",
+            "hit": "repro_comm_plans_hits_total",
+            "invalidated": "repro_comm_plans_invalidations_total",
+        }.get(event)
+        if name is not None:
+            self.metrics.counter(name).inc()
+
+    def halo_exchange(self, strips: int, nbytes: int) -> None:
+        """One completed planned halo exchange (``strips`` fused bulk
+        strips claimed into border cells)."""
+        self.metrics.counter("repro_halo_exchanges_total").inc()
+        self.metrics.counter("repro_halo_strips_total").inc(int(strips))
+        self.metrics.counter("repro_halo_bytes_total").inc(int(nbytes))
+
     def perf_cache(self, hit: bool) -> None:
         """One section-cache lookup on the element-read path."""
         name = (

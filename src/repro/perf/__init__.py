@@ -19,15 +19,31 @@ from repro.perf.coalescer import (
     WriteCoalescer,
     define_once,
 )
+from repro.perf.commplan import (
+    HALO_BULK_KIND,
+    CommPlan,
+    HaloExchange,
+    HaloStrip,
+    PlanRegistry,
+    StalePlanError,
+    compile_halo_plan,
+)
 
 __all__ = [
     "ARRAY_BATCH_KIND",
     "ArrayBatch",
+    "CommPlan",
+    "HALO_BULK_KIND",
+    "HaloExchange",
+    "HaloStrip",
     "PerfLayer",
+    "PlanRegistry",
     "SectionCache",
     "SectionVersions",
+    "StalePlanError",
     "WriteCoalescer",
     "coalescing_disabled",
+    "compile_halo_plan",
     "define_once",
     "get_perf_layer",
 ]
@@ -41,6 +57,7 @@ class PerfLayer:
         self.coalescer = WriteCoalescer(machine, manager)
         self.cache = SectionCache()
         self.versions = SectionVersions()
+        self.plans = PlanRegistry(machine, manager)
 
     def flush(
         self, array_id: Any = None, section: Optional[int] = None
@@ -53,6 +70,7 @@ class PerfLayer:
         dropped = self.coalescer.discard(array_id)
         self.cache.drop_array(array_id)
         self.versions.drop_array(array_id)
+        self.plans.drop_array(array_id)
         return dropped
 
     def diagnostics(self) -> dict:
@@ -67,6 +85,7 @@ class PerfLayer:
             "cache_misses": cache["misses"],
             "coalescer": coalescer,
             "cache": cache,
+            "comm_plans": self.plans.diagnostics(),
         }
 
 

@@ -1,0 +1,727 @@
+"""Precompiled halo-exchange communication plans (ROADMAP item 5).
+
+Every stencil sweep used to discover its communication on demand —
+per-edge strips sent the moment a sweep needed them.  But the pattern is
+fully determined by the :class:`~repro.arrays.layout.ArrayLayout` before
+the first iteration: which sections are adjacent, which interior slices
+feed which border slices, and how deep the exchange must be.  This module
+compiles that knowledge once into a :class:`CommPlan` and ships it as
+fused ``kind="halo_bulk"`` messages — **one** message per neighbour per
+exchange phase, issued ahead of the compute phase and overlapped with
+interior work through the ``prefetch()/complete()`` split.
+
+Deep borders buy communication *avoidance* on top of fusion: with
+uniform borders of depth ``d``, one exchange of depth ``k <= d`` is
+enough for ``k`` consecutive 5-point sweeps.  Each copy redundantly
+recomputes a shrinking frame of its halo cells (sweep ``j`` updates the
+region extended by ``k-1-j`` cells toward every neighbour), and because
+that frame computation runs the *same arithmetic on the same values* as
+the neighbour's own interior update, the result is bit-identical to
+exchanging every sweep — the sequential-equivalence argument in
+``docs/performance.md``.
+
+Corner data never travels diagonally.  A rank-2 exchange runs two
+ordered stages: stage 0 swaps row strips spanning only interior columns;
+stage 1 swaps column strips spanning the *full* row range including the
+freshly filled stage-0 halo rows, so each east/west strip relays the
+diagonal neighbour's corner block through the orthogonal neighbour.  On
+physical edges the relayed rows carry the sender's fixed boundary cells —
+exactly the values the receiver's frame computation must read there.
+
+Epoch correctness rides the existing ``STALE_EPOCH`` machinery: a plan
+captures ``(epoch, processors)`` at compile time and the registry
+revalidates both against the durability state on every fetch (recovery,
+``migrate_sections``, ``rebalance_array`` and rejoin all bump the
+epoch).  Every strip is stamped with the sender's record epoch and the
+``halo_bulk`` kind handler refuses stale strips the same way the write
+path does — ``note_fenced`` plus the ``repro_fenced_writes_total``
+counter — so a stale plan can *never* fill a border.
+
+Delivery discipline: the kind handler never touches section storage.  It
+fences, deduplicates, and stashes the strip in a per-``(edge, call,
+phase)`` rendezvous :class:`~repro.pcn.defvar.DefVar`; the receiving
+copy's own thread claims and applies it inside ``complete()``.  A strip
+from a later phase (or an aborted earlier call) therefore sits inert
+until claimed and can never race a kernel mid-sweep, and application is
+exactly-once under drop/duplicate fault injection because each
+rendezvous variable is single-assignment and claimed once.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.obs.spans import span as obs_span
+from repro.pcn.defvar import DefVar
+from repro.perf.coalescer import define_once
+from repro.status import ProcessorFailedError, SingleAssignmentError
+from repro.vp.message import Message
+
+HALO_BULK_KIND = "halo_bulk"
+
+# Receiver-relative side names — the side of the *destination* section a
+# strip lands on.  Rank 2 uses compass names (axis 0 = rows, axis 1 =
+# columns); rank 1 reuses west/east along its single axis.
+_SIDE_NAMES = {
+    2: {
+        (0, "low"): "north",
+        (0, "high"): "south",
+        (1, "low"): "west",
+        (1, "high"): "east",
+    },
+    1: {(0, "low"): "west", (0, "high"): "east"},
+}
+
+
+class StalePlanError(RuntimeError):
+    """A halo transfer was fenced by the epoch machinery: the plan (or a
+    peer's record) predates a membership rewrite.  Callers recompile via
+    :meth:`PlanRegistry.halo_plan` and retry the phase — distributed-call
+    supervision does exactly that by failing and re-running the call."""
+
+
+class PlanEdge:
+    """One directed neighbour adjacency: data flows ``src_section ->
+    dest_section`` and lands on the destination's ``side``."""
+
+    __slots__ = ("axis", "direction", "side", "stage", "src_section",
+                 "dest_section")
+
+    def __init__(self, axis: int, direction: str, side: str, stage: int,
+                 src_section: int, dest_section: int) -> None:
+        self.axis = axis
+        self.direction = direction
+        self.side = side
+        self.stage = stage
+        self.src_section = src_section
+        self.dest_section = dest_section
+
+    def __repr__(self) -> str:
+        return (f"<PlanEdge {self.src_section}->{self.dest_section} "
+                f"side={self.side} stage={self.stage}>")
+
+
+class Transfer:
+    """A :class:`PlanEdge` made concrete at exchange depth ``k``:
+    ``src_slices`` select the sender's interior strip in its full
+    (bordered) view, ``dest_slices`` the receiver's border cells."""
+
+    __slots__ = ("edge", "depth", "src_slices", "dest_slices")
+
+    def __init__(self, edge: PlanEdge, depth: int,
+                 src_slices: tuple, dest_slices: tuple) -> None:
+        self.edge = edge
+        self.depth = depth
+        self.src_slices = src_slices
+        self.dest_slices = dest_slices
+
+
+class HaloStrip:
+    """The payload of one ``kind="halo_bulk"`` message.
+
+    ``token`` is ``(call group, phase index)`` — unique per exchange
+    phase, so duplicated, delayed, or orphaned strips can never collide
+    with a later phase's rendezvous.  ``epoch`` is the sender's record
+    epoch at capture time; the receiver's kind handler fences strips
+    older than the authoritative durability epoch.  ``done`` is the
+    acknowledgement variable the sender's retry loop waits on.
+    """
+
+    __slots__ = ("array_id", "src_section", "dest_section", "side", "stage",
+                 "token", "epoch", "dest_slices", "data", "done")
+
+    def __init__(self, array_id: Any, src_section: int, dest_section: int,
+                 side: str, stage: int, token: tuple, epoch: int,
+                 dest_slices: tuple, data: Any,
+                 done: Optional[DefVar]) -> None:
+        self.array_id = array_id
+        self.src_section = src_section
+        self.dest_section = dest_section
+        self.side = side
+        self.stage = stage
+        self.token = token
+        self.epoch = epoch
+        self.dest_slices = dest_slices
+        self.data = data
+        self.done = done
+
+    def key(self) -> tuple:
+        return (self.array_id.as_tuple(), self.src_section,
+                self.dest_section, self.side, self.stage, self.token)
+
+    @property
+    def nbytes(self) -> int:
+        return int(getattr(self.data, "nbytes", 8)) + 64
+
+    def __repr__(self) -> str:
+        return (f"<HaloStrip {self.array_id} {self.src_section}->"
+                f"{self.dest_section} side={self.side} stage={self.stage} "
+                f"token={self.token} epoch={self.epoch}>")
+
+
+def compile_halo_plan(op: str, array_id: Any, layout: Any, epoch: int,
+                      processors: tuple) -> Optional["CommPlan"]:
+    """Compile the exchange schedule for ``(op, layout)``, or None when
+    the geometry is out of scope (rank > 2, missing or non-uniform
+    borders)."""
+    if layout.rank not in (1, 2):
+        return None
+    widths = set(layout.borders)
+    if len(widths) != 1:
+        return None
+    pad = widths.pop()
+    if pad < 1:
+        return None
+    return CommPlan(op, array_id, layout, pad, epoch, processors)
+
+
+class CommPlan:
+    """The compiled halo-exchange schedule for one ``(op, array)`` at one
+    ``(epoch, processors)`` membership."""
+
+    __slots__ = ("op", "array_id", "layout", "pad", "depth", "epoch",
+                 "processors", "stages", "edges")
+
+    def __init__(self, op: str, array_id: Any, layout: Any, pad: int,
+                 epoch: int, processors: tuple) -> None:
+        self.op = op
+        self.array_id = array_id
+        self.layout = layout
+        self.pad = pad
+        # A depth-k exchange ships k interior cells per side, so the
+        # usable depth is clipped by the thinnest local dimension.
+        self.depth = min(pad, min(layout.local_dims))
+        self.epoch = epoch
+        self.processors = tuple(processors)
+        self.stages = 2 if layout.rank == 2 else 1
+        names = _SIDE_NAMES[layout.rank]
+        self.edges: List[PlanEdge] = []
+        for dest in range(layout.num_sections):
+            for (axis, direction), src in sorted(
+                layout.grid_neighbors(dest).items()
+            ):
+                self.edges.append(
+                    PlanEdge(
+                        axis=axis,
+                        direction=direction,
+                        side=names[(axis, direction)],
+                        stage=axis if layout.rank == 2 else 0,
+                        src_section=src,
+                        dest_section=dest,
+                    )
+                )
+
+    # -- geometry ------------------------------------------------------------
+
+    def _slices(self, edge: PlanEdge, k: int) -> tuple:
+        """(src_slices, dest_slices) for ``edge`` at exchange depth ``k``.
+
+        Stage 0 strips span interior columns only; stage 1 strips span
+        the full row range ``[pad-k, pad+h+k)`` — including the stage-0
+        halo rows — which is what relays corner data without diagonal
+        messages.
+        """
+        d = self.pad
+        if self.layout.rank == 1:
+            (length,) = self.layout.local_dims
+            if edge.direction == "low":  # from the west neighbour
+                return ((slice(d + length - k, d + length),),
+                        (slice(d - k, d),))
+            return ((slice(d, d + k),),
+                    (slice(d + length, d + length + k),))
+        h, w = self.layout.local_dims
+        if edge.axis == 0:
+            cols = slice(d, d + w)
+            if edge.direction == "low":  # from the north neighbour
+                return ((slice(d + h - k, d + h), cols),
+                        (slice(d - k, d), cols))
+            return ((slice(d, d + k), cols),
+                    (slice(d + h, d + h + k), cols))
+        rows = slice(d - k, d + h + k)
+        if edge.direction == "low":  # from the west neighbour
+            return ((rows, slice(d + w - k, d + w)),
+                    (rows, slice(d - k, d)))
+        return ((rows, slice(d, d + k)),
+                (rows, slice(d + w, d + w + k)))
+
+    def transfers(self, k: int, section: Optional[int] = None,
+                  role: Optional[str] = None,
+                  stage: Optional[int] = None) -> List[Transfer]:
+        """The concrete transfer list at depth ``k``, optionally filtered
+        to one section's sends (``role="send"``) or receives
+        (``role="recv"``) and/or one stage."""
+        if not 1 <= k <= self.depth:
+            raise ValueError(
+                f"exchange depth {k} outside [1, {self.depth}] for plan "
+                f"{self.op!r} on {self.array_id}"
+            )
+        out = []
+        for edge in self.edges:
+            if stage is not None and edge.stage != stage:
+                continue
+            if section is not None:
+                if role == "send" and edge.src_section != section:
+                    continue
+                if role == "recv" and edge.dest_section != section:
+                    continue
+                if role is None and section not in (edge.src_section,
+                                                    edge.dest_section):
+                    continue
+            src, dest = self._slices(edge, k)
+            out.append(Transfer(edge, k, src, dest))
+        return out
+
+    def begin(self, registry: "PlanRegistry", record: Any, full: Any,
+              section: int, k: int, token: tuple,
+              source: int) -> "HaloExchange":
+        """Open one exchange phase for ``section`` at depth ``k``."""
+        return HaloExchange(registry, self, record, full, section, k,
+                            token, source)
+
+    def describe(self) -> dict:
+        return {
+            "op": self.op,
+            "array": str(self.array_id.as_tuple()),
+            "epoch": self.epoch,
+            "depth": self.depth,
+            "stages": self.stages,
+            "edges": len(self.edges),
+            "processors": self.processors,
+        }
+
+
+class HaloExchange:
+    """One phase of planned halo traffic for one section.
+
+    ``prefetch()`` posts the first-stage bulk sends and returns their
+    ``done`` futures immediately — the strips are in flight while the
+    caller computes interior work.  ``complete()`` settles the protocol:
+    it secures acknowledgements for everything this copy sent (retrying
+    dropped strips against the re-resolved owner, exactly the
+    write-coalescer's retry discipline), claims the inbound stage-0
+    strips, posts the orthogonal stage-1 strips that span the freshly
+    filled halo rows, and claims those.  ``sides`` restricts *claiming*
+    to the borders the kernel actually reads; protocol obligations
+    (acknowledging sends, claiming stage-0 strips that feed stage-1
+    sends) are always met.
+
+    Deadlock-freedom: acknowledgements are defined by the *delivery*
+    thread the moment a strip is fenced/stashed, never by the peer copy's
+    progress — so securing outbound acks before blocking on inbound
+    strips cannot cycle even when both directions of an edge drop.
+    """
+
+    def __init__(self, registry: "PlanRegistry", plan: CommPlan, record: Any,
+                 full: Any, section: int, k: int, token: tuple,
+                 source: int) -> None:
+        if not 1 <= k <= plan.depth:
+            raise ValueError(f"exchange depth {k} outside [1, {plan.depth}]")
+        self.registry = registry
+        self.plan = plan
+        self.record = record
+        self.full = full
+        self.section = section
+        self.k = k
+        self.token = token
+        self.source = source
+        self.futures: List[DefVar] = []
+        self._pending: List[HaloStrip] = []
+        self._filled: set = set()
+        self._claimed_strips = 0
+        self._claimed_bytes = 0
+        self._prefetched = False
+        self._completed = False
+
+    def receives(self, side: str) -> bool:
+        """Does this section receive a strip on ``side`` (i.e. does it
+        have a neighbour there)?"""
+        return any(
+            e.dest_section == self.section and e.side == side
+            for e in self.plan.edges
+        )
+
+    # -- protocol ------------------------------------------------------------
+
+    def prefetch(self) -> List[DefVar]:
+        """Issue the first-stage halo sends; returns their ack futures.
+
+        Flushes the write-behind coalescer for this array first, so a
+        strip carries every acknowledged element write (the plan flush
+        point, docs/performance.md).
+        """
+        if self._prefetched:
+            return self.futures
+        self.registry.flush_for(self.plan.array_id)
+        self._post_stage(0)
+        self._prefetched = True
+        return self.futures
+
+    def complete(self, sides: Optional[Iterable[str]] = None) -> None:
+        """Block until the halo cells on ``sides`` (default: all) hold
+        this phase's data; settles all send acknowledgements."""
+        if self._completed:
+            return
+        if not self._prefetched:
+            self.prefetch()
+        wanted = None if sides is None else set(sides)
+        registry = self.registry
+        with obs_span(
+            registry.machine,
+            "perf:halo",
+            array=str(self.plan.array_id.as_tuple()),
+            section=self.section,
+            depth=self.k,
+            phase=str(self.token),
+        ) as span:
+            self._secure_pending()
+            # Stage-0 strips must all land before stage-1 sends read the
+            # halo rows they span — regardless of the ``sides`` filter.
+            self._claim_stage(0, None if self.plan.stages > 1 else wanted)
+            if self.plan.stages > 1:
+                self._post_stage(1)
+                self._secure_pending()
+                self._claim_stage(1, wanted)
+            span.annotate(strips=self._claimed_strips)
+        registry.exchanges += 1
+        observer = getattr(registry.machine, "_observer", None)
+        if observer is not None:
+            observer.halo_exchange(self._claimed_strips, self._claimed_bytes)
+        self._completed = True
+
+    # -- internals -----------------------------------------------------------
+
+    def _post_stage(self, stage: int) -> None:
+        for transfer in self.plan.transfers(
+            self.k, section=self.section, role="send", stage=stage
+        ):
+            data = self.full[transfer.src_slices].copy()
+            strip = HaloStrip(
+                self.plan.array_id,
+                transfer.edge.src_section,
+                transfer.edge.dest_section,
+                transfer.edge.side,
+                stage,
+                self.token,
+                self.record.epoch,
+                transfer.dest_slices,
+                data,
+                DefVar(f"halo_ack[{transfer.edge.dest_section}]"),
+            )
+            self._route(strip)
+            self._pending.append(strip)
+            self.futures.append(strip.done)
+
+    def _owner_of(self, dest_section: int) -> Optional[int]:
+        state = self.registry.manager.durability_state(self.plan.array_id)
+        procs = (state.processors if state is not None
+                 else self.plan.processors)
+        if dest_section >= len(procs):
+            return None
+        return procs[dest_section]
+
+    def _route(self, strip: HaloStrip) -> None:
+        registry = self.registry
+        machine = registry.machine
+        dest = self._owner_of(strip.dest_section)
+        if dest is None or machine.is_failed(dest):
+            raise ProcessorFailedError(
+                f"halo destination section {strip.dest_section} of "
+                f"{strip.array_id} has no live owner"
+            )
+        if dest == self.source:
+            registry.apply_strip(dest, strip)
+            registry.inline_strips += 1
+        else:
+            machine.route(
+                Message(
+                    source=self.source,
+                    dest=dest,
+                    payload=strip,
+                    tag=(HALO_BULK_KIND, strip.array_id.as_tuple()),
+                    kind=HALO_BULK_KIND,
+                )
+            )
+            registry.routed_strips += 1
+        registry.strips_sent += 1
+
+    def _reship(self, strip: HaloStrip) -> HaloStrip:
+        fresh = HaloStrip(
+            strip.array_id, strip.src_section, strip.dest_section,
+            strip.side, strip.stage, strip.token, strip.epoch,
+            strip.dest_slices, strip.data,
+            DefVar(f"halo_ack[{strip.dest_section}]"),
+        )
+        self._route(fresh)
+        return fresh
+
+    def _secure_pending(self) -> None:
+        registry = self.registry
+        for strip in self._pending:
+            current = strip
+            for _attempt in range(registry.max_retries + 1):
+                try:
+                    outcome = current.done.read(
+                        timeout=registry.retry_timeout
+                    )
+                except TimeoutError:
+                    # Dropped or delayed in transit: reship the same
+                    # (token, stage, side) unit — the receiver's
+                    # single-assignment rendezvous deduplicates a late
+                    # original.
+                    registry.retries += 1
+                    current = self._reship(current)
+                    continue
+                if outcome == "ok":
+                    break
+                if outcome == "stale":
+                    raise StalePlanError(
+                        f"halo strip {current!r} fenced as STALE_EPOCH: "
+                        "plan predates a membership rewrite"
+                    )
+                # "not_found": the owner moved mid-phase (migration
+                # between resolve and delivery) — chase the section to
+                # its re-resolved home.
+                registry.retries += 1
+                current = self._reship(current)
+            else:
+                raise TimeoutError(
+                    f"halo strip to section {strip.dest_section} of "
+                    f"{strip.array_id} unacknowledged after "
+                    f"{registry.max_retries + 1} attempts"
+                )
+        self._pending = []
+
+    def _claim_stage(self, stage: int, sides: Optional[set]) -> None:
+        registry = self.registry
+        machine = registry.machine
+        for transfer in self.plan.transfers(
+            self.k, section=self.section, role="recv", stage=stage
+        ):
+            side = transfer.edge.side
+            if sides is not None and side not in sides:
+                continue
+            if (stage, side) in self._filled:
+                continue
+            key = (self.plan.array_id.as_tuple(), transfer.edge.src_section,
+                   self.section, side, stage, self.token)
+            strip = registry.await_strip(
+                key, timeout=machine.default_recv_timeout
+            )
+            with self.record.lock:
+                self.full[strip.dest_slices] = strip.data
+            self._filled.add((stage, side))
+            self._claimed_strips += 1
+            self._claimed_bytes += int(getattr(strip.data, "nbytes", 0))
+            registry.strips_claimed += 1
+
+
+class PlanRegistry:
+    """Machine-wide plan cache + rendezvous state for halo exchanges.
+
+    Plans are cached per ``(op, array)`` and revalidated against the
+    durability state's ``(epoch, processors)`` on every fetch; recovery,
+    migration, rebalance, and rejoin all bump the epoch, so their effect
+    on cached plans is automatic invalidation with no extra locking.
+    """
+
+    def __init__(self, machine: Any, manager: Any) -> None:
+        self.machine = machine
+        self.manager = manager
+        self.enabled = True
+        self.max_retries = 3
+        self.retry_timeout = 5.0
+        self.max_rendezvous = 4096
+        self._lock = threading.Lock()
+        self._plans: Dict[tuple, CommPlan] = {}
+        self._rendezvous: Dict[tuple, DefVar] = {}
+        self.compiled = 0
+        self.hits = 0
+        self.invalidations = 0
+        self.exchanges = 0
+        self.strips_sent = 0
+        self.strips_claimed = 0
+        self.inline_strips = 0
+        self.routed_strips = 0
+        self.duplicate_strips = 0
+        self.stale_strips = 0
+        self.not_found_strips = 0
+        self.retries = 0
+
+    # -- plan cache ----------------------------------------------------------
+
+    def _observe(self, event: str) -> None:
+        observer = getattr(self.machine, "_observer", None)
+        if observer is not None:
+            observer.comm_plan(event)
+
+    def _layout_for(self, array_id: Any, state: Any) -> Any:
+        for proc in state.processors:
+            record = self.manager._lookup(
+                self.machine.processor(proc), array_id
+            )
+            if record is not None:
+                return record.layout
+        return None
+
+    def halo_plan(self, op: str, array_id: Any) -> Optional[CommPlan]:
+        """The cached plan for ``(op, array_id)``, recompiled when the
+        durability epoch or membership moved since compile time."""
+        if not self.enabled:
+            return None
+        state = self.manager.durability_state(array_id)
+        if state is None:
+            return None
+        procs = tuple(state.processors)
+        # Resolve the live layout up front: `verify_array` can reallocate
+        # sections with different border depths *without* bumping the
+        # epoch, so geometry is part of plan validity alongside
+        # (epoch, membership).
+        layout = self._layout_for(array_id, state)
+        if layout is None:
+            return None
+        key = (op, array_id.as_tuple())
+        invalidated = False
+        with self._lock:
+            cached = self._plans.get(key)
+            if cached is not None:
+                if (cached.epoch == state.epoch
+                        and cached.processors == procs
+                        and cached.layout.borders == layout.borders
+                        and cached.layout.local_dims
+                        == layout.local_dims):
+                    self.hits += 1
+                else:
+                    del self._plans[key]
+                    self.invalidations += 1
+                    invalidated = True
+                    cached = None
+        if cached is not None:
+            self._observe("hit")
+            return cached
+        if invalidated:
+            self._observe("invalidated")
+        plan = compile_halo_plan(op, array_id, layout, state.epoch, procs)
+        if plan is None:
+            return None
+        with self._lock:
+            self._plans[key] = plan
+            self.compiled += 1
+        self._observe("compiled")
+        return plan
+
+    def drop_array(self, array_id: Any) -> None:
+        aid = array_id.as_tuple()
+        with self._lock:
+            for key in [k for k in self._plans if k[1] == aid]:
+                del self._plans[key]
+            for key in [k for k in self._rendezvous if k[0] == aid]:
+                del self._rendezvous[key]
+
+    def flush_for(self, array_id: Any) -> None:
+        perf = getattr(self.machine, "_perf", None)
+        if perf is not None:
+            perf.coalescer.flush(array_id)
+
+    # -- rendezvous ----------------------------------------------------------
+
+    def _rendezvous_var(self, key: tuple) -> DefVar:
+        with self._lock:
+            var = self._rendezvous.get(key)
+            if var is None:
+                if len(self._rendezvous) >= self.max_rendezvous:
+                    # Evict the oldest entries — strips left unclaimed by
+                    # aborted calls or skipped sides (insertion order is
+                    # arrival order).
+                    for old in list(self._rendezvous)[
+                        : self.max_rendezvous // 4
+                    ]:
+                        del self._rendezvous[old]
+                var = DefVar(f"halo{key}")
+                self._rendezvous[key] = var
+        return var
+
+    def await_strip(self, key: tuple, timeout: Optional[float]) -> HaloStrip:
+        var = self._rendezvous_var(key)
+        outcome = var.read(timeout=timeout)
+        with self._lock:
+            self._rendezvous.pop(key, None)
+        verdict, payload = outcome
+        if verdict != "ok":
+            raise StalePlanError(
+                f"halo rendezvous {key} fenced as STALE_EPOCH "
+                f"(sender epoch {payload})"
+            )
+        return payload
+
+    # -- delivery (the halo_bulk kind handler) -------------------------------
+
+    def deliver(self, message: Message) -> None:
+        """Final delivery of one ``kind="halo_bulk"`` message."""
+        self.apply_strip(message.dest, message.payload)
+
+    def apply_strip(self, dest: int, strip: HaloStrip) -> None:
+        """Fence -> dedup -> stash one strip arriving at ``dest``.
+
+        Never writes section storage: the strip parks in its phase's
+        rendezvous variable and the receiving copy's own thread copies it
+        into the border cells inside ``HaloExchange.complete()``, so late
+        or duplicated deliveries cannot race a kernel mid-sweep.
+        """
+        manager = self.manager
+        node = self.machine.processor(dest)
+        record = manager._lookup(node, strip.array_id)
+        state = manager.durability_state(strip.array_id)
+        if (record is None or record.section is None or state is None
+                or strip.dest_section >= len(state.processors)
+                or state.processors[strip.dest_section] != dest):
+            # Not the authoritative owner (the section migrated away, or
+            # never lived here): refuse without consuming the rendezvous,
+            # so the sender's retry chases the re-resolved owner.
+            self.not_found_strips += 1
+            define_once(strip.done, "not_found")
+            return
+        if strip.epoch < state.epoch or record.epoch < state.epoch:
+            # The STALE_EPOCH fence (docs/fault_model.md §9): the sender
+            # compiled against a membership that has since been rewritten
+            # — or this record itself was left behind by one.  Poison the
+            # phase's rendezvous so a claiming receiver aborts with
+            # StalePlanError instead of filling a border with stale data.
+            self.stale_strips += 1
+            manager._refuse_stale(strip.array_id, None)
+            define_once(self._rendezvous_var(strip.key()),
+                        ("stale", strip.epoch))
+            define_once(strip.done, "stale")
+            return
+        var = self._rendezvous_var(strip.key())
+        try:
+            var.define(("ok", strip))
+        except SingleAssignmentError:
+            # Duplicate delivery (fault injection, or a retry racing the
+            # delayed original): the first copy already parked here.
+            self.duplicate_strips += 1
+        define_once(strip.done, "ok")
+
+    # -- introspection -------------------------------------------------------
+
+    def diagnostics(self) -> dict:
+        with self._lock:
+            plans = len(self._plans)
+            pending = len(self._rendezvous)
+        return {
+            "enabled": self.enabled,
+            "plans": plans,
+            "compiled": self.compiled,
+            "hits": self.hits,
+            "invalidations": self.invalidations,
+            "exchanges": self.exchanges,
+            "strips_sent": self.strips_sent,
+            "strips_claimed": self.strips_claimed,
+            "inline_strips": self.inline_strips,
+            "routed_strips": self.routed_strips,
+            "duplicate_strips": self.duplicate_strips,
+            "stale_strips": self.stale_strips,
+            "not_found_strips": self.not_found_strips,
+            "retries": self.retries,
+            "pending_rendezvous": pending,
+        }

@@ -65,6 +65,15 @@ def exchange_halos(
     Communication is deadlock-free because sends never block: every copy
     posts all sends, then receives selectively by tag and source.
     """
+    expected = grid_rows * grid_cols
+    if expected != len(ctx.procs):
+        raise ValueError(
+            f"exchange_halos: processor grid {grid_rows}x{grid_cols} "
+            f"implies {expected} copies, but this distributed call has "
+            f"{len(ctx.procs)} (section shape "
+            f"{getattr(full, 'shape', None)}); the grid arguments must "
+            "match the array layout's owner count"
+        )
     r, c = grid_coords(ctx.index, grid_cols)
     sent = 0
     neighbours = {
@@ -111,6 +120,127 @@ def jacobi_sweep(full: np.ndarray) -> np.ndarray:
     )
 
 
+def _sweep_region(
+    full: np.ndarray, r0: int, r1: int, c0: int, c1: int
+) -> np.ndarray:
+    """5-point Jacobi update of ``full[r0:r1, c0:c1]`` (reads the +-1
+    frame around it).  Operand order matches :func:`jacobi_sweep` exactly,
+    so the planned path's frame computations are bit-identical to a
+    neighbour's interior update of the same cells."""
+    return 0.25 * (
+        full[r0 - 1:r1 - 1, c0:c1]
+        + full[r0 + 1:r1 + 1, c0:c1]
+        + full[r0:r1, c0 - 1:c1 - 1]
+        + full[r0:r1, c0 + 1:c1 + 1]
+    )
+
+
+def _plan_for(ctx: SPMDContext, section, gr: int, gc: int):
+    """Resolve ``(record, plan, registry)`` for the planned heat path, or
+    None when it cannot engage: raw ndarray, unmanaged section, no perf
+    layer, planning disabled, grid mismatch, or unsupported geometry.
+    Every input to this decision is machine-global or layout-derived, so
+    all copies of one call take the same branch."""
+    if not isinstance(section, LocalSection):
+        return None
+    machine = ctx.machine
+    perf = getattr(machine, "_perf", None)
+    manager = getattr(machine, "_array_manager", None)
+    plans = getattr(perf, "plans", None)
+    if plans is None or manager is None or not plans.enabled:
+        return None
+    record = manager.record_for_section(ctx.node, section)
+    if record is None:
+        return None
+    layout = record.layout
+    if layout.rank != 2 or tuple(layout.grid) != (gr, gc):
+        return None
+    plan = plans.halo_plan("stencil5", record.array_id)
+    if plan is None:
+        return None
+    return record, plan, plans
+
+
+def _heat_steps_planned(
+    ctx: SPMDContext,
+    record,
+    plan,
+    registry,
+    full: np.ndarray,
+    n_steps: int,
+) -> float:
+    """Jacobi relaxation on the planned path: deep-halo phases.
+
+    Each phase exchanges once at depth ``k = min(plan.depth, remaining)``
+    and then runs ``k`` sweeps; sweep ``j`` updates the local region
+    extended by ``k-1-j`` cells toward every neighbour (never past a
+    physical edge).  The extension cells redundantly recompute what the
+    neighbour computes for its own interior — same arithmetic, same
+    values — so the result is bit-identical to exchanging every sweep,
+    while the interior of sweep 0 overlaps with the in-flight halo
+    traffic between ``prefetch()`` and ``complete()``.
+    """
+    layout = record.layout
+    d = plan.pad
+    h, w = layout.local_dims
+    section = record.section_number_for(ctx.processor_number)
+    coords = layout.section_coords(section)
+    ext_n = coords[0] > 0
+    ext_s = coords[0] + 1 < layout.grid[0]
+    ext_w = coords[1] > 0
+    ext_e = coords[1] + 1 < layout.grid[1]
+    delta = 0.0
+    done_steps = 0
+    phase = 0
+    while done_steps < n_steps:
+        k = min(plan.depth, n_steps - done_steps)
+        exchange = plan.begin(
+            registry, record, full, section, k,
+            (ctx.group, phase), ctx.processor_number,
+        )
+        exchange.prefetch()
+        # Overlap: the sweep-0 inner block reads interior cells only, so
+        # it can run while the halo strips are in flight.
+        inner = None
+        if h > 2 and w > 2:
+            inner = _sweep_region(full, d + 1, d + h - 1, d + 1, d + w - 1)
+        exchange.complete()
+        for j in range(k):
+            e = k - 1 - j
+            r0 = d - (e if ext_n else 0)
+            r1 = d + h + (e if ext_s else 0)
+            c0 = d - (e if ext_w else 0)
+            c1 = d + w + (e if ext_e else 0)
+            if j == 0 and inner is not None:
+                new = np.empty((r1 - r0, c1 - c0), dtype=full.dtype)
+                new[d + 1 - r0:d + h - 1 - r0,
+                    d + 1 - c0:d + w - 1 - c0] = inner
+                # The frame around the inner block reads halo cells, so
+                # it runs after complete().
+                new[:d + 1 - r0, :] = _sweep_region(full, r0, d + 1, c0, c1)
+                new[d + h - 1 - r0:, :] = _sweep_region(
+                    full, d + h - 1, r1, c0, c1
+                )
+                new[d + 1 - r0:d + h - 1 - r0, :d + 1 - c0] = _sweep_region(
+                    full, d + 1, d + h - 1, c0, d + 1
+                )
+                new[d + 1 - r0:d + h - 1 - r0,
+                    d + w - 1 - c0:] = _sweep_region(
+                    full, d + 1, d + h - 1, d + w - 1, c1
+                )
+            else:
+                new = _sweep_region(full, r0, r1, c0, c1)
+            if done_steps + j == n_steps - 1:
+                delta = float(np.max(np.abs(
+                    new[d - r0:d + h - r0, d - c0:d + w - c0]
+                    - full[d:d + h, d:d + w]
+                )))
+            full[r0:r1, c0:c1] = new
+        done_steps += k
+        phase += 1
+    return delta
+
+
 def heat_steps(
     ctx: SPMDContext,
     grid_rows,
@@ -122,21 +252,44 @@ def heat_steps(
     """Run ``steps`` Jacobi sweeps of the heat equation on a bordered
     distributed array.
 
-    Precondition: section has 1-deep borders; domain-edge border cells hold
+    Precondition: section has borders >= 1; domain-edge border cells hold
     the Dirichlet boundary values.  Postcondition: the interior holds the
     relaxed field; ``delta_out`` (if given) the global max |change| of the
     final sweep — the convergence measure.
+
+    When the section belongs to a managed distributed array and the
+    machine carries a perf layer, the sweeps run on the *planned* path:
+    precompiled ``halo_bulk`` transfers (one fused message per neighbour
+    per phase), interior compute overlapped with in-flight halo traffic,
+    and — with borders deeper than 1 — one exchange amortised over that
+    many sweeps (:mod:`repro.perf.commplan`).  The per-sweep
+    ``exchange_halos`` path remains the fallback for raw ndarrays and
+    unmanaged sections, and is bit-identical in results.
     """
     gr = int(grid_rows[0]) if hasattr(grid_rows, "__getitem__") else int(grid_rows)
     gc = int(grid_cols[0]) if hasattr(grid_cols, "__getitem__") else int(grid_cols)
     n_steps = int(steps[0]) if hasattr(steps, "__getitem__") else int(steps)
-    full = _full(section)
-    delta = 0.0
-    for _ in range(n_steps):
-        exchange_halos(ctx, full, gr, gc)
-        new_interior = jacobi_sweep(full)
-        delta = float(np.max(np.abs(new_interior - full[1:-1, 1:-1])))
-        full[1:-1, 1:-1] = new_interior
+    planned = _plan_for(ctx, section, gr, gc)
+    if planned is not None:
+        record, plan, registry = planned
+        delta = _heat_steps_planned(
+            ctx, record, plan, registry, section.full(), n_steps
+        )
+    else:
+        full = _full(section)
+        if isinstance(section, LocalSection) and max(section.borders) > 1:
+            raise ValueError(
+                "the unplanned heat_steps path supports exactly 1-deep "
+                f"borders (got {section.borders}); deep borders need the "
+                "planned path (a managed array on a machine with the "
+                "perf layer loaded)"
+            )
+        delta = 0.0
+        for _ in range(n_steps):
+            exchange_halos(ctx, full, gr, gc)
+            new_interior = jacobi_sweep(full)
+            delta = float(np.max(np.abs(new_interior - full[1:-1, 1:-1])))
+            full[1:-1, 1:-1] = new_interior
     delta = collectives.allreduce(ctx.comm, delta, op="max")
     if delta_out is not None:
         if isinstance(delta_out, OutCell):
